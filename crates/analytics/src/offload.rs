@@ -1,0 +1,143 @@
+//! The offloadable traffic fraction `G` (Eq. 3 of the paper).
+//!
+//! In a window with `L` concurrent viewers, demand is `L·β·Δτ` bytes and
+//! peers can contribute `(L−1)·q·Δτ` (one fresh copy always comes from the
+//! CDN). Taking stationary M/M/∞ expectations,
+//!
+//! ```text
+//! G = (q/β) · (c + e^(−c) − 1) / c
+//! ```
+//!
+//! This module works with the ratio `ρ = q/β` directly. Because a peer
+//! cannot deliver more than the stream's bitrate to a given downloader, the
+//! *effective* ratio is capped at 1 in [`offload_fraction`]; the uncapped
+//! Eq. 3 is available as [`offload_fraction_uncapped`] for faithful
+//! comparison with the paper's plots (which only use `ρ ≤ 1`).
+
+/// The fraction of traffic offloadable to peers, Eq. 3, with the physically
+/// motivated cap `ρ ≤ 1`.
+///
+/// Returns 0 for `c ≤ 0` (an empty swarm cannot share) and clamps the result
+/// into `[0, 1]`.
+///
+/// # Example
+///
+/// ```
+/// use consume_local_analytics::offload::offload_fraction;
+///
+/// // The paper's footnote: at c = 1, G = 0.37·(q/β).
+/// let g = offload_fraction(1.0, 1.0);
+/// assert!((g - 0.3679).abs() < 1e-3);
+/// ```
+pub fn offload_fraction(capacity: f64, upload_ratio: f64) -> f64 {
+    if !upload_ratio.is_finite() {
+        return 0.0;
+    }
+    offload_fraction_uncapped(capacity, upload_ratio.min(1.0))
+}
+
+/// Eq. 3 exactly as printed, without the `ρ ≤ 1` cap (can exceed 1 for
+/// `q > β`, which is not physically meaningful for streaming delivery).
+pub fn offload_fraction_uncapped(capacity: f64, upload_ratio: f64) -> f64 {
+    if !capacity.is_finite() || capacity <= 0.0 || !upload_ratio.is_finite() || upload_ratio <= 0.0
+    {
+        return 0.0;
+    }
+    // (c + e^(−c) − 1)/c, evaluated via expm1 for accuracy at small c.
+    let slots_per_viewer = (capacity + (-capacity).exp_m1()) / capacity;
+    (upload_ratio * slots_per_viewer).max(0.0)
+}
+
+/// The capacity-dependent factor `(c + e^(−c) − 1)/c ∈ [0, 1)`: the fraction
+/// of viewer-windows that have at least one *other* viewer to upload to them.
+pub fn sharing_efficiency(capacity: f64) -> f64 {
+    offload_fraction_uncapped(capacity, 1.0)
+}
+
+/// Inverse of [`sharing_efficiency`]: the capacity at which the sharing
+/// efficiency reaches `target` (monotone bisection).
+///
+/// Returns `None` when `target` is outside `(0, 1)`.
+pub fn capacity_for_sharing_efficiency(target: f64) -> Option<f64> {
+    if !(0.0..1.0).contains(&target) || target == 0.0 {
+        return None;
+    }
+    let (mut lo, mut hi) = (1e-12f64, 1e12f64);
+    for _ in 0..200 {
+        let mid = (lo * hi).sqrt(); // geometric: the scale is unknown a priori
+        if sharing_efficiency(mid) < target {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Some((lo * hi).sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_footnote_value_at_c1() {
+        // "for c = 1 … opportunities are for offloading G = 0.37 q/β".
+        let eff = sharing_efficiency(1.0);
+        assert!((eff - 0.367_879).abs() < 1e-6);
+        assert!((offload_fraction(1.0, 0.5) - 0.5 * eff).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_capacity_offloads_nothing() {
+        assert_eq!(offload_fraction(0.0, 1.0), 0.0);
+        assert_eq!(offload_fraction(-3.0, 1.0), 0.0);
+        assert_eq!(offload_fraction(f64::NAN, 1.0), 0.0);
+    }
+
+    #[test]
+    fn zero_or_bad_ratio_offloads_nothing() {
+        assert_eq!(offload_fraction(5.0, 0.0), 0.0);
+        assert_eq!(offload_fraction(5.0, -1.0), 0.0);
+        assert_eq!(offload_fraction(5.0, f64::NAN), 0.0);
+    }
+
+    #[test]
+    fn monotone_in_capacity_and_ratio() {
+        let mut prev = 0.0;
+        for i in 1..=60 {
+            let c = 10f64.powf(-3.0 + i as f64 * 0.1);
+            let g = offload_fraction(c, 1.0);
+            assert!(g >= prev, "G must grow with capacity");
+            prev = g;
+        }
+        assert!(offload_fraction(2.0, 0.4) < offload_fraction(2.0, 0.8));
+    }
+
+    #[test]
+    fn bounded_by_one_with_cap() {
+        for c in [0.1, 1.0, 10.0, 1000.0] {
+            assert!(offload_fraction(c, 5.0) <= 1.0);
+            assert!(offload_fraction(c, 5.0) >= offload_fraction(c, 1.0) - 1e-15);
+        }
+        // Uncapped version reproduces raw Eq. 3.
+        assert!(offload_fraction_uncapped(1000.0, 2.0) > 1.0);
+    }
+
+    #[test]
+    fn asymptotes() {
+        assert!(sharing_efficiency(1e6) > 0.999_99);
+        // Small-c behaviour ~ c/2.
+        let c = 1e-6;
+        assert!((sharing_efficiency(c) - c / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn inverse_round_trips() {
+        for target in [0.1, 0.367_879, 0.9, 0.999] {
+            let c = capacity_for_sharing_efficiency(target).unwrap();
+            assert!((sharing_efficiency(c) - target).abs() < 1e-6, "target {target}");
+        }
+        assert_eq!(capacity_for_sharing_efficiency(0.0), None);
+        assert_eq!(capacity_for_sharing_efficiency(1.0), None);
+        assert_eq!(capacity_for_sharing_efficiency(-0.5), None);
+    }
+}

@@ -1,0 +1,164 @@
+//! Inverse queries for network planning.
+//!
+//! The paper suggests the closed form "can potentially be used for network
+//! planning purposes" (Section IV-B-2). This module provides those inverse
+//! queries: the swarm capacity (and hence the content popularity) required to
+//! hit a savings target or carbon neutrality.
+
+use crate::credits::CreditModel;
+use crate::savings::SavingsModel;
+
+/// The smallest capacity at which `S(c) ≥ target`, by bisection over the
+/// monotone savings curve.
+///
+/// Returns `None` when the target is not reachable (at or above the model's
+/// asymptote) or not positive.
+///
+/// # Example
+///
+/// ```
+/// use consume_local_analytics::{planning, SavingsModel};
+/// use consume_local_energy::EnergyParams;
+/// use consume_local_topology::IspTopology;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let m = SavingsModel::new(
+///     EnergyParams::valancius(),
+///     &IspTopology::london_table3()?,
+///     1.0,
+/// )?;
+/// let c = planning::capacity_for_savings(&m, 0.30).expect("reachable");
+/// assert!((m.savings(c) - 0.30).abs() < 1e-6);
+/// # Ok(())
+/// # }
+/// ```
+pub fn capacity_for_savings(model: &SavingsModel, target: f64) -> Option<f64> {
+    if !target.is_finite() || target <= 0.0 || target >= model.asymptotic_savings() {
+        return None;
+    }
+    let (mut lo, mut hi) = (1e-9f64, 1e9f64);
+    if model.savings(hi) < target {
+        return None;
+    }
+    for _ in 0..200 {
+        let mid = (lo * hi).sqrt();
+        if model.savings(mid) < target {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Some((lo * hi).sqrt())
+}
+
+/// The smallest capacity at which the *offload share* reaches the
+/// carbon-neutral point `G*`, i.e. where an average participating user's
+/// streaming becomes carbon-free.
+///
+/// Returns `None` when neutrality is unreachable under this ratio.
+pub fn capacity_for_carbon_neutrality(
+    credits: &CreditModel,
+    model: &SavingsModel,
+) -> Option<f64> {
+    let g_star = credits.carbon_neutral_offload()?;
+    if g_star >= model.upload_ratio() {
+        // G(c) asymptotes to the upload ratio; can't reach G*.
+        return None;
+    }
+    let (mut lo, mut hi) = (1e-9f64, 1e9f64);
+    if model.offload(hi) < g_star {
+        return None;
+    }
+    for _ in 0..200 {
+        let mid = (lo * hi).sqrt();
+        if model.offload(mid) < g_star {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Some((lo * hi).sqrt())
+}
+
+/// Translates a required swarm capacity into the monthly view count a
+/// content item needs (`views = c·horizon/mean_watch_time`).
+///
+/// Returns `None` for non-positive inputs.
+pub fn views_for_capacity(
+    capacity: f64,
+    mean_watch_seconds: f64,
+    horizon_seconds: f64,
+) -> Option<f64> {
+    if capacity < 0.0
+        || !capacity.is_finite()
+        || mean_watch_seconds <= 0.0
+        || !mean_watch_seconds.is_finite()
+        || horizon_seconds <= 0.0
+        || !horizon_seconds.is_finite()
+    {
+        return None;
+    }
+    Some(capacity * horizon_seconds / mean_watch_seconds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use consume_local_energy::EnergyParams;
+    use consume_local_topology::IspTopology;
+
+    fn models(rho: f64) -> (SavingsModel, CreditModel) {
+        let topo = IspTopology::london_table3().unwrap();
+        (
+            SavingsModel::new(EnergyParams::valancius(), &topo, rho).unwrap(),
+            CreditModel::new(EnergyParams::valancius()),
+        )
+    }
+
+    #[test]
+    fn savings_inverse_round_trips() {
+        let (m, _) = models(1.0);
+        for target in [0.05, 0.2, 0.4, 0.6] {
+            let c = capacity_for_savings(&m, target).unwrap();
+            assert!((m.savings(c) - target).abs() < 1e-6, "target {target}: c={c}");
+        }
+    }
+
+    #[test]
+    fn unreachable_targets_rejected() {
+        let (m, _) = models(1.0);
+        let asym = m.asymptotic_savings();
+        assert!(capacity_for_savings(&m, asym).is_none());
+        assert!(capacity_for_savings(&m, asym + 0.1).is_none());
+        assert!(capacity_for_savings(&m, 0.0).is_none());
+        assert!(capacity_for_savings(&m, -0.3).is_none());
+        assert!(capacity_for_savings(&m, f64::NAN).is_none());
+    }
+
+    #[test]
+    fn neutrality_capacity_exists_at_full_ratio() {
+        let (m, cm) = models(1.0);
+        let c = capacity_for_carbon_neutrality(&cm, &m).unwrap();
+        let g_star = cm.carbon_neutral_offload().unwrap();
+        assert!((m.offload(c) - g_star).abs() < 1e-6);
+        // At that capacity an average user's CCT crosses zero.
+        assert!(cm.cct(m.offload(c)).abs() < 1e-5);
+    }
+
+    #[test]
+    fn neutrality_unreachable_at_low_ratio() {
+        // Valancius G* ≈ 0.731: a q/β of 0.5 cannot reach it.
+        let (m, cm) = models(0.5);
+        assert!(capacity_for_carbon_neutrality(&cm, &m).is_none());
+    }
+
+    #[test]
+    fn views_translation() {
+        // Capacity 70 with 30-minute watches over a 30-day month ≈ 100k views.
+        let views = views_for_capacity(70.0, 1800.0, 30.0 * 86_400.0).unwrap();
+        assert!((views - 100_800.0).abs() < 1.0);
+        assert!(views_for_capacity(-1.0, 1800.0, 86_400.0).is_none());
+        assert!(views_for_capacity(1.0, 0.0, 86_400.0).is_none());
+        assert!(views_for_capacity(1.0, 1800.0, f64::NAN).is_none());
+    }
+}

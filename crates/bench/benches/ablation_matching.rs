@@ -1,0 +1,82 @@
+//! Ablation A1 — matching strategy: the paper's closest-first managed
+//! matcher vs locality-oblivious random matching. Same transfer volume,
+//! different layer mix, different energy outcome.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use consume_local::prelude::*;
+use consume_local::swarm::matching::uniform_window;
+use consume_local::swarm::{HierarchicalMatcher, Matcher, Peer, RandomMatcher};
+use consume_local::topology::{IspTopology, Layer};
+use consume_local_bench::{pct, save_csv, shared_experiment};
+use rand::Rng;
+use rand::SeedableRng;
+
+fn regenerate() {
+    println!("\n=== Ablation A1: hierarchical vs random peer matching ===");
+    let exp = shared_experiment();
+    let mut csv = String::from("matcher,offload,exp_share,pop_share,core_share,valancius,baliga\n");
+    for (label, matcher) in [("hierarchical", MatcherKind::Hierarchical), ("random", MatcherKind::Random)] {
+        let mut cfg = exp.sim_config().clone();
+        cfg.matcher = matcher;
+        let report = exp.resimulate(cfg).expect("valid config");
+        let peer = report.total.peer_bytes().max(1) as f64;
+        let shares: Vec<f64> =
+            report.total.peer_bytes_by_layer.iter().map(|&b| b as f64 / peer).collect();
+        let v = report.total_savings(&EnergyParams::valancius()).unwrap_or(0.0);
+        let b = report.total_savings(&EnergyParams::baliga()).unwrap_or(0.0);
+        println!(
+            "{label:>13}: offload {} | peer bytes at ExP {} / PoP {} / Core {} | savings V {} B {}",
+            pct(report.total.offload_share()),
+            pct(shares[0]),
+            pct(shares[1]),
+            pct(shares[2]),
+            pct(v),
+            pct(b),
+        );
+        csv.push_str(&format!(
+            "{label},{},{},{},{},{v},{b}\n",
+            report.total.offload_share(),
+            shares[0],
+            shares[1],
+            shares[2]
+        ));
+    }
+    save_csv("ablation_matching.csv", &csv);
+    println!("closest-first matching keeps more bytes exchange-local; random matching");
+    println!("moves the same bytes but burns more network energy per bit.");
+}
+
+fn benches(c: &mut Criterion) {
+    regenerate();
+    // Kernel: one 200-peer window under each matcher.
+    let topo = IspTopology::london_table3().expect("published topology");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let peers: Vec<Peer> = (0..200)
+        .map(|_| Peer { isp: IspId(rng.gen_range(0..2)), location: topo.random_location(&mut rng) })
+        .collect();
+    let (needs, budgets) = uniform_window(peers.len(), 1_875_000, 1_875_000);
+    c.bench_function("matching/hierarchical_200peers", |b| {
+        let mut m = HierarchicalMatcher::new();
+        b.iter(|| m.match_window(&peers, &needs, &budgets, 0))
+    });
+    c.bench_function("matching/random_200peers", |b| {
+        let mut m = RandomMatcher::new(7);
+        b.iter(|| m.match_window(&peers, &needs, &budgets, 0))
+    });
+    // Sanity: both preserve volume.
+    let hier = HierarchicalMatcher::new().match_window(&peers, &needs, &budgets, 0);
+    let rand_out = RandomMatcher::new(7).match_window(&peers, &needs, &budgets, 0);
+    assert_eq!(hier.peer_bytes(), rand_out.peer_bytes());
+    assert!(
+        hier.peer_bytes_by_layer[Layer::ExchangePoint.index()]
+            >= rand_out.peer_bytes_by_layer[Layer::ExchangePoint.index()]
+    );
+}
+
+criterion_group! {
+    name = group;
+    config = Criterion::default().sample_size(20);
+    targets = benches
+}
+criterion_main!(group);

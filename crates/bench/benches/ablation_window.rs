@@ -1,0 +1,55 @@
+//! Ablation A3 — window size Δτ: the paper fixes Δτ = 10 s; this sweep
+//! shows the results are insensitive to the exact choice (quantisation is a
+//! second-order effect) while runtime scales inversely with Δτ.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use consume_local::prelude::*;
+use consume_local_bench::{pct, save_csv, shared_experiment};
+
+fn regenerate() {
+    println!("\n=== Ablation A3: window size Δτ ===");
+    let exp = shared_experiment();
+    let mut csv = String::from("window_secs,offload,valancius,baliga\n");
+    for window in [2u64, 5, 10, 30, 60] {
+        let mut cfg = exp.sim_config().clone();
+        cfg.window_secs = window;
+        let report = exp.resimulate(cfg).expect("valid config");
+        let v = report.total_savings(&EnergyParams::valancius()).unwrap_or(0.0);
+        let b = report.total_savings(&EnergyParams::baliga()).unwrap_or(0.0);
+        println!(
+            "Δτ = {window:>2} s: offload {} | savings V {} B {}",
+            pct(report.total.offload_share()),
+            pct(v),
+            pct(b)
+        );
+        csv.push_str(&format!("{window},{},{v},{b}\n", report.total.offload_share()));
+    }
+    save_csv("ablation_window.csv", &csv);
+}
+
+fn benches(c: &mut Criterion) {
+    regenerate();
+    let trace = TraceGenerator::new(
+        TraceConfig::london_sep2013().scaled(0.001).expect("valid scale"),
+        5,
+    )
+    .generate()
+    .expect("valid config");
+    let mut group = c.benchmark_group("window");
+    for window in [5u64, 10, 60] {
+        group.bench_function(format!("simulation_dt{window}"), |b| {
+            let cfg = SimConfig { window_secs: window, ..Default::default() };
+            let sim = Simulator::new(cfg);
+            b.iter(|| sim.run(&trace))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = group;
+    config = Criterion::default().sample_size(10);
+    targets = benches
+}
+criterion_main!(group);

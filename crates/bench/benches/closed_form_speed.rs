@@ -1,0 +1,46 @@
+//! The closed form's raison d'être: Eq. 12 evaluates in nanoseconds where
+//! the brute-force Poisson summation takes microseconds and the trace-driven
+//! simulation takes seconds — that is what makes it usable "for network
+//! planning purposes" (§IV-B-2).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use consume_local::analytics::{numeric, planning, SavingsModel};
+use consume_local::energy::{CostModel, EnergyParams};
+use consume_local::topology::IspTopology;
+
+fn regenerate() {
+    println!("\n=== Closed form vs numeric reference ===");
+    let topo = IspTopology::london_table3().expect("published topology");
+    let model =
+        SavingsModel::new(EnergyParams::valancius(), &topo, 1.0).expect("valid ratio");
+    let cost = CostModel::new(EnergyParams::valancius());
+    println!("capacity   closed-form S    numeric S      |Δ|");
+    for c in [0.1, 1.0, 10.0, 100.0] {
+        let closed = model.savings(c);
+        let brute = numeric::savings_numeric(&cost, &topo, 1.0, c);
+        println!("{c:>8} {closed:>14.6} {brute:>12.6} {:>10.2e}", (closed - brute).abs());
+    }
+    let target = planning::capacity_for_savings(&model, 0.30).expect("reachable");
+    println!("planning query: S(c) = 30% at c ≈ {target:.2}");
+}
+
+fn benches(c: &mut Criterion) {
+    regenerate();
+    let topo = IspTopology::london_table3().expect("published topology");
+    let model =
+        SavingsModel::new(EnergyParams::valancius(), &topo, 1.0).expect("valid ratio");
+    let cost = CostModel::new(EnergyParams::valancius());
+    c.bench_function("closed_form/savings_c10", |b| {
+        b.iter(|| model.savings(black_box(10.0)))
+    });
+    c.bench_function("numeric/savings_c10", |b| {
+        b.iter(|| numeric::savings_numeric(&cost, &topo, 1.0, black_box(10.0)))
+    });
+    c.bench_function("closed_form/planning_inverse", |b| {
+        b.iter(|| planning::capacity_for_savings(&model, black_box(0.30)))
+    });
+}
+
+criterion_group!(group, benches);
+criterion_main!(group);

@@ -1,0 +1,114 @@
+//! §VI future-work extensions, quantified: predictive preloading, edge
+//! caching and live streaming — the three directions the paper's conclusion
+//! names, implemented on the same engine.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use consume_local::prelude::*;
+use consume_local::sim::EdgeCache;
+use consume_local::trace::live::{live_event_trace, LiveEvent};
+use consume_local::trace::{ContentId, SimTime};
+use consume_local_bench::{pct, save_csv, shared_experiment};
+
+fn regenerate() {
+    println!("\n=== §VI extensions: preloading, edge caching, live streaming ===");
+    let exp = shared_experiment();
+    let mut csv = String::from("extension,setting,offload,valancius,baliga\n");
+
+    println!("-- predictive preloading (Take-Away-TV style) --");
+    for f in [0.0, 0.2, 0.4, 0.6] {
+        let mut cfg = exp.sim_config().clone();
+        cfg.preload_fraction = f;
+        let report = exp.resimulate(cfg).expect("valid config");
+        let v = report.total_savings(&EnergyParams::valancius()).unwrap_or(0.0);
+        let b = report.total_savings(&EnergyParams::baliga()).unwrap_or(0.0);
+        println!(
+            "  preload {:>3.0}%: offload {} | savings V {} B {}",
+            f * 100.0,
+            pct(report.total.offload_share()),
+            pct(v),
+            pct(b)
+        );
+        csv.push_str(&format!("preload,{f},{},{v},{b}\n", report.total.offload_share()));
+    }
+    println!("  preloading shifts shareable prime-time bytes to unshared prefetch — it");
+    println!("  *competes* with peer assistance unless the prefetch itself is peer-fed.");
+
+    println!("-- exchange-point edge caches --");
+    for top in [0u32, 10, 50, 200] {
+        let mut cfg = exp.sim_config().clone();
+        cfg.edge_cache = (top > 0).then_some(EdgeCache { top_items: top });
+        let report = exp.resimulate(cfg).expect("valid config");
+        let v = report.total_savings(&EnergyParams::valancius()).unwrap_or(0.0);
+        let b = report.total_savings(&EnergyParams::baliga()).unwrap_or(0.0);
+        let cache_share = report.total.cache_bytes as f64 / report.total.demand_bytes as f64;
+        println!(
+            "  top-{top:<4} cached: cache share {} | savings V {} B {}",
+            pct(cache_share),
+            pct(v),
+            pct(b)
+        );
+        csv.push_str(&format!("cache,{top},{cache_share},{v},{b}\n"));
+    }
+
+    println!("-- live streaming (one 500K-viewer broadcast evening) --");
+    let base = TraceConfig::london_sep2013().scaled(0.05).expect("valid scale");
+    let event = LiveEvent {
+        content: ContentId(0),
+        start: SimTime::from_day_hour(5, 20),
+        duration_secs: 2 * 3600,
+        viewers: 25_000, // 500K at full scale
+        join_jitter_secs: 420.0,
+    };
+    let trace = live_event_trace(&base, shared_population(&base), &[event], 2013)
+        .expect("valid event");
+    let report = Simulator::new(exp.sim_config().clone()).run(&trace);
+    let v = report.total_savings(&EnergyParams::valancius()).unwrap_or(0.0);
+    let b = report.total_savings(&EnergyParams::baliga()).unwrap_or(0.0);
+    println!(
+        "  live event: offload {} | savings V {} B {} (approaching the Eq. 12 asymptotes",
+        pct(report.total.offload_share()),
+        pct(v),
+        pct(b)
+    );
+    println!(
+        "  of {} / {})",
+        pct(0.646),
+        pct(0.370)
+    );
+    csv.push_str(&format!("live,500k,{},{v},{b}\n", report.total.offload_share()));
+    save_csv("extension_futurework.csv", &csv);
+}
+
+fn shared_population(base: &TraceConfig) -> consume_local::trace::Population {
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+    consume_local::trace::Population::generate(base.users, &base.registry, &mut rng)
+        .expect("positive population")
+}
+
+fn benches(c: &mut Criterion) {
+    regenerate();
+    let base = TraceConfig::london_sep2013().scaled(0.01).expect("valid scale");
+    let event = LiveEvent {
+        content: ContentId(0),
+        start: SimTime::from_day_hour(5, 20),
+        duration_secs: 3600,
+        viewers: 5_000,
+        join_jitter_secs: 300.0,
+    };
+    let population = shared_population(&base);
+    c.bench_function("extensions/live_event_simulation", |b| {
+        let trace = live_event_trace(&base, population.clone(), std::slice::from_ref(&event), 7)
+            .expect("valid event");
+        let sim = Simulator::new(SimConfig::default());
+        b.iter(|| sim.run(&trace))
+    });
+}
+
+criterion_group! {
+    name = group;
+    config = Criterion::default().sample_size(10);
+    targets = benches
+}
+criterion_main!(group);

@@ -1,0 +1,92 @@
+//! Fig. 2 — energy savings vs swarm capacity: Eq. 12 theory curves with
+//! trace-driven simulation dots, for the paper's three exemplar popularity
+//! tiers (~100 K / ~10 K / ~1 K monthly views), both energy models, the
+//! top-5 ISPs, and q/β ∈ {0.2, 0.4, 0.6, 0.8, 1.0}.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use consume_local::figures::{fig2, Fig2Options};
+use consume_local::prelude::*;
+use consume_local::trace::Popularity;
+use consume_local_bench::{pct, save_csv};
+
+/// The exemplar trace: a 3-item catalogue whose views ladder down the
+/// paper's tiers at *absolute* (unscaled) volumes, so the capacities match
+/// the paper's x-axis directly.
+fn exemplar_trace() -> Trace {
+    let mut config = TraceConfig::london_sep2013();
+    config.catalogue_size = 3;
+    config.popularity = Popularity::Zipf { exponent: 3.35 };
+    config.sessions_target = 112_000;
+    config.users = 40_000;
+    TraceGenerator::new(config, 2013).generate().expect("valid config")
+}
+
+fn regenerate() {
+    println!("\n=== Fig. 2: savings vs capacity (theory curves + simulation dots) ===");
+    let trace = exemplar_trace();
+    let opts = Fig2Options::default();
+    let panels = fig2(&trace, &SimConfig::default(), &opts);
+
+    let mut dots_csv = String::from("model,tier,isp,ratio,capacity,sim,theory\n");
+    let mut curves_csv = String::from("model,tier,ratio,capacity,savings\n");
+    for panel in &panels {
+        println!(
+            "--- {:?} / {} (item {}, ≈{:.0} expected views) ---",
+            panel.model, panel.tier.label(), panel.item, panel.expected_views
+        );
+        for ratio in &opts.ratios {
+            let dots: Vec<_> =
+                panel.dots.iter().filter(|d| (d.ratio - ratio).abs() < 1e-9).collect();
+            if dots.is_empty() {
+                continue;
+            }
+            let wmean = |f: &dyn Fn(&&consume_local::figures::Fig2Dot) -> f64| -> f64 {
+                let num: f64 = dots.iter().map(|d| f(d) * d.capacity).sum();
+                let den: f64 = dots.iter().map(|d| d.capacity).sum();
+                num / den.max(1e-12)
+            };
+            println!(
+                "  q/β={ratio}: {} dots, cap {:.2}–{:.2}, sim {} vs theory {}",
+                dots.len(),
+                dots.iter().map(|d| d.capacity).fold(f64::INFINITY, f64::min),
+                dots.iter().map(|d| d.capacity).fold(0.0, f64::max),
+                pct(wmean(&|d| d.sim)),
+                pct(wmean(&|d| d.theory)),
+            );
+        }
+        println!("  mean |sim − theory| over dots: {}", pct(panel.mean_theory_gap()));
+        for d in &panel.dots {
+            dots_csv.push_str(&format!(
+                "{:?},{:?},{},{},{},{},{}\n",
+                panel.model, panel.tier, d.isp, d.ratio, d.capacity, d.sim, d.theory
+            ));
+        }
+        for (ratio, curve) in &panel.curves {
+            for (c, s) in curve {
+                curves_csv.push_str(&format!(
+                    "{:?},{:?},{},{},{}\n",
+                    panel.model, panel.tier, ratio, c, s
+                ));
+            }
+        }
+    }
+    save_csv("fig2_dots.csv", &dots_csv);
+    save_csv("fig2_curves.csv", &curves_csv);
+}
+
+fn benches(c: &mut Criterion) {
+    regenerate();
+    let trace = exemplar_trace();
+    // Kernel: one full-ratio simulation of the exemplar swarms.
+    c.bench_function("fig2/exemplar_simulation_ratio1", |b| {
+        b.iter(|| Simulator::new(SimConfig::with_ratio(1.0)).run(&trace))
+    });
+}
+
+criterion_group! {
+    name = group;
+    config = Criterion::default().sample_size(10);
+    targets = benches
+}
+criterion_main!(group);

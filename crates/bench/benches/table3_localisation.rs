@@ -1,0 +1,40 @@
+//! Table III — localisation probabilities of the metropolitan tree layers
+//! for the published ISP-1 topology.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::SeedableRng;
+
+use consume_local::figures::tables;
+use consume_local::topology::IspTopology;
+use consume_local_bench::save_csv;
+
+fn regenerate() {
+    println!("\n=== Table III: localisation probabilities (ISP-1) ===");
+    let rows = tables::table3();
+    println!("{}", tables::render_table3(&rows));
+    let mut csv = String::from("layer,count,probability\n");
+    for r in &rows {
+        csv.push_str(&format!("{},{},{}\n", r.layer.short_name(), r.count, r.probability));
+    }
+    save_csv("table3_localisation.csv", &csv);
+}
+
+fn benches(c: &mut Criterion) {
+    regenerate();
+    let topo = IspTopology::london_table3().expect("published topology");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    let users: Vec<_> = (0..1_000).map(|_| topo.random_location(&mut rng)).collect();
+    // Kernel: pairwise closeness classification over 1 000 users.
+    c.bench_function("table3/closeness_1k_pairs", |b| {
+        b.iter(|| {
+            let mut counts = [0u32; 3];
+            for pair in users.windows(2) {
+                counts[topo.closeness(&pair[0], &pair[1]).index()] += 1;
+            }
+            counts
+        })
+    });
+}
+
+criterion_group!(group, benches);
+criterion_main!(group);

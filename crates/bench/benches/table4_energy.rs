@@ -1,0 +1,51 @@
+//! Table IV — the per-bit energy parameters of both published models, plus
+//! the derived per-bit delivery costs ψ the rest of the reproduction uses.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use consume_local::energy::{CostModel, EnergyParams, Traffic};
+use consume_local::figures::tables;
+use consume_local::topology::Layer;
+use consume_local_bench::save_csv;
+
+fn regenerate() {
+    println!("\n=== Table IV: energy parameters ===");
+    let rows = tables::table4();
+    println!("{}", tables::render_table4(&rows));
+    let mut csv = String::from("variable,symbol,valancius,baliga\n");
+    for r in &rows {
+        csv.push_str(&format!("{},{},{},{}\n", r.variable, r.symbol, r.valancius, r.baliga));
+    }
+    save_csv("table4_energy.csv", &csv);
+
+    println!("Derived per-bit delivery costs (nJ/bit):");
+    for params in EnergyParams::published() {
+        let m = CostModel::new(params);
+        println!(
+            "  {:<10} ψ_s = {:8.2}   ψ_p(ExP) = {:7.2}   ψ_p(PoP) = {:7.2}   ψ_p(Core) = {:7.2}",
+            params.name(),
+            m.server_cost_per_bit().as_nanojoules(),
+            m.peer_cost_per_bit(Layer::ExchangePoint).as_nanojoules(),
+            m.peer_cost_per_bit(Layer::PointOfPresence).as_nanojoules(),
+            m.peer_cost_per_bit(Layer::Core).as_nanojoules(),
+        );
+    }
+}
+
+fn benches(c: &mut Criterion) {
+    regenerate();
+    let model = CostModel::new(EnergyParams::valancius());
+    let traffic = Traffic::from_bytes(1_875_000);
+    c.bench_function("table4/energy_pricing", |b| {
+        b.iter(|| {
+            let mut total = model.server_energy(black_box(traffic));
+            for layer in Layer::ALL {
+                total += model.peer_energy(black_box(traffic), layer);
+            }
+            total
+        })
+    });
+}
+
+criterion_group!(group, benches);
+criterion_main!(group);

@@ -1,0 +1,39 @@
+//! Carbon-credit transfer accounting (Section V of the paper).
+//!
+//! The simulator reports how much each user watched and uploaded; this crate
+//! turns those totals into **carbon statements** — the per-user credit
+//! balance after the CDN transfers its saved server energy to uploaders —
+//! and aggregates them into the population-level view of Fig. 6 (the CDF of
+//! per-user CCT and the share of users who become carbon positive).
+//!
+//! # Example
+//!
+//! ```
+//! use consume_local_carbon::{CarbonStatement, CreditReport};
+//! use consume_local_energy::EnergyParams;
+//!
+//! let params = EnergyParams::baliga();
+//! // A user who watched 1 GB and uploaded 800 MB to peers:
+//! let st = CarbonStatement::new(1_000_000_000, 800_000_000, &params).unwrap();
+//! assert!(st.cct > 0.0, "this user is carbon positive: {}", st.cct);
+//!
+//! // Population view over three users:
+//! let report = CreditReport::from_traffic(
+//!     [(1_000_000_000, 800_000_000), (500_000_000, 0), (2_000_000_000, 900_000_000)],
+//!     &params,
+//! );
+//! assert_eq!(report.users(), 3);
+//! assert!(report.carbon_positive_share() > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod intensity;
+mod report;
+mod statement;
+
+pub use intensity::GridIntensity;
+pub use report::CreditReport;
+pub use statement::{CarbonStatement, CarbonStatus};

@@ -1,0 +1,202 @@
+//! One-call experiment orchestration: configure → generate trace → simulate.
+
+use std::fmt;
+
+use consume_local_sim::{SimConfig, SimReport, Simulator};
+use consume_local_trace::{Trace, TraceConfig, TraceError, TraceGenerator};
+
+/// Error from [`ExperimentBuilder::build`].
+#[derive(Debug)]
+pub enum ExperimentError {
+    /// The trace configuration or scale was invalid.
+    Trace(TraceError),
+    /// The simulator configuration was invalid.
+    Sim(String),
+}
+
+impl fmt::Display for ExperimentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExperimentError::Trace(e) => write!(f, "experiment trace config: {e}"),
+            ExperimentError::Sim(e) => write!(f, "experiment sim config: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ExperimentError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ExperimentError::Trace(e) => Some(e),
+            ExperimentError::Sim(_) => None,
+        }
+    }
+}
+
+impl From<TraceError> for ExperimentError {
+    fn from(e: TraceError) -> Self {
+        ExperimentError::Trace(e)
+    }
+}
+
+/// Builder for an [`Experiment`].
+#[derive(Debug, Clone)]
+pub struct ExperimentBuilder {
+    base: TraceConfig,
+    scale: f64,
+    seed: u64,
+    sim: SimConfig,
+}
+
+impl Default for ExperimentBuilder {
+    fn default() -> Self {
+        Self { base: TraceConfig::london_sep2013(), scale: 0.002, seed: 42, sim: SimConfig::default() }
+    }
+}
+
+impl ExperimentBuilder {
+    /// Uses a different base trace configuration (default: Sep 2013 London).
+    pub fn trace_config(mut self, config: TraceConfig) -> Self {
+        self.base = config;
+        self
+    }
+
+    /// Sets the workload scale in `(0, 1]` (default 0.002 ≈ 47 K sessions).
+    pub fn scale(mut self, scale: f64) -> Self {
+        self.scale = scale;
+        self
+    }
+
+    /// Sets the master seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Uses a custom simulator configuration.
+    pub fn sim_config(mut self, sim: SimConfig) -> Self {
+        self.sim = sim;
+        self
+    }
+
+    /// Sets the upload ratio `q/β` (shorthand into the sim config).
+    pub fn upload_ratio(mut self, ratio: f64) -> Self {
+        self.sim.upload = consume_local_sim::UploadModel::Ratio(ratio);
+        self
+    }
+
+    /// Generates the trace and runs the simulation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExperimentError`] if either configuration is invalid.
+    pub fn build(self) -> Result<Experiment, ExperimentError> {
+        self.sim.validate().map_err(ExperimentError::Sim)?;
+        let config = self.base.scaled(self.scale)?;
+        let trace = TraceGenerator::new(config, self.seed).generate()?;
+        let report = Simulator::new(self.sim.clone()).run(&trace);
+        Ok(Experiment { scale: self.scale, seed: self.seed, sim: self.sim, trace, report })
+    }
+}
+
+/// A completed experiment: the generated trace and its simulation report.
+#[derive(Debug, Clone)]
+pub struct Experiment {
+    scale: f64,
+    seed: u64,
+    sim: SimConfig,
+    trace: Trace,
+    report: SimReport,
+}
+
+impl Experiment {
+    /// Starts building an experiment.
+    pub fn builder() -> ExperimentBuilder {
+        ExperimentBuilder::default()
+    }
+
+    /// The workload scale used.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// The master seed used.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The simulator configuration used.
+    pub fn sim_config(&self) -> &SimConfig {
+        &self.sim
+    }
+
+    /// The generated trace.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// The simulation report.
+    pub fn report(&self) -> &SimReport {
+        &self.report
+    }
+
+    /// Re-simulates the same trace under a different simulator
+    /// configuration (policy/matcher/ratio ablations share one trace).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExperimentError::Sim`] for an invalid configuration.
+    pub fn resimulate(&self, sim: SimConfig) -> Result<SimReport, ExperimentError> {
+        sim.validate().map_err(ExperimentError::Sim)?;
+        Ok(Simulator::new(sim).run(&self.trace))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use consume_local_energy::EnergyParams;
+    use consume_local_swarm::SwarmPolicy;
+
+    fn tiny() -> Experiment {
+        Experiment::builder().scale(0.0003).seed(7).build().unwrap()
+    }
+
+    #[test]
+    fn build_runs_end_to_end() {
+        let exp = tiny();
+        assert!(!exp.trace().sessions().is_empty());
+        exp.report().check_conservation().unwrap();
+        let s = exp.report().total_savings(&EnergyParams::valancius()).unwrap();
+        assert!(s > 0.0 && s < 1.0);
+        assert_eq!(exp.scale(), 0.0003);
+        assert_eq!(exp.seed(), 7);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        assert!(Experiment::builder().scale(0.0).build().is_err());
+        assert!(Experiment::builder().upload_ratio(0.0).build().is_err());
+        let err = Experiment::builder().scale(3.0).build().unwrap_err();
+        assert!(err.to_string().contains("scale"));
+    }
+
+    #[test]
+    fn resimulate_shares_trace() {
+        let exp = tiny();
+        let mut relaxed = exp.sim_config().clone();
+        relaxed.policy = SwarmPolicy::content_only();
+        let report = exp.resimulate(relaxed).unwrap();
+        report.check_conservation().unwrap();
+        // Same demand, different partitioning.
+        assert_eq!(report.total.demand_bytes, exp.report().total.demand_bytes);
+        // Relaxing the splits can only increase swarm sizes, hence offload.
+        assert!(report.total.offload_share() >= exp.report().total.offload_share());
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = Experiment::builder().scale(0.0002).seed(9).build().unwrap();
+        let b = Experiment::builder().scale(0.0002).seed(9).build().unwrap();
+        assert_eq!(a.report(), b.report());
+    }
+}

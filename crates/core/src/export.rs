@@ -1,0 +1,105 @@
+//! CSV export of figure data.
+//!
+//! Every figure function returns plain data series; these helpers serialise
+//! them so results can be plotted with external tooling (gnuplot, matplotlib)
+//! exactly like the paper's figures.
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// Serialises one `(x, y)` series with a header line.
+///
+/// # Example
+///
+/// ```
+/// let csv = consume_local::export::series_csv("capacity", "savings",
+///     &[(1.0, 0.1), (10.0, 0.3)]);
+/// assert_eq!(csv.lines().count(), 3);
+/// assert!(csv.starts_with("capacity,savings"));
+/// ```
+pub fn series_csv(x_name: &str, y_name: &str, series: &[(f64, f64)]) -> String {
+    let mut out = format!("{x_name},{y_name}\n");
+    for (x, y) in series {
+        let _ = writeln!(out, "{x},{y}");
+    }
+    out
+}
+
+/// Serialises labelled columns of equal length: `x` plus one named column per
+/// series.
+///
+/// # Panics
+///
+/// Panics if the series have different lengths from `x`.
+pub fn columns_csv(x_name: &str, x: &[f64], columns: &[(&str, Vec<f64>)]) -> String {
+    for (name, col) in columns {
+        assert_eq!(col.len(), x.len(), "column `{name}` length mismatch");
+    }
+    let mut out = String::from(x_name);
+    for (name, _) in columns {
+        let _ = write!(out, ",{name}");
+    }
+    out.push('\n');
+    for (i, xv) in x.iter().enumerate() {
+        let _ = write!(out, "{xv}");
+        for (_, col) in columns {
+            let _ = write!(out, ",{}", col[i]);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Writes a CSV string to a file, creating parent directories.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_csv(path: impl AsRef<Path>, csv: &str) -> io::Result<()> {
+    let path = path.as_ref();
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    std::fs::write(path, csv)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_round_shape() {
+        let csv = series_csv("x", "y", &[(0.5, 1.5)]);
+        assert_eq!(csv, "x,y\n0.5,1.5\n");
+    }
+
+    #[test]
+    fn columns_shape() {
+        let csv = columns_csv(
+            "c",
+            &[1.0, 2.0],
+            &[("a", vec![0.1, 0.2]), ("b", vec![0.9, 0.8])],
+        );
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "c,a,b");
+        assert_eq!(lines[1], "1,0.1,0.9");
+        assert_eq!(lines[2], "2,0.2,0.8");
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn columns_validate_lengths() {
+        let _ = columns_csv("c", &[1.0], &[("a", vec![])]);
+    }
+
+    #[test]
+    fn write_creates_dirs() {
+        let dir = std::env::temp_dir().join("consume-local-test-export");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("nested/file.csv");
+        write_csv(&path, "a,b\n").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "a,b\n");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

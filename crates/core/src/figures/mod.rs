@@ -1,0 +1,29 @@
+//! Regeneration of every table and figure in the paper's evaluation.
+//!
+//! Each submodule computes the *data* behind one exhibit and returns typed
+//! series; rendering (ASCII or CSV) is separate, so benches, examples and
+//! tests all share the same computation:
+//!
+//! | exhibit | function | paper content |
+//! |---|---|---|
+//! | Table I | [`tables::table1`] | dataset description |
+//! | Table III | [`tables::table3`] | localisation probabilities |
+//! | Table IV | [`tables::table4`] | energy parameters |
+//! | Fig. 2 | [`fig2::fig2`] | savings vs capacity, theory + simulation |
+//! | Fig. 3 | [`fig3::fig3`] | CCDFs of per-swarm capacity and savings |
+//! | Fig. 4 | [`fig4::fig4`] | daily aggregate savings per ISP |
+//! | Fig. 5 | [`fig5::fig5`] | end-to-end / CDN / user / CCT vs capacity |
+//! | Fig. 6 | [`fig6::fig6`] | CDF of per-user carbon credit transfer |
+
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod tables;
+
+pub use fig2::{fig2, Fig2Dot, Fig2Options, Fig2Panel, PopularityTier};
+pub use fig3::{fig3, Fig3};
+pub use fig4::{fig4, Fig4Series};
+pub use fig5::{fig5, Fig5Curves};
+pub use fig6::{fig6, Fig6};

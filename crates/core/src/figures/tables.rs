@@ -1,0 +1,85 @@
+//! Tables I, III and IV.
+
+use consume_local_energy::{table4_rows, Table4Row};
+use consume_local_topology::{IspTopology, LocalisationRow};
+use consume_local_trace::{Table1, Trace};
+
+use crate::ascii;
+
+/// Table I: dataset description, measured from a trace generated at `scale`
+/// and projected to full scale.
+pub fn table1(label: &str, trace: &Trace, scale: f64) -> Table1 {
+    Table1::from_trace(label, trace, scale)
+}
+
+/// Table III: the localisation probabilities of the published ISP-1 tree.
+pub fn table3() -> Vec<LocalisationRow> {
+    IspTopology::london_table3()
+        .expect("published topology is valid")
+        .localisation_table()
+}
+
+/// Renders Table III as text.
+pub fn render_table3(rows: &[LocalisationRow]) -> String {
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.layer.to_string(),
+                r.count.to_string(),
+                format!("{:.2} %", r.probability * 100.0),
+            ]
+        })
+        .collect();
+    ascii::table(&["Layer", "Count", "Localisation Probability"], &body)
+}
+
+/// Table IV: the energy parameters of both published models.
+pub fn table4() -> Vec<Table4Row> {
+    table4_rows()
+}
+
+/// Renders Table IV as text.
+pub fn render_table4(rows: &[Table4Row]) -> String {
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.variable.to_string(),
+                r.symbol.to_string(),
+                format!("{}", r.valancius),
+                format!("{}", r.baliga),
+            ]
+        })
+        .collect();
+    ascii::table(&["Variable", "Symbol", "Valancius", "Baliga"], &body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_matches_paper() {
+        let rows = table3();
+        assert_eq!(rows[0].count, 345);
+        assert!((rows[0].probability * 100.0 - 0.29).abs() < 0.005);
+        assert_eq!(rows[1].count, 9);
+        assert!((rows[1].probability * 100.0 - 11.11).abs() < 0.005);
+        assert_eq!(rows[2].probability, 1.0);
+        let text = render_table3(&rows);
+        assert!(text.contains("Exchange Point"));
+        assert!(text.contains("0.29 %"));
+        assert!(text.contains("11.11 %"));
+    }
+
+    #[test]
+    fn table4_renders_both_columns() {
+        let rows = table4();
+        let text = render_table4(&rows);
+        assert!(text.contains("211.1"));
+        assert!(text.contains("281.3"));
+        assert!(text.contains("gamma_cdn"));
+        assert!(text.contains("1050"));
+    }
+}

@@ -1,0 +1,44 @@
+//! Per-bit energy models for content delivery.
+//!
+//! Implements the two published energy-parameter sets the paper evaluates
+//! with (its Table IV):
+//!
+//! * **Valancius et al.**, *Greening the Internet with Nano Data Centers*
+//!   (CoNEXT 2009) — network legs are derived from hop counts at
+//!   150 nJ/bit/hop;
+//! * **Baliga et al.**, *Green Cloud Computing* (Proc. IEEE 2011) — network
+//!   legs are sums over the individual equipment between the endpoints.
+//!
+//! On top of the raw parameters ([`EnergyParams`]), [`CostModel`] provides the
+//! per-bit cost functions of Section III-D of the paper:
+//!
+//! * `ψ_s = PUE·(γ_s + γ_cdn) + l·γ_m` — delivering a bit from a CDN server
+//!   ([`CostModel::server_cost_per_bit`]);
+//! * `ψ_p = 2·l·γ_m + PUE·γ_p2p(layer)` — delivering a bit from a peer whose
+//!   path meets at `layer` ([`CostModel::peer_cost_per_bit`]).
+//!
+//! # Example
+//!
+//! ```
+//! use consume_local_energy::{CostModel, EnergyParams};
+//! use consume_local_topology::Layer;
+//!
+//! let model = CostModel::new(EnergyParams::valancius());
+//! let server = model.server_cost_per_bit();
+//! let peer = model.peer_cost_per_bit(Layer::ExchangePoint);
+//! assert!(peer.as_nanojoules() < server.as_nanojoules());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod cost;
+mod params;
+mod table;
+mod units;
+
+pub use cost::CostModel;
+pub use params::{EnergyParams, EnergyParamsBuilder, ModelKind, ParamError};
+pub use table::{table4_rows, Table4Row};
+pub use units::{Energy, EnergyPerBit, Traffic};

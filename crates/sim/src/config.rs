@@ -1,0 +1,229 @@
+//! Simulation configuration.
+
+use serde::{Deserialize, Serialize};
+
+use consume_local_swarm::{MatcherKind, SwarmPolicy};
+
+/// How much upload bandwidth each peer contributes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum UploadModel {
+    /// Upload is a fixed ratio of the peer's own streaming bitrate
+    /// (`q = ratio·β`), the paper's `q/β` sweep parameter.
+    Ratio(f64),
+    /// Upload is an absolute bandwidth in bits per second, identical for all
+    /// peers (e.g. the UK 2017 average uplink of ≈ 4.3 Mb/s the paper
+    /// cites).
+    AbsoluteBps(u32),
+}
+
+impl UploadModel {
+    /// The per-window upload budget in bytes for a peer streaming at
+    /// `bitrate_bps`, over a window of `window_secs`.
+    pub fn budget_bytes(&self, bitrate_bps: u32, window_secs: u64) -> u64 {
+        match *self {
+            UploadModel::Ratio(r) => {
+                let q_bps = (f64::from(bitrate_bps) * r.max(0.0)).round();
+                (q_bps * window_secs as f64 / 8.0) as u64
+            }
+            UploadModel::AbsoluteBps(q) => u64::from(q) * window_secs / 8,
+        }
+    }
+
+    /// The effective `q/β` ratio for a swarm streaming at `bitrate_bps`
+    /// (used to parameterise the matching theory curve).
+    pub fn ratio_for(&self, bitrate_bps: u32) -> f64 {
+        match *self {
+            UploadModel::Ratio(r) => r.max(0.0),
+            UploadModel::AbsoluteBps(q) => f64::from(q) / f64::from(bitrate_bps.max(1)),
+        }
+    }
+}
+
+impl Default for UploadModel {
+    fn default() -> Self {
+        UploadModel::Ratio(1.0)
+    }
+}
+
+/// Configuration of the §VI edge-caching extension: the `top_items` most
+/// popular catalogue items are replicated in nano-caches at every exchange
+/// point; their non-peer traffic is served from the cache instead of the
+/// CDN.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EdgeCache {
+    /// How many head items each exchange point caches.
+    pub top_items: u32,
+}
+
+/// Full simulator configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Window length Δτ in seconds (paper: 10 s).
+    pub window_secs: u64,
+    /// Peer upload capability.
+    pub upload: UploadModel,
+    /// Sub-swarm partitioning policy.
+    pub policy: SwarmPolicy,
+    /// The matching strategy.
+    pub matcher: MatcherKind,
+    /// Seed for matcher randomness (only used by the random matcher).
+    pub seed: u64,
+    /// Number of worker threads (`1` = sequential; results are identical
+    /// either way).
+    pub threads: usize,
+    /// §VI predictive preloading: the fraction of every session's bytes
+    /// prefetched from the CDN ahead of playback, in `[0, 1)`. Preloaded
+    /// bytes bypass the swarm entirely (they are neither peer-downloadable
+    /// nor peer-uploadable). 0 disables the extension (paper behaviour).
+    pub preload_fraction: f64,
+    /// §VI edge caching, when enabled.
+    pub edge_cache: Option<EdgeCache>,
+    /// Share of users who contribute upload capacity, in `(0, 1]`.
+    ///
+    /// The paper's conclusion cites Akamai NetSession, where "as little as
+    /// 30 % of its users participate by contributing upload capacity" — the
+    /// very gap the carbon-credit incentive is designed to close.
+    /// Non-participants still watch (and may still *receive* from peers);
+    /// they simply never upload. Membership is a deterministic hash of the
+    /// user id, so it is stable across runs and configurations.
+    pub participation_rate: f64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self {
+            window_secs: 10,
+            upload: UploadModel::default(),
+            policy: SwarmPolicy::paper_default(),
+            matcher: MatcherKind::Hierarchical,
+            seed: 0,
+            threads: num_threads_default(),
+            preload_fraction: 0.0,
+            edge_cache: None,
+            participation_rate: 1.0,
+        }
+    }
+}
+
+impl SimConfig {
+    /// The paper's configuration with a specific `q/β` ratio.
+    pub fn with_ratio(ratio: f64) -> Self {
+        Self { upload: UploadModel::Ratio(ratio), ..Self::default() }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.window_secs == 0 {
+            return Err("window_secs must be positive".into());
+        }
+        match self.upload {
+            UploadModel::Ratio(r) if !r.is_finite() || r <= 0.0 => {
+                return Err(format!("upload ratio must be positive, got {r}"));
+            }
+            UploadModel::AbsoluteBps(0) => {
+                return Err("absolute upload bandwidth must be positive".into());
+            }
+            _ => {}
+        }
+        if self.threads == 0 {
+            return Err("threads must be at least 1".into());
+        }
+        if !(0.0..1.0).contains(&self.preload_fraction) {
+            return Err(format!(
+                "preload_fraction must be in [0, 1), got {}",
+                self.preload_fraction
+            ));
+        }
+        if let Some(cache) = self.edge_cache {
+            if cache.top_items == 0 {
+                return Err("edge_cache.top_items must be positive".into());
+            }
+        }
+        if !self.participation_rate.is_finite()
+            || self.participation_rate <= 0.0
+            || self.participation_rate > 1.0
+        {
+            return Err(format!(
+                "participation_rate must be in (0, 1], got {}",
+                self.participation_rate
+            ));
+        }
+        Ok(())
+    }
+}
+
+fn num_threads_default() -> usize {
+    std::thread::available_parallelism().map(|n| n.get().min(16)).unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_budget() {
+        // 1.5 Mb/s × ratio 0.6 over 10 s = 1 125 000 bytes.
+        let m = UploadModel::Ratio(0.6);
+        assert_eq!(m.budget_bytes(1_500_000, 10), 1_125_000);
+        assert!((m.ratio_for(1_500_000) - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn absolute_budget() {
+        let m = UploadModel::AbsoluteBps(4_300_000);
+        assert_eq!(m.budget_bytes(1_500_000, 10), 4_300_000 * 10 / 8);
+        assert!((m.ratio_for(1_500_000) - 4.3 / 1.5).abs() < 1e-9);
+        // Ratio guards against zero bitrate.
+        assert!(m.ratio_for(0).is_finite());
+    }
+
+    #[test]
+    fn negative_ratio_clamps_to_zero_budget() {
+        let m = UploadModel::Ratio(-1.0);
+        assert_eq!(m.budget_bytes(1_500_000, 10), 0);
+        assert_eq!(m.ratio_for(9), 0.0);
+    }
+
+    #[test]
+    fn default_is_paper_config() {
+        let c = SimConfig::default();
+        assert_eq!(c.window_secs, 10);
+        assert_eq!(c.upload, UploadModel::Ratio(1.0));
+        assert_eq!(c.policy, SwarmPolicy::paper_default());
+        assert!(c.threads >= 1);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_catches_bad_fields() {
+        let c = SimConfig { window_secs: 0, ..Default::default() };
+        assert!(c.validate().is_err());
+        let c = SimConfig { upload: UploadModel::Ratio(0.0), ..Default::default() };
+        assert!(c.validate().is_err());
+        let c = SimConfig { upload: UploadModel::AbsoluteBps(0), ..Default::default() };
+        assert!(c.validate().is_err());
+        let c = SimConfig { threads: 0, ..Default::default() };
+        assert!(c.validate().is_err());
+        let c = SimConfig { preload_fraction: 1.0, ..Default::default() };
+        assert!(c.validate().is_err());
+        let c = SimConfig {
+            edge_cache: Some(EdgeCache { top_items: 0 }),
+            ..Default::default()
+        };
+        assert!(c.validate().is_err());
+        let c = SimConfig { participation_rate: 0.0, ..Default::default() };
+        assert!(c.validate().is_err());
+        let c = SimConfig { participation_rate: 1.5, ..Default::default() };
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn with_ratio_sets_upload() {
+        let c = SimConfig::with_ratio(0.4);
+        assert_eq!(c.upload, UploadModel::Ratio(0.4));
+    }
+}

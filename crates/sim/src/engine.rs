@@ -1,0 +1,618 @@
+//! The discrete time-step simulation engine.
+//!
+//! For every sub-swarm the engine sweeps the trace in Δτ windows, skipping
+//! idle gaps, and delegates per-window upload assignment to the configured
+//! matcher. Sub-swarms are independent, so the engine shards them across
+//! crossbeam-scoped worker threads; results are merged in deterministic key
+//! order and the random matcher is seeded per swarm, so the report is
+//! bit-identical regardless of thread count.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use parking_lot::Mutex;
+
+use consume_local_swarm::matching::PeerTransfer;
+use consume_local_swarm::{Peer, SwarmKey};
+use consume_local_trace::{SimTime, Trace};
+
+use crate::config::SimConfig;
+use crate::ledger::ByteLedger;
+use crate::report::{DailyIspCell, SimReport, SwarmReport, UserTraffic};
+
+/// The simulator: a configured engine, reusable across traces.
+#[derive(Debug, Clone)]
+pub struct Simulator {
+    config: SimConfig,
+}
+
+impl Simulator {
+    /// Creates a simulator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see [`SimConfig::validate`]);
+    /// construct configs through their builders/presets to avoid this.
+    pub fn new(config: SimConfig) -> Self {
+        if let Err(e) = config.validate() {
+            panic!("invalid simulator config: {e}");
+        }
+        Self { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// Runs the simulation over a trace and returns the full report.
+    pub fn run(&self, trace: &Trace) -> SimReport {
+        // 1. Group sessions into sub-swarms, preserving start order.
+        let mut groups: HashMap<SwarmKey, Vec<u32>> = HashMap::new();
+        for (i, s) in trace.sessions().iter().enumerate() {
+            groups.entry(self.config.policy.key_for(s)).or_default().push(i as u32);
+        }
+        let mut keyed: Vec<(SwarmKey, Vec<u32>)> = groups.into_iter().collect();
+        keyed.sort_by_key(|(k, _)| *k);
+
+        // 2. Simulate swarms (work-stealing across threads; each swarm's
+        //    result is placed at its key-ordered slot).
+        let n = keyed.len();
+        let slots: Mutex<Vec<Option<SwarmOutput>>> = Mutex::new((0..n).map(|_| None).collect());
+        let next = AtomicUsize::new(0);
+        let workers = self.config.threads.min(n.max(1));
+        crossbeam::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|_| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let (key, indices) = &keyed[i];
+                    let out = self.simulate_swarm(*key, indices, trace);
+                    slots.lock()[i] = Some(out);
+                });
+            }
+        })
+        .expect("simulation workers do not panic");
+
+        // 3. Merge deterministically in key order.
+        let horizon = trace.horizon_seconds();
+        let total_windows = horizon / self.config.window_secs;
+        let mut swarms = Vec::with_capacity(n);
+        let mut users = vec![UserTraffic::default(); trace.population().len()];
+        let mut daily_map: HashMap<(u32, Option<consume_local_topology::IspId>), ByteLedger> =
+            HashMap::new();
+        let mut total = ByteLedger::new();
+        for (slot, (key, indices)) in slots.into_inner().into_iter().zip(&keyed) {
+            let out = slot.expect("every swarm simulated");
+            total.merge(&out.ledger);
+            for (day, ledger) in &out.daily {
+                daily_map.entry((*day, key.isp)).or_default().merge(ledger);
+            }
+            for &(user, watched, uploaded) in &out.users {
+                let t = &mut users[user as usize];
+                t.watched_bytes += watched;
+                t.uploaded_bytes += uploaded;
+            }
+            let daily_points = out
+                .daily
+                .iter()
+                .map(|(day, ledger)| crate::report::SwarmDay {
+                    day: *day,
+                    capacity: effective_capacity(ledger),
+                    demand_bytes: ledger.demand_bytes,
+                })
+                .collect();
+            swarms.push(SwarmReport {
+                key: *key,
+                ledger: out.ledger,
+                sessions: indices.len() as u64,
+                capacity: effective_capacity(&out.ledger),
+                time_avg_capacity: out.ledger.measured_capacity(total_windows),
+                upload_ratio: out.upload_ratio,
+                daily: daily_points,
+            });
+        }
+        let mut daily: Vec<DailyIspCell> = daily_map
+            .into_iter()
+            .map(|((day, isp), ledger)| DailyIspCell { day, isp, ledger })
+            .collect();
+        daily.sort_by_key(|c| (c.day, c.isp));
+
+        SimReport {
+            horizon_secs: horizon,
+            window_secs: self.config.window_secs,
+            swarms,
+            users,
+            daily,
+            total,
+        }
+    }
+
+    /// Simulates one sub-swarm over its sessions (already start-ordered).
+    fn simulate_swarm(&self, key: SwarmKey, indices: &[u32], trace: &Trace) -> SwarmOutput {
+        let dt = self.config.window_secs;
+        let sessions = trace.sessions();
+        let mut matcher = self.config.matcher.build(swarm_seed(self.config.seed, &key));
+
+        let mut out = SwarmOutput::default();
+        let mut user_acc: HashMap<u32, (u64, u64)> = HashMap::new();
+
+        // Representative ratio for the report (uniform within bitrate-split
+        // swarms; a demand-weighted mix otherwise).
+        let first_bitrate = sessions[indices[0] as usize].bitrate_bps();
+        out.upload_ratio = self.config.upload.ratio_for(first_bitrate).min(1.0);
+
+        let mut active: Vec<ActiveSession> = Vec::new();
+        let mut i = 0usize;
+        // First window boundary at which the earliest session is active.
+        let mut t = SimTime(align_up(sessions[indices[0] as usize].start.as_secs(), dt));
+        let horizon = SimTime(trace.horizon_seconds());
+
+        // Scratch buffers reused across windows.
+        let mut peers: Vec<Peer> = Vec::new();
+        let mut needs: Vec<u64> = Vec::new();
+        let mut budgets: Vec<u64> = Vec::new();
+        let mut demands: Vec<u64> = Vec::new();
+
+        while t < horizon {
+            active.retain(|a| a.end > t);
+            while i < indices.len() {
+                let s = &sessions[indices[i] as usize];
+                if s.start > t {
+                    break;
+                }
+                if s.end() > t {
+                    active.push(ActiveSession {
+                        end: s.end(),
+                        user: s.user.0,
+                        peer: Peer { isp: s.isp, location: s.location },
+                        bitrate_bps: s.bitrate_bps(),
+                    });
+                }
+                i += 1;
+            }
+            if active.is_empty() {
+                if i >= indices.len() {
+                    break;
+                }
+                // Jump to the first window boundary at which the next
+                // session is active (align *up*: a boundary before its start
+                // would never pick it up and loop forever).
+                let next_start = sessions[indices[i] as usize].start.as_secs();
+                t = SimTime(align_up(next_start, dt).max(t.as_secs() + dt));
+                continue;
+            }
+
+            // Build the window inputs. Peer 0 (earliest joiner, since
+            // `active` preserves arrival order) is the fresh fetcher.
+            // A preloaded fraction of every session's bytes bypasses the
+            // swarm (§VI preloading extension; 0 by default).
+            let preload_f = self.config.preload_fraction;
+            let cached = self
+                .config
+                .edge_cache
+                .is_some_and(|c| key.content.0 < c.top_items);
+            peers.clear();
+            needs.clear();
+            budgets.clear();
+            demands.clear();
+            let mut preload_total = 0u64;
+            for a in &active {
+                let full_demand = u64::from(a.bitrate_bps) * dt / 8;
+                let preload = (full_demand as f64 * preload_f) as u64;
+                let demand = full_demand - preload;
+                preload_total += preload;
+                // Non-participating users never upload (NetSession-style
+                // partial participation); their own peer-receipt cap is
+                // based on the swarm's typical uplink, not their zero one.
+                let nominal_budget = self.config.upload.budget_bytes(a.bitrate_bps, dt);
+                let budget = if participates(a.user, self.config.participation_rate) {
+                    nominal_budget
+                } else {
+                    0
+                };
+                peers.push(a.peer);
+                demands.push(demand);
+                needs.push(demand.min(nominal_budget));
+                budgets.push(budget);
+            }
+            let outcome = matcher.match_window(&peers, &needs, &budgets, 0);
+
+            // Account the window.
+            let demand_total: u64 = demands.iter().sum::<u64>() + preload_total;
+            // The CDN-side fallback carries: the fetcher's full in-swarm
+            // demand, every peer's "ineligible" remainder (demand − need),
+            // and the matcher's residual unmet needs. With an edge cache
+            // holding this item, that fallback is served at the exchange
+            // instead of the CDN.
+            let ineligible: u64 = demands
+                .iter()
+                .zip(&needs)
+                .enumerate()
+                .map(|(k, (d, n))| if k == 0 { *d } else { d - n })
+                .sum();
+            let fallback = ineligible + outcome.server_bytes;
+            let (server_total, cache_total, preload_srv, preload_cache) = if cached {
+                (0, fallback, 0, preload_total)
+            } else {
+                (fallback, 0, preload_total, 0)
+            };
+
+            let mut window_ledger = ByteLedger {
+                demand_bytes: demand_total,
+                server_bytes: server_total + preload_srv,
+                peer_bytes_by_layer: outcome.peer_bytes_by_layer,
+                cache_bytes: cache_total + preload_cache,
+                preload_bytes: 0,
+                active_windows: 1,
+                peer_windows: active.len() as u64,
+            };
+            // Preload bytes are tracked in their own class when not cached.
+            if !cached {
+                window_ledger.server_bytes -= preload_srv;
+                window_ledger.preload_bytes = preload_srv;
+            }
+            debug_assert!(window_ledger.is_conserved(), "window bytes must conserve");
+
+            for (k, a) in active.iter().enumerate() {
+                let tr: &PeerTransfer = &outcome.per_peer[k];
+                let acc = user_acc.entry(a.user).or_default();
+                // Users watch their full demand (preloaded bytes included).
+                acc.0 += u64::from(a.bitrate_bps) * dt / 8;
+                acc.1 += tr.uploaded;
+            }
+
+            out.ledger.merge(&window_ledger);
+            let day = (t.as_secs() / consume_local_trace::time::SECS_PER_DAY) as u32;
+            match out.daily.last_mut() {
+                Some((d, ledger)) if *d == day => ledger.merge(&window_ledger),
+                _ => {
+                    // Ledger moved into the vec; reuse the window value.
+                    out.daily.push((day, std::mem::take(&mut window_ledger)));
+                }
+            }
+
+            t = t + dt;
+        }
+
+        out.users = user_acc.into_iter().map(|(u, (w, up))| (u, w, up)).collect();
+        out.users.sort_unstable_by_key(|&(u, _, _)| u);
+        out
+    }
+}
+
+/// Window-aligned ceiling: the first window boundary at or after `secs`.
+fn align_up(secs: u64, dt: u64) -> u64 {
+    secs.div_ceil(dt) * dt
+}
+
+/// Deterministic participation membership: the same user participates (or
+/// not) in every swarm, run and configuration with the same rate.
+fn participates(user: u32, rate: f64) -> bool {
+    if rate >= 1.0 {
+        return true;
+    }
+    // splitmix64 of the user id → uniform in [0, 1).
+    let mut x = u64::from(user).wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^= x >> 31;
+    (x as f64 / u64::MAX as f64) < rate
+}
+
+/// The ledger's effective M/M/∞ capacity: while-active mean occupancy
+/// inverted through `L̄ = c/(1 − e^(−c))`.
+fn effective_capacity(ledger: &ByteLedger) -> f64 {
+    if ledger.active_windows == 0 {
+        return 0.0;
+    }
+    let l_bar = ledger.peer_windows as f64 / ledger.active_windows as f64;
+    consume_local_analytics::capacity_from_active_mean(l_bar)
+}
+
+/// Deterministic per-swarm seed for the (optionally random) matcher, so the
+/// result does not depend on which worker thread picks the swarm up.
+fn swarm_seed(base: u64, key: &SwarmKey) -> u64 {
+    let mut x = base ^ (u64::from(key.content.0) << 1);
+    if let Some(isp) = key.isp {
+        x ^= (u64::from(isp.0) + 1) << 40;
+    }
+    if let Some(b) = key.bitrate {
+        x ^= u64::from(b.bps()) << 16;
+    }
+    // splitmix64 finaliser
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+#[derive(Debug, Default)]
+struct SwarmOutput {
+    ledger: ByteLedger,
+    daily: Vec<(u32, ByteLedger)>,
+    users: Vec<(u32, u64, u64)>,
+    upload_ratio: f64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct ActiveSession {
+    end: SimTime,
+    user: u32,
+    peer: Peer,
+    bitrate_bps: u32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use consume_local_energy::EnergyParams;
+    use consume_local_swarm::MatcherKind;
+    use consume_local_topology::{ExchangeId, IspId, IspTopology};
+    use consume_local_trace::device::DeviceClass;
+    use consume_local_trace::{ContentId, SessionRecord, TraceConfig, TraceGenerator, UserId};
+
+    fn tiny_trace() -> Trace {
+        TraceGenerator::new(TraceConfig::london_sep2013().scaled(0.0003).unwrap(), 11)
+            .generate()
+            .unwrap()
+    }
+
+    /// A hand-built trace: two users, same ISP/exchange/bitrate, overlapping
+    /// sessions on one item.
+    fn pair_trace(offset_secs: u64) -> Trace {
+        let base = TraceGenerator::new(
+            TraceConfig::london_sep2013().scaled(0.0002).unwrap(),
+            3,
+        )
+        .generate()
+        .unwrap();
+        let topo = IspTopology::london_table3().unwrap();
+        let loc = topo.location_of(ExchangeId(5));
+        let mk = |user: u32, start: u64| SessionRecord {
+            user: UserId(user),
+            content: ContentId(0),
+            start: SimTime(start),
+            duration_secs: 600,
+            device: DeviceClass::Desktop,
+            isp: IspId(0),
+            location: loc,
+        };
+        Trace::from_parts(
+            base.config().clone(),
+            base.catalogue().clone(),
+            base.population().clone(),
+            vec![mk(0, 0), mk(1, offset_secs)],
+        )
+    }
+
+    #[test]
+    fn lone_viewer_gets_everything_from_server() {
+        let trace = pair_trace(100_000); // sessions never overlap
+        let report = Simulator::new(SimConfig::default()).run(&trace);
+        assert_eq!(report.total.peer_bytes(), 0);
+        assert_eq!(report.total.server_bytes, report.total.demand_bytes);
+        assert_eq!(report.total_savings(&EnergyParams::valancius()), Some(0.0));
+        report.check_conservation().unwrap();
+    }
+
+    #[test]
+    fn overlapping_pair_shares_locally() {
+        let trace = pair_trace(0); // full overlap
+        let report = Simulator::new(SimConfig::default()).run(&trace);
+        // Each 10 s window: fetcher from server, peer 1 fully from peer 0.
+        let demand = report.total.demand_bytes;
+        assert_eq!(report.total.peer_bytes(), demand / 2);
+        assert_eq!(report.total.peer_bytes_by_layer[0], demand / 2, "all at ExP");
+        // User 1 downloaded from peers; user 0 uploaded everything.
+        assert_eq!(report.users[0].uploaded_bytes, demand / 2);
+        assert_eq!(report.users[1].uploaded_bytes, 0);
+        report.check_conservation().unwrap();
+    }
+
+    #[test]
+    fn partial_overlap_shares_partially() {
+        let trace = pair_trace(300); // half overlap
+        let report = Simulator::new(SimConfig::default()).run(&trace);
+        let peer = report.total.peer_bytes();
+        assert!(peer > 0);
+        assert!(peer < report.total.demand_bytes / 2);
+        report.check_conservation().unwrap();
+    }
+
+    #[test]
+    fn upload_ratio_caps_offload() {
+        let trace = pair_trace(0);
+        let full = Simulator::new(SimConfig::with_ratio(1.0)).run(&trace);
+        let half = Simulator::new(SimConfig::with_ratio(0.5)).run(&trace);
+        assert!((half.total.offload_share() / full.total.offload_share() - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn conservation_on_generated_trace() {
+        let trace = tiny_trace();
+        let report = Simulator::new(SimConfig::default()).run(&trace);
+        report.check_conservation().unwrap();
+        assert!(report.total.demand_bytes > 0);
+        let s = report.total_savings(&EnergyParams::valancius()).unwrap();
+        assert!((0.0..1.0).contains(&s), "savings {s}");
+    }
+
+    #[test]
+    fn deterministic_across_thread_counts() {
+        let trace = tiny_trace();
+        let c1 = SimConfig { threads: 1, ..Default::default() };
+        let c4 = SimConfig { threads: 4, ..Default::default() };
+        let r1 = Simulator::new(c1).run(&trace);
+        let r4 = Simulator::new(c4).run(&trace);
+        assert_eq!(r1, r4);
+    }
+
+    #[test]
+    fn random_matcher_deterministic_and_no_better_locality() {
+        let trace = tiny_trace();
+        let cfg = SimConfig { matcher: MatcherKind::Random, ..Default::default() };
+        let a = Simulator::new(cfg.clone()).run(&trace);
+        let b = Simulator::new(cfg).run(&trace);
+        assert_eq!(a, b, "random matcher must be seed-deterministic");
+        let hier = Simulator::new(SimConfig::default()).run(&trace);
+        assert_eq!(hier.total.peer_bytes(), a.total.peer_bytes());
+        assert!(
+            hier.total.peer_bytes_by_layer[0] >= a.total.peer_bytes_by_layer[0],
+            "hierarchical keeps at least as many bytes exchange-local"
+        );
+        // And that translates into at least as much energy saved.
+        let p = EnergyParams::valancius();
+        assert!(hier.total_savings(&p).unwrap() >= a.total_savings(&p).unwrap());
+    }
+
+    #[test]
+    fn capacity_measures_watch_time() {
+        let trace = pair_trace(0);
+        let report = Simulator::new(SimConfig::default()).run(&trace);
+        let swarm = &report.swarms[0];
+        // Time-averaged capacity: two 600 s sessions over the horizon.
+        let expected = 2.0 * 600.0 / trace.horizon_seconds() as f64;
+        assert!(
+            (swarm.time_avg_capacity / expected - 1.0).abs() < 0.02,
+            "time-avg capacity {} vs expected {expected}",
+            swarm.time_avg_capacity
+        );
+        // Effective capacity: while active, occupancy is exactly 2, and
+        // L̄ = 2 inverts to c ≈ 1.594.
+        assert!(
+            (swarm.capacity - 1.594).abs() < 0.01,
+            "effective capacity {}",
+            swarm.capacity
+        );
+    }
+
+    #[test]
+    fn daily_cells_cover_active_days_only() {
+        let trace = pair_trace(0); // both sessions on day 0
+        let report = Simulator::new(SimConfig::default()).run(&trace);
+        assert_eq!(report.daily.len(), 1);
+        assert_eq!(report.daily[0].day, 0);
+        assert_eq!(report.daily[0].isp, Some(IspId(0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid simulator config")]
+    fn rejects_invalid_config() {
+        let _ = Simulator::new(SimConfig { window_secs: 0, ..Default::default() });
+    }
+
+    #[test]
+    fn preloading_reduces_sharing_but_conserves() {
+        let trace = pair_trace(0);
+        let cfg = SimConfig { preload_fraction: 0.4, ..Default::default() };
+        let preloaded = Simulator::new(cfg).run(&trace);
+        preloaded.check_conservation().unwrap();
+        let baseline = Simulator::new(SimConfig::default()).run(&trace);
+        // Same demand, less of it peer-shareable.
+        assert_eq!(preloaded.total.demand_bytes, baseline.total.demand_bytes);
+        assert!(preloaded.total.preload_bytes > 0);
+        assert!(
+            (preloaded.total.preload_bytes as f64 / preloaded.total.demand_bytes as f64 - 0.4)
+                .abs()
+                < 0.01
+        );
+        assert!(preloaded.total.offload_share() < baseline.total.offload_share());
+        // And therefore lower savings: preloading fights peer assistance.
+        let p = EnergyParams::valancius();
+        assert!(
+            preloaded.total_savings(&p).unwrap() < baseline.total_savings(&p).unwrap()
+        );
+    }
+
+    #[test]
+    fn edge_cache_serves_head_items_locally() {
+        let trace = pair_trace(100_000); // no overlap: all bytes are fallback
+        let cfg = SimConfig {
+            edge_cache: Some(crate::config::EdgeCache { top_items: 1 }),
+            ..Default::default()
+        };
+        let cached = Simulator::new(cfg).run(&trace);
+        cached.check_conservation().unwrap();
+        // The pair trace watches item 0, which is cached: every byte served
+        // from the exchange cache, none from the CDN.
+        assert_eq!(cached.total.server_bytes, 0);
+        assert_eq!(cached.total.cache_bytes, cached.total.demand_bytes);
+        // Cache delivery skips the CDN network leg, saving energy even with
+        // zero peer sharing.
+        let p = EnergyParams::valancius();
+        let s = cached.total_savings(&p).unwrap();
+        assert!(s > 0.3, "cache-only savings {s}");
+        // Uncached tail item would not benefit: compare against no cache.
+        let plain = Simulator::new(SimConfig::default()).run(&trace);
+        assert_eq!(plain.total.cache_bytes, 0);
+        assert_eq!(plain.total_savings(&p), Some(0.0));
+    }
+
+    #[test]
+    fn partial_participation_cuts_offload() {
+        let trace = tiny_trace();
+        let full = Simulator::new(SimConfig::default()).run(&trace);
+        let partial = Simulator::new(SimConfig {
+            participation_rate: 0.3,
+            ..Default::default()
+        })
+        .run(&trace);
+        partial.check_conservation().unwrap();
+        assert!(
+            partial.total.offload_share() < full.total.offload_share(),
+            "30% participation must offload less: {} vs {}",
+            partial.total.offload_share(),
+            full.total.offload_share()
+        );
+        // Non-participants never upload.
+        let mut non_participants_uploading = 0;
+        for (uid, t) in partial.active_users() {
+            if !super::participates(uid, 0.3) {
+                assert_eq!(t.uploaded_bytes, 0, "user {uid} must not upload");
+                non_participants_uploading += 1;
+            }
+        }
+        assert!(non_participants_uploading > 0, "test must cover non-participants");
+        // Deterministic membership: same result twice.
+        let again = Simulator::new(SimConfig {
+            participation_rate: 0.3,
+            ..Default::default()
+        })
+        .run(&trace);
+        assert_eq!(partial, again);
+    }
+
+    #[test]
+    fn participation_is_monotone() {
+        let trace = tiny_trace();
+        let offload_at = |rate: f64| {
+            Simulator::new(SimConfig { participation_rate: rate, ..Default::default() })
+                .run(&trace)
+                .total
+                .offload_share()
+        };
+        let lo = offload_at(0.2);
+        let mid = offload_at(0.6);
+        let hi = offload_at(1.0);
+        assert!(lo < mid && mid < hi, "offload must grow with participation: {lo} {mid} {hi}");
+    }
+
+    #[test]
+    fn cache_and_preload_compose() {
+        let trace = pair_trace(0);
+        let cfg = SimConfig {
+            preload_fraction: 0.3,
+            edge_cache: Some(crate::config::EdgeCache { top_items: 1 }),
+            ..Default::default()
+        };
+        let report = Simulator::new(cfg).run(&trace);
+        report.check_conservation().unwrap();
+        // Preloaded bytes of cached items are served from the cache.
+        assert_eq!(report.total.preload_bytes, 0);
+        assert!(report.total.cache_bytes > 0);
+        assert!(report.total.peer_bytes() > 0);
+    }
+}

@@ -1,0 +1,50 @@
+//! The trace-driven hybrid-CDN simulator (Section IV of the paper).
+//!
+//! The engine replays a session trace in fixed windows of `Δτ` (10 s in the
+//! paper): for every window of every sub-swarm it counts the online peers,
+//! lets the managed matcher assign peer uploads closest-first, and accounts
+//! every byte as either CDN-served or peer-served at a specific topology
+//! layer. Energy is *not* fixed at simulation time: the engine records byte
+//! ledgers, and any [`EnergyParams`](consume_local_energy::EnergyParams) set
+//! can be evaluated against them afterwards — one simulation run prices both
+//! the Valancius and Baliga models.
+//!
+//! * [`config`] — simulation parameters (window, upload model, policy,
+//!   matcher);
+//! * [`ledger`] — byte ledgers and their energy/savings evaluation;
+//! * [`engine`] — the discrete time-step engine, sequential or parallel
+//!   (crossbeam-sharded across sub-swarms, deterministic regardless of
+//!   thread count);
+//! * [`report`] — per-swarm, per-day×ISP, per-user and total results,
+//!   including theory-vs-simulation comparison points (Fig. 2 dots).
+//!
+//! # Example
+//!
+//! ```
+//! use consume_local_sim::{SimConfig, Simulator};
+//! use consume_local_trace::{TraceConfig, TraceGenerator};
+//! use consume_local_energy::EnergyParams;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let trace = TraceGenerator::new(
+//!     TraceConfig::london_sep2013().scaled(0.0005)?, 7).generate()?;
+//! let report = Simulator::new(SimConfig::default()).run(&trace);
+//! let savings = report.total_savings(&EnergyParams::valancius()).unwrap();
+//! assert!(savings > 0.0 && savings < 1.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod config;
+pub mod engine;
+pub mod ledger;
+pub mod report;
+
+pub use config::{EdgeCache, SimConfig, UploadModel};
+pub use engine::Simulator;
+pub use ledger::ByteLedger;
+pub use report::{DailyIspCell, SimReport, SwarmDay, SwarmReport, UserTraffic};

@@ -1,0 +1,297 @@
+//! Simulation results: per-swarm, per-day×ISP, per-user and total ledgers.
+
+use serde::{Deserialize, Serialize};
+
+use consume_local_energy::EnergyParams;
+use consume_local_swarm::SwarmKey;
+use consume_local_topology::IspId;
+
+use crate::ledger::ByteLedger;
+
+/// One day of one sub-swarm: the inputs for a per-day theory prediction
+/// (Fig. 4's theory overlay re-evaluates Eq. 12 at each day's capacity).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SwarmDay {
+    /// 0-based day.
+    pub day: u32,
+    /// Effective M/M/∞ capacity that day (while-active occupancy inverted
+    /// through `c/(1 − e^(−c))`; see
+    /// [`capacity_from_active_mean`](consume_local_analytics::capacity_from_active_mean)).
+    pub capacity: f64,
+    /// Demand the swarm served that day.
+    pub demand_bytes: u64,
+}
+
+/// Result for one sub-swarm.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SwarmReport {
+    /// The sub-swarm identity.
+    pub key: SwarmKey,
+    /// Byte ledger over the whole horizon.
+    pub ledger: ByteLedger,
+    /// Sessions that belonged to this swarm.
+    pub sessions: u64,
+    /// Effective M/M/∞ capacity: the mean occupancy while the swarm was
+    /// non-empty, inverted through the stationary relation
+    /// `L̄ = c/(1 − e^(−c))`. This is the x-coordinate comparable to the
+    /// Eq. 12 theory curves (Fig. 2); for a stationary swarm it equals the
+    /// time-averaged capacity.
+    pub capacity: f64,
+    /// Time-averaged capacity `c = Σ watch-time / horizon` — the Little's
+    /// law quantity the paper's Fig. 3 distribution is drawn over.
+    pub time_avg_capacity: f64,
+    /// The effective `q/β` ratio this swarm was matched with.
+    pub upload_ratio: f64,
+    /// Per-day capacity/demand points (days with demand only).
+    pub daily: Vec<SwarmDay>,
+}
+
+impl SwarmReport {
+    /// Simulated savings under an energy parameter set (`None` without
+    /// demand).
+    pub fn savings(&self, params: &EnergyParams) -> Option<f64> {
+        self.ledger.savings(params)
+    }
+}
+
+/// Per-user traffic totals, the carbon-credit inputs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UserTraffic {
+    /// Bytes the user streamed (demand).
+    pub watched_bytes: u64,
+    /// Bytes the user uploaded to peers.
+    pub uploaded_bytes: u64,
+}
+
+/// One day×ISP aggregation cell (Fig. 4's granularity).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DailyIspCell {
+    /// 0-based day.
+    pub day: u32,
+    /// The ISP, or `None` for swarms that were not ISP-split.
+    pub isp: Option<IspId>,
+    /// The cell's ledger.
+    pub ledger: ByteLedger,
+}
+
+/// The full output of one simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Horizon in seconds.
+    pub horizon_secs: u64,
+    /// Window length Δτ in seconds.
+    pub window_secs: u64,
+    /// Per-swarm results, ordered by key.
+    pub swarms: Vec<SwarmReport>,
+    /// Per-user traffic, indexed by `UserId.0`.
+    pub users: Vec<UserTraffic>,
+    /// Day × ISP cells (only cells with any demand are retained).
+    pub daily: Vec<DailyIspCell>,
+    /// Whole-system ledger.
+    pub total: ByteLedger,
+}
+
+impl SimReport {
+    /// Total observation windows in the horizon.
+    pub fn total_windows(&self) -> u64 {
+        self.horizon_secs / self.window_secs.max(1)
+    }
+
+    /// System-wide savings under `params` (`None` without demand).
+    pub fn total_savings(&self, params: &EnergyParams) -> Option<f64> {
+        self.total.savings(params)
+    }
+
+    /// Daily savings series for one ISP (Fig. 4): `(day, savings)` for days
+    /// with demand.
+    pub fn daily_savings(&self, isp: Option<IspId>, params: &EnergyParams) -> Vec<(u32, f64)> {
+        let mut days: Vec<(u32, f64)> = self
+            .daily
+            .iter()
+            .filter(|c| c.isp == isp)
+            .filter_map(|c| c.ledger.savings(params).map(|s| (c.day, s)))
+            .collect();
+        days.sort_by_key(|&(d, _)| d);
+        days
+    }
+
+    /// Aggregate ledger for one ISP across all days.
+    pub fn isp_ledger(&self, isp: Option<IspId>) -> ByteLedger {
+        let mut total = ByteLedger::new();
+        for c in self.daily.iter().filter(|c| c.isp == isp) {
+            total.merge(&c.ledger);
+        }
+        total
+    }
+
+    /// Per-swarm `(effective capacity, simulated savings)` points under
+    /// `params` — the dots of Fig. 2 / the samples of Fig. 3's right panel.
+    pub fn swarm_points(&self, params: &EnergyParams) -> Vec<(f64, f64)> {
+        self.swarms
+            .iter()
+            .filter_map(|s| s.savings(params).map(|sv| (s.capacity, sv)))
+            .collect()
+    }
+
+    /// All time-averaged swarm capacities (Fig. 3's left panel samples,
+    /// the Little's-law `c = u·r` axis).
+    pub fn swarm_capacities(&self) -> Vec<f64> {
+        self.swarms.iter().map(|s| s.time_avg_capacity).collect()
+    }
+
+    /// Users with any watched traffic, as `(user index, traffic)`.
+    pub fn active_users(&self) -> impl Iterator<Item = (u32, &UserTraffic)> {
+        self.users
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.watched_bytes > 0)
+            .map(|(i, t)| (i as u32, t))
+    }
+
+    /// Verifies byte conservation on every ledger (swarms, days, total) and
+    /// between user watched-bytes and total demand. Used by tests and
+    /// examples as a cheap end-to-end integrity check.
+    pub fn check_conservation(&self) -> Result<(), String> {
+        if !self.total.is_conserved() {
+            return Err("total ledger violates demand = server + peer".into());
+        }
+        for s in &self.swarms {
+            if !s.ledger.is_conserved() {
+                return Err(format!("swarm {} ledger not conserved", s.key));
+            }
+        }
+        for c in &self.daily {
+            if !c.ledger.is_conserved() {
+                return Err(format!("daily cell d{}/{:?} not conserved", c.day, c.isp));
+            }
+        }
+        let watched: u64 = self.users.iter().map(|u| u.watched_bytes).sum();
+        if watched != self.total.demand_bytes {
+            return Err(format!(
+                "user watched bytes {watched} != total demand {}",
+                self.total.demand_bytes
+            ));
+        }
+        let uploaded: u64 = self.users.iter().map(|u| u.uploaded_bytes).sum();
+        if uploaded != self.total.peer_bytes() {
+            return Err(format!(
+                "user uploaded bytes {uploaded} != total peer bytes {}",
+                self.total.peer_bytes()
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use consume_local_trace::ContentId;
+
+    fn cell(day: u32, isp: Option<IspId>, demand: u64, peer: u64) -> DailyIspCell {
+        DailyIspCell {
+            day,
+            isp,
+            ledger: ByteLedger {
+                demand_bytes: demand,
+                server_bytes: demand - peer,
+                peer_bytes_by_layer: [peer, 0, 0],
+                cache_bytes: 0,
+                preload_bytes: 0,
+                active_windows: 1,
+                peer_windows: 1,
+            },
+        }
+    }
+
+    fn report() -> SimReport {
+        let key = SwarmKey { content: ContentId(0), isp: Some(IspId(0)), bitrate: None };
+        let ledger = ByteLedger {
+            demand_bytes: 300,
+            server_bytes: 200,
+            peer_bytes_by_layer: [100, 0, 0],
+            cache_bytes: 0,
+            preload_bytes: 0,
+            active_windows: 3,
+            peer_windows: 6,
+        };
+        SimReport {
+            horizon_secs: 600,
+            window_secs: 10,
+            swarms: vec![SwarmReport {
+                key,
+                ledger,
+                sessions: 2,
+                capacity: 0.15,
+                time_avg_capacity: 0.1,
+                upload_ratio: 1.0,
+                daily: vec![
+                    SwarmDay { day: 0, capacity: 0.2, demand_bytes: 200 },
+                    SwarmDay { day: 1, capacity: 0.1, demand_bytes: 100 },
+                ],
+            }],
+            users: vec![
+                UserTraffic { watched_bytes: 200, uploaded_bytes: 60 },
+                UserTraffic { watched_bytes: 100, uploaded_bytes: 40 },
+                UserTraffic::default(),
+            ],
+            daily: vec![
+                cell(0, Some(IspId(0)), 200, 80),
+                cell(1, Some(IspId(0)), 100, 20),
+            ],
+            total: ledger,
+        }
+    }
+
+    #[test]
+    fn conservation_check_passes_and_fails() {
+        let r = report();
+        assert!(r.check_conservation().is_ok());
+        let mut broken = r.clone();
+        broken.users[0].watched_bytes += 1;
+        assert!(broken.check_conservation().unwrap_err().contains("watched"));
+        let mut broken = r.clone();
+        broken.total.server_bytes += 5;
+        assert!(broken.check_conservation().is_err());
+        let mut broken = r;
+        broken.users[1].uploaded_bytes = 0;
+        assert!(broken.check_conservation().unwrap_err().contains("uploaded"));
+    }
+
+    #[test]
+    fn daily_series_sorted_and_filtered() {
+        let r = report();
+        let series = r.daily_savings(Some(IspId(0)), &EnergyParams::valancius());
+        assert_eq!(series.len(), 2);
+        assert_eq!(series[0].0, 0);
+        assert_eq!(series[1].0, 1);
+        assert!(series[0].1 > series[1].1, "day 0 offloaded more");
+        assert!(r.daily_savings(Some(IspId(3)), &EnergyParams::valancius()).is_empty());
+    }
+
+    #[test]
+    fn isp_ledger_merges_days() {
+        let r = report();
+        let l = r.isp_ledger(Some(IspId(0)));
+        assert_eq!(l.demand_bytes, 300);
+        assert_eq!(l.peer_bytes(), 100);
+    }
+
+    #[test]
+    fn active_users_skips_idle() {
+        let r = report();
+        let active: Vec<u32> = r.active_users().map(|(i, _)| i).collect();
+        assert_eq!(active, vec![0, 1]);
+    }
+
+    #[test]
+    fn windows_and_points() {
+        let r = report();
+        assert_eq!(r.total_windows(), 60);
+        let pts = r.swarm_points(&EnergyParams::baliga());
+        assert_eq!(pts.len(), 1);
+        assert_eq!(pts[0].0, 0.15, "theory-comparison points use effective capacity");
+        assert_eq!(r.swarm_capacities(), vec![0.1], "distributions use time-averaged capacity");
+        assert!(r.total_savings(&EnergyParams::baliga()).unwrap() > 0.0);
+    }
+}

@@ -1,0 +1,755 @@
+//! Random-variate distributions used across the workspace.
+//!
+//! All samplers implement [`Distribution`] and are generic over any
+//! [`rand::Rng`]. Constructors validate their parameters and return
+//! [`DistError`] on invalid input, never panicking.
+
+use std::fmt;
+
+use rand::Rng;
+
+/// Error returned by distribution constructors on invalid parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DistError {
+    /// A rate/shape/scale parameter must be strictly positive and finite.
+    NotPositive {
+        /// The parameter name as written in the constructor signature.
+        param: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// A collection parameter (weights, support) must be non-empty.
+    Empty {
+        /// The parameter name as written in the constructor signature.
+        param: &'static str,
+    },
+    /// Weights must be non-negative, finite and sum to a positive value.
+    BadWeights,
+}
+
+impl fmt::Display for DistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DistError::NotPositive { param, value } => {
+                write!(f, "parameter `{param}` must be positive and finite, got {value}")
+            }
+            DistError::Empty { param } => write!(f, "parameter `{param}` must be non-empty"),
+            DistError::BadWeights => {
+                write!(f, "weights must be non-negative and finite with a positive sum")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DistError {}
+
+fn require_positive(param: &'static str, value: f64) -> Result<f64, DistError> {
+    if value.is_finite() && value > 0.0 {
+        Ok(value)
+    } else {
+        Err(DistError::NotPositive { param, value })
+    }
+}
+
+/// A distribution that can be sampled with any RNG.
+pub trait Distribution {
+    /// The type of the values produced by the sampler.
+    type Value;
+
+    /// Draws one value.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Self::Value;
+
+    /// Draws `n` values into a vector.
+    fn sample_n<R: Rng + ?Sized>(&self, rng: &mut R, n: usize) -> Vec<Self::Value> {
+        (0..n).map(|_| self.sample(rng)).collect()
+    }
+}
+
+/// Uniform draw in `(0, 1]` — never exactly zero, so `ln` is always finite.
+fn open_unit<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    1.0 - rng.gen::<f64>()
+}
+
+// ---------------------------------------------------------------------------
+// Poisson
+// ---------------------------------------------------------------------------
+
+/// Poisson distribution with mean `lambda`.
+///
+/// Sampling uses Knuth's product method for small means and, for large means,
+/// a split into `Poisson(k · 32) + Poisson(rest)` chunks so the product never
+/// underflows. The cost is `O(lambda)` which is fine for the window-level
+/// means (≲ 10⁴) this workspace uses.
+///
+/// # Example
+///
+/// ```
+/// use consume_local_stats::dist::{Distribution, Poisson};
+/// # use rand::SeedableRng;
+/// let p = Poisson::new(4.2).unwrap();
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let x = p.sample(&mut rng);
+/// assert!(x >= 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Poisson {
+    lambda: f64,
+}
+
+impl Poisson {
+    /// Chunk size below which Knuth's method is numerically safe
+    /// (`e^-32 ≈ 1.3e-14` is far above `f64::MIN_POSITIVE`).
+    const CHUNK: f64 = 32.0;
+
+    /// Creates a Poisson distribution with mean `lambda > 0`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistError::NotPositive`] if `lambda` is not finite and
+    /// strictly positive.
+    pub fn new(lambda: f64) -> Result<Self, DistError> {
+        Ok(Self { lambda: require_positive("lambda", lambda)? })
+    }
+
+    /// The mean (and variance) of the distribution.
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+
+    fn sample_chunk<R: Rng + ?Sized>(lambda: f64, rng: &mut R) -> u64 {
+        debug_assert!(lambda <= Self::CHUNK);
+        let threshold = (-lambda).exp();
+        let mut k = 0u64;
+        let mut product = open_unit(rng);
+        while product > threshold {
+            k += 1;
+            product *= open_unit(rng);
+        }
+        k
+    }
+
+    /// Probability mass function `P(X = k)`.
+    ///
+    /// Computed in log space, so it is accurate for large `k` and `lambda`.
+    pub fn pmf(&self, k: u64) -> f64 {
+        self.log_pmf(k).exp()
+    }
+
+    /// Natural log of the probability mass function.
+    pub fn log_pmf(&self, k: u64) -> f64 {
+        let kf = k as f64;
+        kf * self.lambda.ln() - self.lambda - ln_factorial(k)
+    }
+}
+
+impl Distribution for Poisson {
+    type Value = f64;
+
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let mut remaining = self.lambda;
+        let mut total = 0u64;
+        while remaining > Self::CHUNK {
+            total += Self::sample_chunk(Self::CHUNK, rng);
+            remaining -= Self::CHUNK;
+        }
+        total += Self::sample_chunk(remaining, rng);
+        total as f64
+    }
+}
+
+/// `ln(k!)` via Stirling's series for large `k`, exact products below 20.
+pub fn ln_factorial(k: u64) -> f64 {
+    if k < 20 {
+        let mut acc = 0.0f64;
+        for i in 2..=k {
+            acc += (i as f64).ln();
+        }
+        acc
+    } else {
+        let x = (k + 1) as f64;
+        // Stirling series for ln Γ(x).
+        (x - 0.5) * x.ln() - x + 0.5 * (2.0 * std::f64::consts::PI).ln() + 1.0 / (12.0 * x)
+            - 1.0 / (360.0 * x * x * x)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Exponential
+// ---------------------------------------------------------------------------
+
+/// Exponential distribution with rate `rate` (mean `1/rate`).
+///
+/// Used for M/M/∞ service times and Poisson-process inter-arrival gaps.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exponential {
+    rate: f64,
+}
+
+impl Exponential {
+    /// Creates an exponential distribution with rate `rate > 0`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistError::NotPositive`] if `rate` is not finite and
+    /// strictly positive.
+    pub fn new(rate: f64) -> Result<Self, DistError> {
+        Ok(Self { rate: require_positive("rate", rate)? })
+    }
+
+    /// Creates an exponential distribution with the given mean (`1/rate`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistError::NotPositive`] if `mean` is not finite and
+    /// strictly positive.
+    pub fn with_mean(mean: f64) -> Result<Self, DistError> {
+        Ok(Self { rate: 1.0 / require_positive("mean", mean)? })
+    }
+
+    /// The rate parameter.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// The mean `1/rate`.
+    pub fn mean(&self) -> f64 {
+        1.0 / self.rate
+    }
+}
+
+impl Distribution for Exponential {
+    type Value = f64;
+
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        -open_unit(rng).ln() / self.rate
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Zipf
+// ---------------------------------------------------------------------------
+
+/// Zipf distribution over ranks `1..=n` with exponent `s`:
+/// `P(k) ∝ k^(-s)`.
+///
+/// This is the canonical popularity model for video-on-demand catalogues and
+/// drives the content catalogue of the synthetic iPlayer-like workload
+/// (Section IV of the paper: "a few popular items but a large majority of
+/// unpopular items").
+///
+/// Sampling is `O(log n)` by binary search over the precomputed CDF.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+    exponent: f64,
+}
+
+impl Zipf {
+    /// Creates a Zipf distribution over `1..=n` with exponent `s > 0`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistError::Empty`] when `n == 0` and
+    /// [`DistError::NotPositive`] for a non-positive exponent.
+    pub fn new(n: usize, s: f64) -> Result<Self, DistError> {
+        if n == 0 {
+            return Err(DistError::Empty { param: "n" });
+        }
+        let s = require_positive("s", s)?;
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for k in 1..=n {
+            acc += (k as f64).powf(-s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Ok(Self { cdf, exponent: s })
+    }
+
+    /// Number of ranks in the support.
+    pub fn n(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// The exponent `s`.
+    pub fn exponent(&self) -> f64 {
+        self.exponent
+    }
+
+    /// Probability of rank `k` (1-based). Returns 0 outside the support.
+    pub fn pmf(&self, k: usize) -> f64 {
+        if k == 0 || k > self.cdf.len() {
+            return 0.0;
+        }
+        let hi = self.cdf[k - 1];
+        let lo = if k >= 2 { self.cdf[k - 2] } else { 0.0 };
+        hi - lo
+    }
+
+    /// The relative weight of rank `k` against rank 1 (`k^-s`).
+    pub fn relative_weight(&self, k: usize) -> f64 {
+        (k as f64).powf(-self.exponent)
+    }
+}
+
+impl Distribution for Zipf {
+    /// Ranks are 1-based, matching the conventional Zipf formulation.
+    type Value = usize;
+
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u = rng.gen::<f64>();
+        // partition_point returns the index of the first cdf entry >= u,
+        // which is exactly the 0-based rank; +1 converts to 1-based.
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1) + 1
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Normal / LogNormal
+// ---------------------------------------------------------------------------
+
+/// Normal distribution (Box–Muller polar sampling).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    /// Creates a normal distribution with the given mean and `std_dev > 0`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistError::NotPositive`] if `std_dev` is not finite and
+    /// strictly positive, or if `mean` is not finite.
+    pub fn new(mean: f64, std_dev: f64) -> Result<Self, DistError> {
+        if !mean.is_finite() {
+            return Err(DistError::NotPositive { param: "mean", value: mean });
+        }
+        Ok(Self { mean, std_dev: require_positive("std_dev", std_dev)? })
+    }
+
+    /// The location parameter.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// The scale parameter.
+    pub fn std_dev(&self) -> f64 {
+        self.std_dev
+    }
+
+    fn standard<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+        // Marsaglia polar method; rejection loop terminates with prob. 1.
+        loop {
+            let u = 2.0 * rng.gen::<f64>() - 1.0;
+            let v = 2.0 * rng.gen::<f64>() - 1.0;
+            let s = u * u + v * v;
+            if s > 0.0 && s < 1.0 {
+                return u * (-2.0 * s.ln() / s).sqrt();
+            }
+        }
+    }
+}
+
+impl Distribution for Normal {
+    type Value = f64;
+
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.mean + self.std_dev * Self::standard(rng)
+    }
+}
+
+/// Log-normal distribution parameterised by the *underlying* normal's
+/// `mu` and `sigma`.
+///
+/// Session watch-times in catch-up TV are heavy-tailed and well approximated
+/// by a log-normal; see the trace generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    normal: Normal,
+}
+
+impl LogNormal {
+    /// Creates a log-normal whose logarithm has mean `mu` and std-dev `sigma`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistError::NotPositive`] on non-finite `mu` or non-positive
+    /// `sigma`.
+    pub fn new(mu: f64, sigma: f64) -> Result<Self, DistError> {
+        Ok(Self { normal: Normal::new(mu, sigma)? })
+    }
+
+    /// Creates a log-normal with a target *linear-space* mean and the given
+    /// log-space `sigma`.
+    ///
+    /// Solves `mean = exp(mu + sigma²/2)` for `mu`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistError::NotPositive`] on non-positive `mean` or `sigma`.
+    pub fn with_mean(mean: f64, sigma: f64) -> Result<Self, DistError> {
+        let mean = require_positive("mean", mean)?;
+        let sigma = require_positive("sigma", sigma)?;
+        Self::new(mean.ln() - sigma * sigma / 2.0, sigma)
+    }
+
+    /// Log-space location parameter.
+    pub fn mu(&self) -> f64 {
+        self.normal.mean()
+    }
+
+    /// Log-space scale parameter.
+    pub fn sigma(&self) -> f64 {
+        self.normal.std_dev()
+    }
+
+    /// The linear-space mean `exp(mu + sigma²/2)`.
+    pub fn mean(&self) -> f64 {
+        (self.mu() + self.sigma() * self.sigma() / 2.0).exp()
+    }
+}
+
+impl Distribution for LogNormal {
+    type Value = f64;
+
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.normal.sample(rng).exp()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pareto
+// ---------------------------------------------------------------------------
+
+/// Pareto (type I) distribution with scale `x_min` and shape `alpha`.
+///
+/// Models the highly skewed per-user activity the paper reports ("per-user
+/// consumption patterns are highly skewed towards a small share of very
+/// active users").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pareto {
+    x_min: f64,
+    alpha: f64,
+}
+
+impl Pareto {
+    /// Creates a Pareto distribution with `x_min > 0` and `alpha > 0`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistError::NotPositive`] on non-positive parameters.
+    pub fn new(x_min: f64, alpha: f64) -> Result<Self, DistError> {
+        Ok(Self {
+            x_min: require_positive("x_min", x_min)?,
+            alpha: require_positive("alpha", alpha)?,
+        })
+    }
+
+    /// The scale (minimum value) parameter.
+    pub fn x_min(&self) -> f64 {
+        self.x_min
+    }
+
+    /// The shape parameter.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// The mean, or `None` when `alpha <= 1` (infinite mean).
+    pub fn mean(&self) -> Option<f64> {
+        (self.alpha > 1.0).then(|| self.alpha * self.x_min / (self.alpha - 1.0))
+    }
+}
+
+impl Distribution for Pareto {
+    type Value = f64;
+
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.x_min / open_unit(rng).powf(1.0 / self.alpha)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Categorical (Walker alias method)
+// ---------------------------------------------------------------------------
+
+/// Categorical distribution over `0..n` with arbitrary non-negative weights.
+///
+/// Built with Walker's alias method: `O(n)` construction, `O(1)` sampling.
+/// Used for device-class and ISP market-share draws, where millions of
+/// samples are taken per generated trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Categorical {
+    prob: Vec<f64>,
+    alias: Vec<usize>,
+    weights_norm: Vec<f64>,
+}
+
+impl Categorical {
+    /// Builds the alias table from the given weights.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistError::Empty`] for an empty weight list and
+    /// [`DistError::BadWeights`] for negative/non-finite weights or an
+    /// all-zero sum.
+    pub fn new(weights: &[f64]) -> Result<Self, DistError> {
+        if weights.is_empty() {
+            return Err(DistError::Empty { param: "weights" });
+        }
+        if weights.iter().any(|w| !w.is_finite() || *w < 0.0) {
+            return Err(DistError::BadWeights);
+        }
+        let total: f64 = weights.iter().sum();
+        if total <= 0.0 {
+            return Err(DistError::BadWeights);
+        }
+        let n = weights.len();
+        let weights_norm: Vec<f64> = weights.iter().map(|w| w / total).collect();
+        let mut scaled: Vec<f64> = weights_norm.iter().map(|p| p * n as f64).collect();
+        let mut small: Vec<usize> = Vec::new();
+        let mut large: Vec<usize> = Vec::new();
+        for (i, &s) in scaled.iter().enumerate() {
+            if s < 1.0 {
+                small.push(i);
+            } else {
+                large.push(i);
+            }
+        }
+        let mut prob = vec![1.0f64; n];
+        let mut alias = vec![0usize; n];
+        while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
+            small.pop();
+            prob[s] = scaled[s];
+            alias[s] = l;
+            scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+            if scaled[l] < 1.0 {
+                large.pop();
+                small.push(l);
+            }
+        }
+        // Remaining entries are 1.0 within FP error.
+        for &i in small.iter().chain(large.iter()) {
+            prob[i] = 1.0;
+            alias[i] = i;
+        }
+        Ok(Self { prob, alias, weights_norm })
+    }
+
+    /// Number of categories.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// Whether the distribution has zero categories (never true post-construction).
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// The normalised probability of category `i` (0 outside the support).
+    pub fn probability(&self, i: usize) -> f64 {
+        self.weights_norm.get(i).copied().unwrap_or(0.0)
+    }
+}
+
+impl Distribution for Categorical {
+    type Value = usize;
+
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let i = rng.gen_range(0..self.prob.len());
+        if rng.gen::<f64>() < self.prob[i] {
+            i
+        } else {
+            self.alias[i]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SeedDerive;
+    use rand::rngs::StdRng;
+
+    fn rng(label: &str) -> StdRng {
+        SeedDerive::new(0xC0FFEE).stream(label)
+    }
+
+    #[test]
+    fn poisson_rejects_bad_lambda() {
+        assert!(Poisson::new(0.0).is_err());
+        assert!(Poisson::new(-1.0).is_err());
+        assert!(Poisson::new(f64::NAN).is_err());
+        assert!(Poisson::new(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn poisson_mean_and_variance_match() {
+        let mut r = rng("poisson");
+        for &lambda in &[0.2, 1.0, 7.5, 40.0, 150.0] {
+            let p = Poisson::new(lambda).unwrap();
+            let n = 40_000usize;
+            let samples = p.sample_n(&mut r, n);
+            let mean = samples.iter().sum::<f64>() / n as f64;
+            let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+            let tol = 5.0 * (lambda / n as f64).sqrt() + 0.01;
+            assert!((mean - lambda).abs() < tol, "mean {mean} vs {lambda}");
+            assert!((var - lambda).abs() < 0.15 * lambda + 0.05, "var {var} vs {lambda}");
+        }
+    }
+
+    #[test]
+    fn poisson_pmf_sums_to_one() {
+        let p = Poisson::new(6.3).unwrap();
+        let total: f64 = (0..200).map(|k| p.pmf(k)).sum();
+        assert!((total - 1.0).abs() < 1e-9, "pmf sum {total}");
+    }
+
+    #[test]
+    fn ln_factorial_matches_exact() {
+        let mut exact = 0.0f64;
+        for k in 1..=170u64 {
+            exact += (k as f64).ln();
+            let approx = ln_factorial(k);
+            assert!(
+                (approx - exact).abs() < 1e-6 * exact.max(1.0),
+                "k={k}: {approx} vs {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn exponential_mean_matches() {
+        let mut r = rng("exp");
+        let e = Exponential::with_mean(25.0).unwrap();
+        assert!((e.mean() - 25.0).abs() < 1e-12);
+        let n = 50_000;
+        let mean = e.sample_n(&mut r, n).iter().sum::<f64>() / n as f64;
+        assert!((mean - 25.0).abs() < 0.6, "mean {mean}");
+    }
+
+    #[test]
+    fn exponential_is_positive() {
+        let mut r = rng("exp-pos");
+        let e = Exponential::new(3.0).unwrap();
+        assert!(e.sample_n(&mut r, 10_000).iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn zipf_pmf_is_normalised_and_monotone() {
+        let z = Zipf::new(1000, 0.9).unwrap();
+        let total: f64 = (1..=1000).map(|k| z.pmf(k)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        for k in 1..1000 {
+            assert!(z.pmf(k) >= z.pmf(k + 1));
+        }
+        assert_eq!(z.pmf(0), 0.0);
+        assert_eq!(z.pmf(1001), 0.0);
+    }
+
+    #[test]
+    fn zipf_empirical_head_matches_pmf() {
+        let z = Zipf::new(50, 1.1).unwrap();
+        let mut r = rng("zipf");
+        let n = 100_000usize;
+        let mut counts = vec![0usize; 51];
+        for _ in 0..n {
+            counts[z.sample(&mut r)] += 1;
+        }
+        for (k, &count) in counts.iter().enumerate().take(6).skip(1) {
+            let emp = count as f64 / n as f64;
+            let th = z.pmf(k);
+            assert!((emp - th).abs() < 0.01, "rank {k}: {emp} vs {th}");
+        }
+    }
+
+    #[test]
+    fn zipf_rejects_degenerate() {
+        assert!(Zipf::new(0, 1.0).is_err());
+        assert!(Zipf::new(10, 0.0).is_err());
+    }
+
+    #[test]
+    fn normal_moments() {
+        let nd = Normal::new(-3.0, 2.0).unwrap();
+        let mut r = rng("normal");
+        let n = 60_000;
+        let xs = nd.sample_n(&mut r, n);
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!((mean + 3.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.15, "var {var}");
+    }
+
+    #[test]
+    fn lognormal_with_mean_hits_target() {
+        let ln = LogNormal::with_mean(1500.0, 0.8).unwrap();
+        assert!((ln.mean() - 1500.0).abs() < 1e-6);
+        let mut r = rng("lognormal");
+        let n = 200_000;
+        let mean = ln.sample_n(&mut r, n).iter().sum::<f64>() / n as f64;
+        assert!((mean - 1500.0).abs() < 30.0, "mean {mean}");
+    }
+
+    #[test]
+    fn pareto_tail_and_mean() {
+        let p = Pareto::new(1.0, 2.5).unwrap();
+        assert!((p.mean().unwrap() - (2.5 / 1.5)).abs() < 1e-12);
+        assert_eq!(Pareto::new(1.0, 0.9).unwrap().mean(), None);
+        let mut r = rng("pareto");
+        let xs = p.sample_n(&mut r, 50_000);
+        assert!(xs.iter().all(|&x| x >= 1.0));
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        assert!((mean - 5.0 / 3.0).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn categorical_alias_matches_weights() {
+        let weights = [0.1, 0.0, 3.0, 1.5, 0.4];
+        let c = Categorical::new(&weights).unwrap();
+        let mut r = rng("cat");
+        let n = 200_000usize;
+        let mut counts = vec![0usize; weights.len()];
+        for _ in 0..n {
+            counts[c.sample(&mut r)] += 1;
+        }
+        let total: f64 = weights.iter().sum();
+        for (i, &w) in weights.iter().enumerate() {
+            let emp = counts[i] as f64 / n as f64;
+            let th = w / total;
+            assert!((emp - th).abs() < 0.01, "cat {i}: {emp} vs {th}");
+            assert!((c.probability(i) - th).abs() < 1e-12);
+        }
+        assert_eq!(counts[1], 0, "zero-weight category must never be drawn");
+    }
+
+    #[test]
+    fn categorical_rejects_bad_input() {
+        assert!(Categorical::new(&[]).is_err());
+        assert!(Categorical::new(&[0.0, 0.0]).is_err());
+        assert!(Categorical::new(&[1.0, -0.5]).is_err());
+        assert!(Categorical::new(&[1.0, f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn categorical_single_category() {
+        let c = Categorical::new(&[42.0]).unwrap();
+        let mut r = rng("cat1");
+        assert_eq!(c.sample(&mut r), 0);
+        assert_eq!(c.len(), 1);
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = Poisson::new(-2.0).unwrap_err();
+        assert!(e.to_string().contains("lambda"));
+        let e = Categorical::new(&[]).unwrap_err();
+        assert!(e.to_string().contains("weights"));
+    }
+}

@@ -1,0 +1,91 @@
+//! Sweep grids for parameter scans and plot axes.
+//!
+//! The figure harness sweeps swarm capacity over several decades (Figs. 2 and
+//! 5 use log-x axes from 10⁻³ to 10⁴), so both linear and logarithmic grids
+//! are provided.
+
+/// `points` linearly spaced values covering `[lo, hi]` inclusive.
+///
+/// Returns an empty vector when `points == 0` or when the bounds are not
+/// finite; returns `[lo]` when `points == 1` or `lo == hi`.
+///
+/// # Example
+///
+/// ```
+/// let g = consume_local_stats::grid::lin_spaced(0.0, 1.0, 5);
+/// assert_eq!(g, vec![0.0, 0.25, 0.5, 0.75, 1.0]);
+/// ```
+pub fn lin_spaced(lo: f64, hi: f64, points: usize) -> Vec<f64> {
+    if points == 0 || !lo.is_finite() || !hi.is_finite() {
+        return Vec::new();
+    }
+    if points == 1 || lo == hi {
+        return vec![lo];
+    }
+    let step = (hi - lo) / (points - 1) as f64;
+    (0..points).map(|i| lo + step * i as f64).collect()
+}
+
+/// `points` logarithmically spaced values covering `[lo, hi]` inclusive.
+///
+/// Both bounds must be strictly positive; otherwise an empty vector is
+/// returned.
+///
+/// # Example
+///
+/// ```
+/// let g = consume_local_stats::grid::log_spaced(0.01, 100.0, 5);
+/// assert_eq!(g.len(), 5);
+/// assert!((g[2] - 1.0).abs() < 1e-12);
+/// ```
+pub fn log_spaced(lo: f64, hi: f64, points: usize) -> Vec<f64> {
+    if lo <= 0.0 || hi <= 0.0 || !lo.is_finite() || !hi.is_finite() {
+        return Vec::new();
+    }
+    lin_spaced(lo.ln(), hi.ln(), points).into_iter().map(f64::exp).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lin_endpoints_exact() {
+        let g = lin_spaced(-2.0, 3.0, 11);
+        assert_eq!(g.len(), 11);
+        assert_eq!(g[0], -2.0);
+        assert!((g[10] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lin_degenerate_cases() {
+        assert!(lin_spaced(0.0, 1.0, 0).is_empty());
+        assert_eq!(lin_spaced(2.0, 5.0, 1), vec![2.0]);
+        assert_eq!(lin_spaced(2.0, 2.0, 7), vec![2.0]);
+        assert!(lin_spaced(f64::NAN, 1.0, 4).is_empty());
+    }
+
+    #[test]
+    fn log_is_geometric() {
+        let g = log_spaced(1.0, 1000.0, 4);
+        for w in g.windows(2) {
+            assert!((w[1] / w[0] - 10.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn log_rejects_nonpositive() {
+        assert!(log_spaced(0.0, 10.0, 4).is_empty());
+        assert!(log_spaced(-1.0, 10.0, 4).is_empty());
+        assert!(log_spaced(1.0, f64::INFINITY, 4).is_empty());
+    }
+
+    #[test]
+    fn grids_are_monotone() {
+        for g in [lin_spaced(0.5, 9.5, 33), log_spaced(0.001, 10_000.0, 57)] {
+            for w in g.windows(2) {
+                assert!(w[1] > w[0]);
+            }
+        }
+    }
+}

@@ -1,0 +1,201 @@
+//! A small M/M/∞ event simulator.
+//!
+//! Validates the analytical capacity model (Section III-B of the paper):
+//! Poisson arrivals at rate `r`, exponential viewing times with mean `u`,
+//! infinitely many "servers" (peers never queue). The theory says occupancy
+//! is Poisson with mean `c = r·u` and the idle probability is `e^(−c)`.
+
+use rand::Rng;
+
+use consume_local_stats::dist::{DistError, Distribution, Exponential};
+
+/// Results of one M/M/∞ run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueueStats {
+    /// Time-averaged number of concurrent viewers (the empirical capacity).
+    pub mean_occupancy: f64,
+    /// Fraction of time the swarm was empty (theory: `e^(−c)`).
+    pub idle_fraction: f64,
+    /// Fraction of time with exactly one viewer (no sharing possible).
+    pub lonely_fraction: f64,
+    /// Number of arrivals processed.
+    pub arrivals: u64,
+}
+
+/// An M/M/∞ swarm occupancy simulator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MmInfQueue {
+    arrival_rate: f64,
+    mean_duration: f64,
+}
+
+impl MmInfQueue {
+    /// Creates a queue with Poisson arrival rate `arrival_rate` (per second)
+    /// and mean session duration `mean_duration` (seconds).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistError`] when either parameter is not positive and
+    /// finite.
+    pub fn new(arrival_rate: f64, mean_duration: f64) -> Result<Self, DistError> {
+        // Validate through the distribution constructors.
+        Exponential::new(arrival_rate)?;
+        Exponential::with_mean(mean_duration)?;
+        Ok(Self { arrival_rate, mean_duration })
+    }
+
+    /// The theoretical capacity `c = r·u`.
+    pub fn capacity(&self) -> f64 {
+        self.arrival_rate * self.mean_duration
+    }
+
+    /// Simulates `horizon` seconds of swarm dynamics and returns
+    /// time-averaged statistics.
+    ///
+    /// Uses a continuous-time event loop (arrival/departure events), so the
+    /// averages are exact for the sampled trajectory rather than
+    /// window-discretised.
+    pub fn simulate<R: Rng + ?Sized>(&self, horizon: f64, rng: &mut R) -> QueueStats {
+        if !horizon.is_finite() || horizon <= 0.0 {
+            return QueueStats {
+                mean_occupancy: 0.0,
+                idle_fraction: 1.0,
+                lonely_fraction: 0.0,
+                arrivals: 0,
+            };
+        }
+        let inter = Exponential::new(self.arrival_rate).expect("validated");
+        let service = Exponential::with_mean(self.mean_duration).expect("validated");
+
+        // Min-heap of departure times.
+        let mut departures = std::collections::BinaryHeap::new();
+        let mut t = 0.0f64;
+        let mut next_arrival = inter.sample(rng);
+        let mut occupancy = 0u64;
+        let mut arrivals = 0u64;
+        let mut weighted_occupancy = 0.0f64;
+        let mut idle_time = 0.0f64;
+        let mut lonely_time = 0.0f64;
+
+        while t < horizon {
+            let next_departure =
+                departures.peek().map(|std::cmp::Reverse(OrdF64(d))| *d).unwrap_or(f64::INFINITY);
+            let next_event = next_arrival.min(next_departure).min(horizon);
+            let dt = next_event - t;
+            weighted_occupancy += occupancy as f64 * dt;
+            match occupancy {
+                0 => idle_time += dt,
+                1 => lonely_time += dt,
+                _ => {}
+            }
+            t = next_event;
+            if t >= horizon {
+                break;
+            }
+            if next_arrival <= next_departure {
+                occupancy += 1;
+                arrivals += 1;
+                departures.push(std::cmp::Reverse(OrdF64(t + service.sample(rng))));
+                next_arrival = t + inter.sample(rng);
+            } else {
+                departures.pop();
+                occupancy -= 1;
+            }
+        }
+
+        QueueStats {
+            mean_occupancy: weighted_occupancy / horizon,
+            idle_fraction: idle_time / horizon,
+            lonely_fraction: lonely_time / horizon,
+            arrivals,
+        }
+    }
+}
+
+/// Total-order wrapper for finite f64 event times.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct OrdF64(f64);
+
+impl Eq for OrdF64 {}
+
+impl PartialOrd for OrdF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrdF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.partial_cmp(&other.0).expect("event times are finite")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use consume_local_stats::rng::SeedDerive;
+
+    #[test]
+    fn rejects_bad_params() {
+        assert!(MmInfQueue::new(0.0, 10.0).is_err());
+        assert!(MmInfQueue::new(1.0, -1.0).is_err());
+        assert!(MmInfQueue::new(f64::NAN, 1.0).is_err());
+    }
+
+    #[test]
+    fn occupancy_matches_littles_law() {
+        let mut rng = SeedDerive::new(42).stream("mminf");
+        for &(r, u) in &[(0.01, 100.0), (0.1, 20.0), (1.0, 5.0)] {
+            let q = MmInfQueue::new(r, u).unwrap();
+            let stats = q.simulate(500_000.0, &mut rng);
+            let c = q.capacity();
+            assert!(
+                (stats.mean_occupancy / c - 1.0).abs() < 0.05,
+                "r={r} u={u}: occupancy {} vs c={c}",
+                stats.mean_occupancy
+            );
+        }
+    }
+
+    #[test]
+    fn idle_fraction_matches_poisson_zero() {
+        let mut rng = SeedDerive::new(7).stream("mminf-idle");
+        let q = MmInfQueue::new(0.05, 30.0).unwrap(); // c = 1.5
+        let stats = q.simulate(1_000_000.0, &mut rng);
+        let expected = (-q.capacity()).exp();
+        assert!(
+            (stats.idle_fraction - expected).abs() < 0.02,
+            "idle {} vs e^-c {expected}",
+            stats.idle_fraction
+        );
+        // P(L = 1) = c·e^(−c).
+        let lonely = q.capacity() * expected;
+        assert!(
+            (stats.lonely_fraction - lonely).abs() < 0.02,
+            "lonely {} vs {lonely}",
+            stats.lonely_fraction
+        );
+    }
+
+    #[test]
+    fn arrival_count_matches_rate() {
+        let mut rng = SeedDerive::new(9).stream("mminf-arrivals");
+        let q = MmInfQueue::new(0.2, 10.0).unwrap();
+        let horizon = 200_000.0;
+        let stats = q.simulate(horizon, &mut rng);
+        let expected = 0.2 * horizon;
+        assert!(
+            (stats.arrivals as f64 / expected - 1.0).abs() < 0.03,
+            "arrivals {} vs {expected}",
+            stats.arrivals
+        );
+    }
+
+    #[test]
+    fn zero_horizon_is_empty() {
+        let mut rng = SeedDerive::new(1).stream("x");
+        let q = MmInfQueue::new(1.0, 1.0).unwrap();
+        let stats = q.simulate(0.0, &mut rng);
+        assert_eq!(stats.arrivals, 0);
+    }
+}

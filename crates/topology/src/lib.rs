@@ -1,0 +1,48 @@
+//! ISP metropolitan network topology for the `consume-local` workspace.
+//!
+//! The paper models an ISP's metropolitan network as a three-layer tree
+//! (Fig. 1): end users hang off *exchange points* (ExP), exchange points off
+//! *points of presence* (PoP), and PoPs off a single nationwide *core router*.
+//! For the large London ISP of the paper (Table III) the counts are 345
+//! exchange points, 9 PoPs and 1 core router, giving per-layer localisation
+//! probabilities `p_exp = 1/345 ≈ 0.29 %`, `p_pop = 1/9 ≈ 11.11 %`,
+//! `p_core = 1`.
+//!
+//! This crate provides:
+//!
+//! * [`Layer`] — the three aggregation layers, ordered by network distance;
+//! * [`IspTopology`] — a parametric tree with localisation probabilities and
+//!   the ExP → PoP mapping;
+//! * [`UserLocation`] and [`IspTopology::closeness`] — where a user sits in
+//!   the tree and the layer at which two users' paths meet;
+//! * [`IspProfile`] / [`IspRegistry`] — the five London-scale ISPs used in
+//!   the evaluation (ISP-1 is the published Table III topology);
+//! * [`localisation_table`](IspTopology::localisation_table) — regenerates
+//!   Table III.
+//!
+//! # Example
+//!
+//! ```
+//! use consume_local_topology::{IspTopology, Layer};
+//!
+//! # fn main() -> Result<(), consume_local_topology::TopologyError> {
+//! let isp = IspTopology::london_table3()?;
+//! assert_eq!(isp.node_count(Layer::ExchangePoint), 345);
+//! assert!((isp.localisation_probability(Layer::PointOfPresence) - 1.0 / 9.0).abs() < 1e-12);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod isp;
+mod layer;
+mod location;
+mod tree;
+
+pub use isp::{IspId, IspProfile, IspRegistry, RegistryError};
+pub use layer::Layer;
+pub use location::{ExchangeId, PopId, UserLocation};
+pub use tree::{IspTopology, LocalisationRow, TopologyError};

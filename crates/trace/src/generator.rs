@@ -1,0 +1,543 @@
+//! The trace generator: catalogue × population × arrival processes →
+//! a time-sorted stream of sessions.
+
+use std::fmt;
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use consume_local_stats::dist::{Categorical, Distribution, LogNormal, Poisson};
+use consume_local_stats::rng::SeedDerive;
+use consume_local_topology::IspRegistry;
+
+use crate::arrival::{age_decay_weights, window_share, DiurnalProfile};
+use crate::content::{Catalogue, ContentId};
+use crate::device::DeviceClass;
+use crate::popularity::Popularity;
+use crate::population::{Population, UserId};
+use crate::session::SessionRecord;
+use crate::time::{SimTime, SECS_PER_HOUR};
+
+/// Configuration of a synthetic trace. Start from a preset
+/// ([`TraceConfig::london_sep2013`]) and [`TraceConfig::scaled`] it down for
+/// experimentation; all knobs are public for custom workloads.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceConfig {
+    /// Days in the traced window.
+    pub days: u32,
+    /// Population size. Slightly above the paper's *active* user count
+    /// because a share of light users watch nothing in a given month.
+    pub users: u32,
+    /// Target total session count across the window.
+    pub sessions_target: u64,
+    /// Catalogue size in items.
+    ///
+    /// Scaling note (DESIGN.md §2): [`TraceConfig::scaled`] shrinks the
+    /// catalogue together with sessions so that *mean* per-item view counts
+    /// stay at the paper's level. The catalogue *head* still shrinks with
+    /// scale (the popularity normaliser covers fewer items), so scaled runs
+    /// have smaller top-swarm capacities than full-scale London — see
+    /// EXPERIMENTS.md for the scale sensitivity.
+    pub catalogue_size: u32,
+    /// Popularity model over the catalogue ranks.
+    pub popularity: Popularity,
+    /// Mean watched fraction of an episode (linear-space mean of a
+    /// log-normal).
+    pub mean_watch_fraction: f64,
+    /// Log-space sigma of the watched fraction.
+    pub watch_sigma: f64,
+    /// Hour-of-day viewing profile.
+    pub diurnal: DiurnalProfile,
+    /// The ISPs users subscribe to.
+    pub registry: IspRegistry,
+}
+
+impl TraceConfig {
+    /// Full-scale September 2013 (Table I: 3.3 M active users, 23.5 M
+    /// sessions, 30 days).
+    pub fn london_sep2013() -> Self {
+        Self {
+            days: 30,
+            users: 3_600_000,
+            sessions_target: 23_500_000,
+            catalogue_size: 24_000,
+            popularity: Popularity::catchup_tv(),
+            mean_watch_fraction: 0.72,
+            watch_sigma: 0.5,
+            diurnal: DiurnalProfile::evening_peak(),
+            registry: IspRegistry::london_top5(),
+        }
+    }
+
+    /// Full-scale July 2014 (Table I: 3.6 M active users, 24.2 M sessions,
+    /// 31 days).
+    pub fn london_jul2014() -> Self {
+        Self {
+            days: 31,
+            users: 3_950_000,
+            sessions_target: 24_200_000,
+            catalogue_size: 24_800,
+            ..Self::london_sep2013()
+        }
+    }
+
+    /// Scales users, sessions and catalogue size by `scale ∈ (0, 1]`,
+    /// preserving per-item view counts (see the `catalogue_size` field docs).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError`] when `scale` is outside `(0, 1]`.
+    pub fn scaled(mut self, scale: f64) -> Result<Self, TraceError> {
+        if !scale.is_finite() || scale <= 0.0 || scale > 1.0 {
+            return Err(TraceError::BadConfig { field: "scale", value: scale });
+        }
+        self.users = ((f64::from(self.users) * scale).round() as u32).max(1);
+        self.sessions_target = ((self.sessions_target as f64 * scale).round() as u64).max(1);
+        self.catalogue_size = ((f64::from(self.catalogue_size) * scale).round() as u32).max(1);
+        Ok(self)
+    }
+
+    /// Validates every field.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated constraint as a [`TraceError`].
+    pub fn validate(&self) -> Result<(), TraceError> {
+        let bad = |field: &'static str, value: f64| Err(TraceError::BadConfig { field, value });
+        if self.days == 0 {
+            return bad("days", 0.0);
+        }
+        if self.users == 0 {
+            return bad("users", 0.0);
+        }
+        if self.sessions_target == 0 {
+            return bad("sessions_target", 0.0);
+        }
+        if self.catalogue_size == 0 {
+            return bad("catalogue_size", 0.0);
+        }
+        if self.popularity.validate().is_err() {
+            return bad("popularity", f64::NAN);
+        }
+        if !(0.0..=1.0).contains(&self.mean_watch_fraction) || self.mean_watch_fraction == 0.0 {
+            return bad("mean_watch_fraction", self.mean_watch_fraction);
+        }
+        if !self.watch_sigma.is_finite() || self.watch_sigma <= 0.0 {
+            return bad("watch_sigma", self.watch_sigma);
+        }
+        Ok(())
+    }
+
+    /// The traced horizon in seconds.
+    pub fn horizon_seconds(&self) -> u64 {
+        u64::from(self.days) * crate::time::SECS_PER_DAY
+    }
+}
+
+/// Error from trace configuration or generation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceError {
+    /// A configuration field is out of range.
+    BadConfig {
+        /// The field name.
+        field: &'static str,
+        /// The offending value (0.0 stands in for zero integer fields).
+        value: f64,
+    },
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::BadConfig { field, value } => {
+                write!(f, "invalid trace config: `{field}` = {value}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// A generated trace: the sessions plus the world they were generated from.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    config: TraceConfig,
+    catalogue: Catalogue,
+    population: Population,
+    sessions: Vec<SessionRecord>,
+}
+
+impl Trace {
+    /// The sessions, sorted by start time.
+    pub fn sessions(&self) -> &[SessionRecord] {
+        &self.sessions
+    }
+
+    /// The content catalogue.
+    pub fn catalogue(&self) -> &Catalogue {
+        &self.catalogue
+    }
+
+    /// The user population.
+    pub fn population(&self) -> &Population {
+        &self.population
+    }
+
+    /// The generating configuration.
+    pub fn config(&self) -> &TraceConfig {
+        &self.config
+    }
+
+    /// The traced horizon in seconds.
+    pub fn horizon_seconds(&self) -> u64 {
+        self.config.horizon_seconds()
+    }
+
+    /// Assembles a trace from parts (for custom workloads or tests);
+    /// sessions are sorted by start time on the way in.
+    pub fn from_parts(
+        config: TraceConfig,
+        catalogue: Catalogue,
+        population: Population,
+        mut sessions: Vec<SessionRecord>,
+    ) -> Self {
+        sessions.sort_by_key(|s| (s.start, s.user.0, s.content.0));
+        Self { config, catalogue, population, sessions }
+    }
+}
+
+/// The generator: a [`TraceConfig`] plus a master seed.
+///
+/// Generation is deterministic in the seed, and every component draws from
+/// its own derived stream, so e.g. enlarging the catalogue does not perturb
+/// the population.
+#[derive(Debug, Clone)]
+pub struct TraceGenerator {
+    config: TraceConfig,
+    seeds: SeedDerive,
+}
+
+/// Affinity of a user with mainstreamness `m` for each popularity tier
+/// (head = top 1 % of items, mid = next 9 %, tail = rest).
+///
+/// The contrast is strong by design: catch-up TV audiences split into
+/// hit-watchers and niche browsers, which is what produces the bimodal
+/// per-user carbon outcome of Fig. 6 (many carbon-positive mainstream users,
+/// a long negative tail of niche viewers).
+fn tier_affinity(mainstreamness: f64, tier: usize) -> f64 {
+    match tier {
+        0 => 0.10 + 0.90 * mainstreamness,
+        1 => 0.70,
+        _ => 1.00 - 0.90 * mainstreamness,
+    }
+}
+
+/// Tier of an item given its rank and the catalogue size.
+fn tier_of(rank: u32, catalogue_size: u32) -> usize {
+    let frac = f64::from(rank) / f64::from(catalogue_size.max(1));
+    if frac < 0.01 {
+        0
+    } else if frac < 0.10 {
+        1
+    } else {
+        2
+    }
+}
+
+impl TraceGenerator {
+    /// Creates a generator.
+    pub fn new(config: TraceConfig, seed: u64) -> Self {
+        Self { config, seeds: SeedDerive::new(seed) }
+    }
+
+    /// Generates the trace.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError`] if the configuration fails
+    /// [`TraceConfig::validate`].
+    pub fn generate(&self) -> Result<Trace, TraceError> {
+        self.config.validate()?;
+        let cfg = &self.config;
+
+        let catalogue = Catalogue::generate(
+            cfg.catalogue_size,
+            cfg.popularity,
+            cfg.days,
+            &mut self.seeds.stream("catalogue"),
+        )
+        .expect("validated config");
+        let population =
+            Population::generate(cfg.users, &cfg.registry, &mut self.seeds.stream("population"))
+                .expect("validated config");
+
+        // Per-tier viewer samplers: weight = activity × taste affinity.
+        let viewer_tables: Vec<Categorical> = (0..3)
+            .map(|tier| {
+                let weights: Vec<f64> = population
+                    .users()
+                    .iter()
+                    .map(|u| u.activity * tier_affinity(u.mainstreamness, tier))
+                    .collect();
+                Categorical::new(&weights).expect("population activity weights are positive")
+            })
+            .collect();
+
+        let device_sampler = DeviceClass::mix_sampler();
+        let watch_dist = LogNormal::with_mean(cfg.mean_watch_fraction, cfg.watch_sigma)
+            .expect("validated config");
+
+        let mut sessions: Vec<SessionRecord> =
+            Vec::with_capacity(cfg.sessions_target as usize + cfg.sessions_target as usize / 8);
+
+        for item in catalogue.items() {
+            let expected_views =
+                catalogue.popularity_share(item.id) * cfg.sessions_target as f64;
+            if expected_views <= 0.0 {
+                continue;
+            }
+            let Some(day_weights) = age_decay_weights(item.broadcast_day, cfg.days) else {
+                continue;
+            };
+            let mut rng = self.seeds.stream_indexed("arrivals", u64::from(item.id.0));
+            let tier = tier_of(item.id.0, cfg.catalogue_size);
+            for day in 0..cfg.days {
+                for hour in 0..24 {
+                    let share = window_share(&day_weights, &cfg.diurnal, day, hour);
+                    let lambda = expected_views * share;
+                    if lambda <= 0.0 {
+                        continue;
+                    }
+                    let n = Poisson::new(lambda).expect("lambda > 0").sample(&mut rng) as u64;
+                    for _ in 0..n {
+                        sessions.push(self.make_session(
+                            item.id,
+                            item.duration_secs,
+                            day,
+                            hour,
+                            tier,
+                            &viewer_tables,
+                            &device_sampler,
+                            &watch_dist,
+                            &population,
+                            &mut rng,
+                        ));
+                    }
+                }
+            }
+        }
+
+        sessions.sort_by_key(|s| (s.start, s.user.0, s.content.0));
+        Ok(Trace { config: self.config.clone(), catalogue, population, sessions })
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn make_session<R: Rng + ?Sized>(
+        &self,
+        content: ContentId,
+        item_duration: u32,
+        day: u32,
+        hour: u32,
+        tier: usize,
+        viewer_tables: &[Categorical],
+        device_sampler: &Categorical,
+        watch_dist: &LogNormal,
+        population: &Population,
+        rng: &mut R,
+    ) -> SessionRecord {
+        let start = SimTime::from_day_hour(day, hour) + rng.gen_range(0..SECS_PER_HOUR);
+        let viewer = UserId(viewer_tables[tier].sample(rng) as u32);
+        let profile = population.get(viewer).expect("sampler indexes the population");
+        let device = DeviceClass::MIX[device_sampler.sample(rng)].0;
+        let fraction = watch_dist.sample(rng).clamp(0.02, 1.0);
+        let duration = ((f64::from(item_duration) * fraction) as u32).clamp(60, item_duration);
+        SessionRecord {
+            user: viewer,
+            content,
+            start,
+            duration_secs: duration,
+            device,
+            isp: profile.isp,
+            location: profile.location,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> TraceConfig {
+        TraceConfig::london_sep2013().scaled(0.001).unwrap()
+    }
+
+    fn small_trace() -> Trace {
+        TraceGenerator::new(small_config(), 1234).generate().unwrap()
+    }
+
+    #[test]
+    fn scaling_preserves_views_per_item() {
+        let full = TraceConfig::london_sep2013();
+        let small = full.clone().scaled(0.01).unwrap();
+        let full_per_item = full.sessions_target as f64 / f64::from(full.catalogue_size);
+        let small_per_item = small.sessions_target as f64 / f64::from(small.catalogue_size);
+        assert!((full_per_item / small_per_item - 1.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn scale_validation() {
+        let cfg = TraceConfig::london_sep2013();
+        assert!(cfg.clone().scaled(0.0).is_err());
+        assert!(cfg.clone().scaled(-0.5).is_err());
+        assert!(cfg.clone().scaled(1.5).is_err());
+        assert!(cfg.clone().scaled(f64::NAN).is_err());
+        assert!(cfg.scaled(1.0).is_ok());
+    }
+
+    #[test]
+    fn config_validation_catches_each_field() {
+        let base = small_config();
+        let mut c = base.clone();
+        c.days = 0;
+        assert!(c.validate().is_err());
+        let mut c = base.clone();
+        c.users = 0;
+        assert!(c.validate().is_err());
+        let mut c = base.clone();
+        c.sessions_target = 0;
+        assert!(c.validate().is_err());
+        let mut c = base.clone();
+        c.catalogue_size = 0;
+        assert!(c.validate().is_err());
+        let mut c = base.clone();
+        c.popularity = Popularity::Zipf { exponent: -1.0 };
+        assert!(c.validate().is_err());
+        let mut c = base.clone();
+        c.mean_watch_fraction = 0.0;
+        assert!(c.validate().is_err());
+        let mut c = base.clone();
+        c.watch_sigma = f64::NAN;
+        assert!(c.validate().is_err());
+        assert!(base.validate().is_ok());
+    }
+
+    #[test]
+    fn session_count_near_target() {
+        let trace = small_trace();
+        let target = trace.config().sessions_target as f64;
+        let actual = trace.sessions().len() as f64;
+        assert!(
+            (actual / target - 1.0).abs() < 0.05,
+            "sessions {actual} vs target {target}"
+        );
+    }
+
+    #[test]
+    fn sessions_sorted_and_within_window() {
+        let trace = small_trace();
+        let horizon = trace.horizon_seconds();
+        assert!(trace.sessions().windows(2).all(|w| w[0].start <= w[1].start));
+        for s in trace.sessions() {
+            assert!(s.start.as_secs() < horizon);
+            assert!(s.duration_secs >= 60);
+            let item = trace.catalogue().get(s.content).unwrap();
+            assert!(s.duration_secs <= item.duration_secs);
+        }
+    }
+
+    #[test]
+    fn sessions_reference_population_consistently() {
+        let trace = small_trace();
+        for s in trace.sessions().iter().take(5_000) {
+            let u = trace.population().get(s.user).unwrap();
+            assert_eq!(s.isp, u.isp);
+            assert_eq!(s.location, u.location);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = TraceGenerator::new(small_config(), 77).generate().unwrap();
+        let b = TraceGenerator::new(small_config(), 77).generate().unwrap();
+        assert_eq!(a.sessions(), b.sessions());
+        let c = TraceGenerator::new(small_config(), 78).generate().unwrap();
+        assert_ne!(a.sessions(), c.sessions());
+    }
+
+    #[test]
+    fn popular_items_get_more_views() {
+        let trace = small_trace();
+        let n = trace.catalogue().len() as u32;
+        let mut views = vec![0u32; n as usize];
+        for s in trace.sessions() {
+            views[s.content.0 as usize] += 1;
+        }
+        // Head item dominates the tail: with Zipf s = 0.55 over the scaled
+        // 24-item catalogue the head/tail view ratio is ≈ 24^0.55 ≈ 5.7
+        // in expectation (taste affinities flatten it somewhat).
+        let head = views[0];
+        let tail: f64 =
+            views[(n as usize * 9 / 10)..].iter().map(|&v| f64::from(v)).sum::<f64>()
+                / (n as f64 / 10.0);
+        assert!(
+            f64::from(head) > 3.0 * tail,
+            "head {head} vs mean tail {tail}"
+        );
+    }
+
+    #[test]
+    fn evening_peak_visible() {
+        let trace = small_trace();
+        let mut by_hour = [0u32; 24];
+        for s in trace.sessions() {
+            by_hour[s.start.hour_of_day() as usize] += 1;
+        }
+        let peak: u32 = (19..23).map(|h| by_hour[h]).sum();
+        let trough: u32 = (2..6).map(|h| by_hour[h]).sum();
+        assert!(peak > 8 * trough, "prime time {peak} vs night {trough}");
+    }
+
+    #[test]
+    fn mainstream_users_watch_more_head_content() {
+        let trace = small_trace();
+        let head_cut = trace.catalogue().len() as u32 / 100; // top 1%
+        let mut head_m = Vec::new();
+        let mut tail_m = Vec::new();
+        for s in trace.sessions() {
+            let m = trace.population().get(s.user).unwrap().mainstreamness;
+            if s.content.0 < head_cut.max(1) {
+                head_m.push(m);
+            } else if s.content.0 > trace.catalogue().len() as u32 / 10 {
+                tail_m.push(m);
+            }
+        }
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+        assert!(
+            mean(&head_m) > mean(&tail_m) + 0.05,
+            "head viewers {} vs tail viewers {}",
+            mean(&head_m),
+            mean(&tail_m)
+        );
+    }
+
+    #[test]
+    fn from_parts_sorts() {
+        let trace = small_trace();
+        let mut shuffled = trace.sessions().to_vec();
+        shuffled.reverse();
+        let rebuilt = Trace::from_parts(
+            trace.config().clone(),
+            trace.catalogue().clone(),
+            trace.population().clone(),
+            shuffled,
+        );
+        assert!(rebuilt.sessions().windows(2).all(|w| w[0].start <= w[1].start));
+        assert_eq!(rebuilt.sessions().len(), trace.sessions().len());
+    }
+
+    #[test]
+    fn error_display() {
+        let err = TraceConfig::london_sep2013().scaled(2.0).unwrap_err();
+        assert!(err.to_string().contains("scale"));
+    }
+}

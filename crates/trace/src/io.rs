@@ -1,0 +1,241 @@
+//! Plain-text CSV serialisation of session streams.
+//!
+//! The format is a stable, dependency-free CSV with a header row:
+//!
+//! ```text
+//! user,content,start_secs,duration_secs,device,isp,pop,exchange
+//! ```
+//!
+//! All fields are unsigned integers except `device`, which uses the
+//! [`DeviceClass`] display tokens (`mobile`, `tablet`, `desktop`, `hd-tv`,
+//! `fullhd-tv`). This lets real traces (with the paper's schema) be converted
+//! into the simulator's input without the generator.
+
+use std::fmt;
+use std::io::{self, BufRead, Write};
+
+use consume_local_topology::{ExchangeId, IspId, PopId, UserLocation};
+
+use crate::content::ContentId;
+use crate::device::DeviceClass;
+use crate::population::UserId;
+use crate::session::SessionRecord;
+use crate::time::SimTime;
+
+/// The CSV header line.
+pub const HEADER: &str = "user,content,start_secs,duration_secs,device,isp,pop,exchange";
+
+/// Error from [`read_sessions`].
+#[derive(Debug)]
+pub enum ReadError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A malformed line (1-based line number and description).
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl fmt::Display for ReadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReadError::Io(e) => write!(f, "trace io error: {e}"),
+            ReadError::Parse { line, message } => {
+                write!(f, "trace parse error at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReadError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ReadError::Io(e) => Some(e),
+            ReadError::Parse { .. } => None,
+        }
+    }
+}
+
+impl From<io::Error> for ReadError {
+    fn from(e: io::Error) -> Self {
+        ReadError::Io(e)
+    }
+}
+
+fn device_token(d: DeviceClass) -> &'static str {
+    match d {
+        DeviceClass::Mobile => "mobile",
+        DeviceClass::Tablet => "tablet",
+        DeviceClass::Desktop => "desktop",
+        DeviceClass::HdTv => "hd-tv",
+        DeviceClass::FullHdTv => "fullhd-tv",
+    }
+}
+
+fn device_from_token(s: &str) -> Option<DeviceClass> {
+    Some(match s {
+        "mobile" => DeviceClass::Mobile,
+        "tablet" => DeviceClass::Tablet,
+        "desktop" => DeviceClass::Desktop,
+        "hd-tv" => DeviceClass::HdTv,
+        "fullhd-tv" => DeviceClass::FullHdTv,
+        _ => return None,
+    })
+}
+
+/// Writes sessions as CSV (header + one line per session).
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_sessions<W: Write>(mut w: W, sessions: &[SessionRecord]) -> io::Result<()> {
+    writeln!(w, "{HEADER}")?;
+    for s in sessions {
+        writeln!(
+            w,
+            "{},{},{},{},{},{},{},{}",
+            s.user.0,
+            s.content.0,
+            s.start.as_secs(),
+            s.duration_secs,
+            device_token(s.device),
+            s.isp.0,
+            s.location.pop().0,
+            s.location.exchange().0,
+        )?;
+    }
+    Ok(())
+}
+
+/// Reads sessions from CSV produced by [`write_sessions`] (or an external
+/// converter emitting the same schema).
+///
+/// # Errors
+///
+/// Returns [`ReadError::Parse`] on a bad header, wrong field count or
+/// unparseable field, and [`ReadError::Io`] on reader failure.
+pub fn read_sessions<R: BufRead>(r: R) -> Result<Vec<SessionRecord>, ReadError> {
+    let mut out = Vec::new();
+    let mut lines = r.lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| ReadError::Parse { line: 1, message: "empty input".into() })??;
+    if header.trim() != HEADER {
+        return Err(ReadError::Parse { line: 1, message: format!("bad header `{header}`") });
+    }
+    for (i, line) in lines.enumerate() {
+        let line = line?;
+        let lineno = i + 2;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() != 8 {
+            return Err(ReadError::Parse {
+                line: lineno,
+                message: format!("expected 8 fields, got {}", fields.len()),
+            });
+        }
+        let parse_u64 = |idx: usize, name: &str| -> Result<u64, ReadError> {
+            fields[idx].trim().parse::<u64>().map_err(|e| ReadError::Parse {
+                line: lineno,
+                message: format!("bad {name} `{}`: {e}", fields[idx]),
+            })
+        };
+        let device = device_from_token(fields[4].trim()).ok_or_else(|| ReadError::Parse {
+            line: lineno,
+            message: format!("unknown device `{}`", fields[4]),
+        })?;
+        out.push(SessionRecord {
+            user: UserId(parse_u64(0, "user")? as u32),
+            content: ContentId(parse_u64(1, "content")? as u32),
+            start: SimTime(parse_u64(2, "start_secs")?),
+            duration_secs: parse_u64(3, "duration_secs")? as u32,
+            device,
+            isp: IspId(parse_u64(5, "isp")? as u8),
+            location: location_from_parts(
+                parse_u64(6, "pop")? as u32,
+                parse_u64(7, "exchange")? as u32,
+            ),
+        });
+    }
+    Ok(out)
+}
+
+/// Rebuilds a [`UserLocation`] from its serialized parts.
+///
+/// The CSV stores both the PoP and the exchange so the round trip does not
+/// depend on any particular topology's parent mapping.
+fn location_from_parts(pop: u32, exchange: u32) -> UserLocation {
+    UserLocation::from_raw_parts(ExchangeId(exchange), PopId(pop))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{TraceConfig, TraceGenerator};
+
+    fn sample_sessions() -> Vec<SessionRecord> {
+        let cfg = TraceConfig::london_sep2013().scaled(0.0002).unwrap();
+        TraceGenerator::new(cfg, 5).generate().unwrap().sessions().to_vec()
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let sessions = sample_sessions();
+        assert!(!sessions.is_empty());
+        let mut buf = Vec::new();
+        write_sessions(&mut buf, &sessions).unwrap();
+        let back = read_sessions(buf.as_slice()).unwrap();
+        assert_eq!(sessions, back);
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        let err = read_sessions("nope\n1,2,3".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("bad header"));
+    }
+
+    #[test]
+    fn rejects_empty_input() {
+        let err = read_sessions("".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("empty input"));
+    }
+
+    #[test]
+    fn rejects_wrong_field_count() {
+        let input = format!("{HEADER}\n1,2,3\n");
+        let err = read_sessions(input.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("expected 8 fields"));
+        assert!(err.to_string().contains("line 2"));
+    }
+
+    #[test]
+    fn rejects_bad_device_and_numbers() {
+        let input = format!("{HEADER}\n1,2,3,4,gameboy,0,1,2\n");
+        let err = read_sessions(input.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("unknown device"));
+        let input = format!("{HEADER}\nx,2,3,4,mobile,0,1,2\n");
+        let err = read_sessions(input.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("bad user"));
+    }
+
+    #[test]
+    fn skips_blank_lines() {
+        let input = format!("{HEADER}\n\n1,2,3,90,mobile,0,1,2\n\n");
+        let sessions = read_sessions(input.as_bytes()).unwrap();
+        assert_eq!(sessions.len(), 1);
+        assert_eq!(sessions[0].duration_secs, 90);
+    }
+
+    #[test]
+    fn device_tokens_round_trip() {
+        for (d, _) in DeviceClass::MIX {
+            assert_eq!(device_from_token(device_token(d)), Some(d));
+        }
+        assert_eq!(device_from_token("vr-headset"), None);
+    }
+}

@@ -1,0 +1,100 @@
+//! Network planning with the closed form: the paper argues Eq. 12 "can
+//! potentially be used for network planning purposes" — this example asks
+//! the planning questions directly.
+//!
+//! ```sh
+//! cargo run --release --example capacity_planning
+//! ```
+
+use consume_local::analytics::planning;
+use consume_local::ascii;
+use consume_local::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("== capacity planning with the closed-form model ==\n");
+    let month_secs = 30.0 * 86_400.0;
+    let mean_watch_secs = 25.0 * 60.0;
+
+    // Q1: what swarm capacity do I need to hit a savings target?
+    println!("Q1. Required swarm capacity (and monthly views) per savings target, q/β = 1:\n");
+    let registry = IspRegistry::london_top5();
+    let mut rows = Vec::new();
+    for params in EnergyParams::published() {
+        let topo = &registry.profiles()[0].topology;
+        let model = SavingsModel::new(params, topo, 1.0)?;
+        for target in [0.10, 0.20, 0.30, 0.40] {
+            let row = match planning::capacity_for_savings(&model, target) {
+                Some(c) => {
+                    let views = planning::views_for_capacity(c, mean_watch_secs, month_secs)
+                        .unwrap_or(f64::NAN);
+                    vec![
+                        params.name().to_string(),
+                        format!("{:.0}%", target * 100.0),
+                        format!("{c:.2}"),
+                        format!("{views:.0}"),
+                    ]
+                }
+                None => vec![
+                    params.name().to_string(),
+                    format!("{:.0}%", target * 100.0),
+                    "unreachable".into(),
+                    format!("(asymptote {:.1}%)", model.asymptotic_savings() * 100.0),
+                ],
+            };
+            rows.push(row);
+        }
+    }
+    println!(
+        "{}",
+        ascii::table(&["model", "target savings", "capacity c", "monthly views needed"], &rows)
+    );
+
+    // Q2: when does the average participating user go carbon neutral?
+    println!("Q2. Swarm capacity at which streaming turns carbon neutral:\n");
+    let mut rows = Vec::new();
+    for params in EnergyParams::published() {
+        for ratio in [0.6, 0.8, 1.0] {
+            let topo = &registry.profiles()[0].topology;
+            let savings = SavingsModel::new(params, topo, ratio)?;
+            let credits = CreditModel::new(params);
+            let answer = match planning::capacity_for_carbon_neutrality(&credits, &savings) {
+                Some(c) => format!("c ≥ {c:.1}"),
+                None => "unreachable at this q/β".into(),
+            };
+            rows.push(vec![params.name().to_string(), format!("{ratio}"), answer]);
+        }
+    }
+    println!("{}", ascii::table(&["model", "q/β", "carbon-neutral capacity"], &rows));
+
+    // Q3: how do the five London ISPs differ at equal content popularity?
+    println!("Q3. Savings at capacity 10 across the registry (topology effect only):\n");
+    let mut rows = Vec::new();
+    for profile in registry.profiles() {
+        let mut row = vec![
+            profile.name.clone(),
+            format!("{:.0}%", profile.market_share * 100.0),
+            format!(
+                "{}/{}",
+                profile.topology.node_count(Layer::ExchangePoint),
+                profile.topology.node_count(Layer::PointOfPresence)
+            ),
+        ];
+        for params in EnergyParams::published() {
+            let m = SavingsModel::new(params, &profile.topology, 1.0)?;
+            row.push(format!("{:.1}%", m.savings(10.0) * 100.0));
+        }
+        rows.push(row);
+    }
+    println!(
+        "{}",
+        ascii::table(
+            &["ISP", "share", "ExP/PoP", "Valancius S(10)", "Baliga S(10)"],
+            &rows
+        )
+    );
+    println!(
+        "smaller trees localise the same swarm better (higher p_exp), but in production\n\
+         their sub-swarms are smaller — the simulation figures capture both effects."
+    );
+    Ok(())
+}

@@ -1,0 +1,77 @@
+//! Carbon credit statements: what each user owes or earns once the CDN
+//! transfers its saved server energy to uploaders (Section V / Fig. 6).
+//!
+//! ```sh
+//! cargo run --release --example carbon_statements
+//! ```
+
+use consume_local::ascii::{self, Chart};
+use consume_local::figures::fig6;
+use consume_local::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("== carbon credit statements ==\n");
+
+    let exp = Experiment::builder().scale(0.005).seed(99).build()?;
+    let report = exp.report();
+
+    // A few individual statements, most-active users first.
+    let mut active: Vec<(u32, &consume_local::sim::UserTraffic)> =
+        report.active_users().collect();
+    active.sort_by_key(|(_, t)| std::cmp::Reverse(t.watched_bytes));
+
+    let params = EnergyParams::baliga();
+    println!("sample statements under the {} model:", params.name());
+    let mut rows = Vec::new();
+    let picks: Vec<usize> =
+        vec![0, active.len() / 4, active.len() / 2, active.len() * 3 / 4, active.len() - 1];
+    for idx in picks {
+        let (user, traffic) = active[idx];
+        let Some(st) = CarbonStatement::new(traffic.watched_bytes, traffic.uploaded_bytes, &params)
+        else {
+            continue;
+        };
+        rows.push(vec![
+            format!("u{user}"),
+            format!("{:.2} GB", st.watched_bytes as f64 / 1e9),
+            format!("{:.2} GB", st.uploaded_bytes as f64 / 1e9),
+            format!("{:.3} kWh", st.footprint.as_kwh()),
+            format!("{:.3} kWh", st.credit.as_kwh()),
+            format!("{:+.0}%", st.cct * 100.0),
+            st.status.to_string(),
+        ]);
+    }
+    println!(
+        "{}",
+        ascii::table(
+            &["user", "watched", "uploaded", "footprint", "credit", "CCT", "status"],
+            &rows
+        )
+    );
+
+    // The population view: Fig. 6.
+    let f6 = fig6(report, 80);
+    for (model, credit) in &f6.reports {
+        println!(
+            "{model:?}: {} users with traffic — {:.1}% carbon positive, median CCT {:+.2}",
+            credit.users(),
+            credit.carbon_positive_share() * 100.0,
+            credit.median_cct().unwrap_or(0.0)
+        );
+    }
+
+    println!("\nCDF of per-user CCT (v = Valancius, b = Baliga):");
+    let v = &f6.series[0].1;
+    let b = &f6.series[1].1;
+    println!(
+        "{}",
+        Chart::new(64, 12).y_range(0.0, 1.0).series('v', v).series('b', b).render()
+    );
+
+    println!(
+        "users pinned at CCT = −1 never uploaded (lonely swarms / niche tastes);\n\
+         the paper's full-scale shares are ≈41% (Valancius) and >70% (Baliga)\n\
+         carbon positive — scaled runs sit lower, same shape (EXPERIMENTS.md)."
+    );
+    Ok(())
+}

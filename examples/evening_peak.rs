@@ -1,0 +1,90 @@
+//! A popular show on launch night: swarm dynamics over prime time and the
+//! theory-vs-simulation comparison of Fig. 2, on a single exemplar item.
+//!
+//! The workload mirrors the paper's "Bad Education" exemplar: a catalogue
+//! headlined by one ~100 K-view episode, ISP-friendly bitrate-split swarms,
+//! peers matched closest-first.
+//!
+//! ```sh
+//! cargo run --release --example evening_peak
+//! ```
+
+use consume_local::ascii::{self, Chart};
+use consume_local::figures::{fig2, Fig2Options, PopularityTier};
+use consume_local::prelude::*;
+use consume_local::trace::TraceConfig;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("== evening peak: one hit episode, one month ==\n");
+
+    // An exemplar catalogue: 3 items whose view counts ladder down
+    // 100K → ~10K → ~2.5K, like the paper's three tiers.
+    let mut config = TraceConfig::london_sep2013();
+    config.catalogue_size = 3;
+    config.popularity = consume_local::trace::popularity::Popularity::Zipf { exponent: 3.35 };
+    config.sessions_target = 112_000;
+    config.users = 40_000;
+    let trace = TraceGenerator::new(config, 2024).generate()?;
+    println!(
+        "generated {} sessions for {} items over {} days",
+        trace.sessions().len(),
+        trace.catalogue().len(),
+        trace.config().days
+    );
+
+    // Hour-by-hour concurrency of the hit item on its broadcast day + 1.
+    let hit = consume_local::trace::ContentId(0);
+    let bday = trace.catalogue().get(hit).unwrap().broadcast_day.max(0) as u32;
+    let mut hourly = [0u32; 48];
+    for s in trace.sessions().iter().filter(|s| s.content == hit) {
+        let day = s.start.day();
+        if day == bday || day == bday + 1 {
+            hourly[((day - bday) * 24 + s.start.hour_of_day()) as usize] += 1;
+        }
+    }
+    let series: Vec<(f64, f64)> =
+        hourly.iter().enumerate().map(|(h, &n)| (h as f64, f64::from(n))).collect();
+    println!("\nsessions per hour, broadcast day and day after (x = hour):");
+    println!("{}", Chart::new(64, 10).series('#', &series).render());
+
+    // Theory vs simulation across the q/β sweep (Fig. 2 panels).
+    let opts = Fig2Options::default();
+    let panels = fig2(&trace, &SimConfig::default(), &opts);
+
+    for tier in [PopularityTier::Popular, PopularityTier::Medium, PopularityTier::Unpopular] {
+        println!("--- {} ---", tier.label());
+        let mut rows = Vec::new();
+        for panel in panels.iter().filter(|p| p.tier == tier) {
+            for ratio in &opts.ratios {
+                let dots: Vec<_> =
+                    panel.dots.iter().filter(|d| (d.ratio - ratio).abs() < 1e-9).collect();
+                if dots.is_empty() {
+                    continue;
+                }
+                let mean =
+                    |f: fn(&&consume_local::figures::Fig2Dot) -> f64| -> f64 {
+                        dots.iter().map(&f).sum::<f64>() / dots.len() as f64
+                    };
+                rows.push(vec![
+                    format!("{:?}", panel.model),
+                    format!("{ratio}"),
+                    format!("{}", dots.len()),
+                    format!("{:.2}", mean(|d| d.capacity)),
+                    format!("{:.1}%", mean(|d| d.sim) * 100.0),
+                    format!("{:.1}%", mean(|d| d.theory) * 100.0),
+                ]);
+            }
+        }
+        println!(
+            "{}",
+            ascii::table(
+                &["model", "q/β", "swarms", "mean capacity", "sim savings", "theory savings"],
+                &rows
+            )
+        );
+    }
+
+    println!("theory curves use Eq. 12 with the measured sub-swarm capacities;");
+    println!("agreement within a few points of a percent mirrors the paper's Fig. 2.");
+    Ok(())
+}

@@ -1,0 +1,84 @@
+//! Carbon, not just energy: pricing the system's electricity against the UK
+//! grid's carbon intensity, including the night-is-greener effect that
+//! complicates the preloading story.
+//!
+//! ```sh
+//! cargo run --release --example green_scheduling
+//! ```
+
+use consume_local::ascii;
+use consume_local::carbon::GridIntensity;
+use consume_local::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("== green scheduling: energy → CO₂ ==\n");
+    let grid = GridIntensity::uk_2013_diurnal();
+    println!(
+        "UK grid 2013: mean {} gCO₂/kWh, cleanest hour {:02}:00\n",
+        grid.mean_g_per_kwh(),
+        grid.cleanest_hour()
+    );
+
+    // 1. A month of London streaming, in tonnes of CO₂.
+    let exp = Experiment::builder().scale(0.01).seed(3).build()?;
+    let report = exp.report();
+    let mut rows = Vec::new();
+    for params in EnergyParams::published() {
+        let hybrid = report.total.hybrid_energy(&params);
+        let baseline = report.total.baseline_energy(&params);
+        let scale_up = 1.0 / exp.scale(); // project to full London
+        rows.push(vec![
+            params.name().to_string(),
+            format!("{:.1} t", grid.grams_for(baseline) * scale_up / 1e6),
+            format!("{:.1} t", grid.grams_for(hybrid) * scale_up / 1e6),
+            format!(
+                "{:.1} t",
+                grid.grams_for(baseline - hybrid) * scale_up / 1e6
+            ),
+        ]);
+    }
+    println!("projected full-London monthly footprint (tonnes CO₂):");
+    println!(
+        "{}",
+        ascii::table(&["model", "CDN-only", "hybrid P2P", "saved"], &rows)
+    );
+
+    // 2. The preloading trade-off in carbon terms: prefetching at 03:00
+    //    foregoes peer sharing but buys the night grid discount.
+    println!("preloading carbon ledger (per GB shifted from 20:00 viewing):");
+    let params = EnergyParams::valancius();
+    let cost = consume_local::energy::CostModel::new(params);
+    let one_gb = consume_local::energy::Traffic::from_bytes(1_000_000_000);
+    let server_energy = cost.server_energy(one_gb);
+    // Night grid benefit of the same CDN bytes:
+    let night_gain = grid.shift_saving(server_energy, 20, 3);
+    // What peer delivery would have saved at prime time instead:
+    let peer_energy = cost.peer_energy(one_gb, Layer::ExchangePoint);
+    let p2p_gain = grid.grams_at_hour(server_energy - peer_energy, 20);
+    let mut rows = vec![
+        vec![
+            "prefetch at 03:00".to_string(),
+            format!("{night_gain:.2} g saved/GB (grid timing)"),
+        ],
+        vec![
+            "share with local peer at 20:00".to_string(),
+            format!("{p2p_gain:.2} g saved/GB (fewer network hops)"),
+        ],
+    ];
+    rows.push(vec![
+        "verdict".to_string(),
+        if p2p_gain > night_gain {
+            "peer assistance beats night prefetching".to_string()
+        } else {
+            "night prefetching beats peer assistance".to_string()
+        },
+    ]);
+    println!("{}", ascii::table(&["strategy", "carbon effect"], &rows));
+    println!(
+        "with 2013-era parameters the hop savings dwarf the grid's diurnal swing, so\n\
+         \"consume local\" remains the greener policy even against smart scheduling;\n\
+         on a much cleaner daytime grid the comparison tightens — rerun with your\n\
+         own GridIntensity profile to test it."
+    );
+    Ok(())
+}

@@ -1,0 +1,78 @@
+//! Quickstart: the closed-form model in five minutes, then a small
+//! end-to-end simulated experiment.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use consume_local::ascii;
+use consume_local::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("== consume-local quickstart ==\n");
+
+    // ---------------------------------------------------------------
+    // 1. The closed-form model (Eq. 12): how much energy does peer
+    //    assistance save for a swarm of a given capacity?
+    // ---------------------------------------------------------------
+    let topology = IspTopology::london_table3()?;
+    println!("ISP topology (paper Table III): 345 exchange points, 9 PoPs, 1 core\n");
+
+    let mut rows = Vec::new();
+    for capacity in [0.1, 1.0, 10.0, 100.0] {
+        let mut row = vec![format!("{capacity}")];
+        for params in EnergyParams::published() {
+            let model = SavingsModel::new(params, &topology, 1.0)?;
+            row.push(format!("{:.1}%", model.savings(capacity) * 100.0));
+        }
+        rows.push(row);
+    }
+    println!("Energy savings S(c) at q/β = 1 (Eq. 12):");
+    println!(
+        "{}",
+        ascii::table(&["swarm capacity", "Valancius", "Baliga"], &rows)
+    );
+
+    // ---------------------------------------------------------------
+    // 2. Carbon credits (Eq. 13): when does streaming become free?
+    // ---------------------------------------------------------------
+    for params in EnergyParams::published() {
+        let credits = CreditModel::new(params);
+        let g_star = credits.carbon_neutral_offload();
+        println!(
+            "{:<10} carbon-neutral offload share G* = {}   CCT at G=1: {:+.0}%",
+            params.name(),
+            g_star.map(|g| format!("{g:.3}")).unwrap_or_else(|| "unreachable".into()),
+            credits.asymptotic_cct() * 100.0
+        );
+    }
+
+    // ---------------------------------------------------------------
+    // 3. An end-to-end experiment: synthetic London-like workload,
+    //    trace-driven simulation, energy priced under both models.
+    // ---------------------------------------------------------------
+    println!("\nRunning a 1/1000-scale September-2013 London experiment...");
+    let exp = Experiment::builder().scale(0.001).seed(42).build()?;
+    let report = exp.report();
+    report.check_conservation().map_err(|e| format!("conservation: {e}"))?;
+
+    println!(
+        "  sessions: {}   swarms: {}   demand: {:.1} GB",
+        exp.trace().sessions().len(),
+        report.swarms.len(),
+        report.total.demand_bytes as f64 / 1e9
+    );
+    println!(
+        "  traffic offloaded to peers: {:.1}%",
+        report.total.offload_share() * 100.0
+    );
+    for params in EnergyParams::published() {
+        println!(
+            "  system-wide energy savings ({}): {:.1}%",
+            params.name(),
+            report.total_savings(&params).unwrap_or(0.0) * 100.0
+        );
+    }
+    println!("\nDone. Try the other examples for the paper's individual figures.");
+    Ok(())
+}

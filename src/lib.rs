@@ -1,0 +1,7 @@
+//! Thin root package for the `consume-local` workspace.
+//!
+//! Hosts the runnable examples under `examples/` and the cross-crate
+//! integration tests under `tests/`. All functionality lives in the workspace
+//! crates and is re-exported through [`consume_local`].
+
+pub use consume_local;

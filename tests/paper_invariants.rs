@@ -1,0 +1,128 @@
+//! Scale-invariant claims of the paper, checked end to end:
+//! model orderings, carbon-credit arithmetic, and the headline directions.
+
+use consume_local::figures::{fig5, fig6};
+use consume_local::prelude::*;
+
+fn experiment() -> Experiment {
+    Experiment::builder().scale(0.003).seed(8).build().unwrap()
+}
+
+#[test]
+fn valancius_always_saves_more_than_baliga() {
+    // The Valancius parameters make CDN delivery far more expensive per bit
+    // (7×150 nJ/bit network path), so peer assistance saves more under them
+    // — the consistent gap between the paper's figure rows.
+    let exp = experiment();
+    let v = exp.report().total_savings(&EnergyParams::valancius()).unwrap();
+    let b = exp.report().total_savings(&EnergyParams::baliga()).unwrap();
+    assert!(v > b, "Valancius {v} vs Baliga {b}");
+    // And per ISP as well.
+    for isp in 0..5u8 {
+        let ledger = exp.report().isp_ledger(Some(IspId(isp)));
+        if ledger.demand_bytes == 0 {
+            continue;
+        }
+        let v = ledger.savings(&EnergyParams::valancius()).unwrap();
+        let b = ledger.savings(&EnergyParams::baliga()).unwrap();
+        assert!(v >= b, "ISP-{}: {v} vs {b}", isp + 1);
+    }
+}
+
+#[test]
+fn larger_isps_save_more() {
+    // Bigger market share ⇒ bigger sub-swarms ⇒ more savings: the ISP
+    // ordering of Figs. 2 and 4.
+    let exp = experiment();
+    let share_of = |isp: u8| -> f64 {
+        let ledger = exp.report().isp_ledger(Some(IspId(isp)));
+        ledger.savings(&EnergyParams::valancius()).unwrap_or(0.0)
+    };
+    assert!(share_of(0) > share_of(4), "ISP-1 {} vs ISP-5 {}", share_of(0), share_of(4));
+}
+
+#[test]
+fn carbon_credit_arithmetic_matches_closed_form() {
+    // Per-user CCT computed from simulated ledgers must obey Eq. 13 with
+    // the user's own upload share standing in for G.
+    let exp = experiment();
+    let params = EnergyParams::baliga();
+    let credits = CreditModel::new(params);
+    for (_, traffic) in exp.report().active_users().take(500) {
+        let st = CarbonStatement::new(traffic.watched_bytes, traffic.uploaded_bytes, &params)
+            .expect("active user");
+        let g = traffic.uploaded_bytes as f64 / traffic.watched_bytes as f64;
+        assert!((st.cct - credits.cct(g)).abs() < 1e-6);
+        assert!(st.cct >= -1.0);
+        assert!(st.cct <= credits.asymptotic_cct() + 1e-9);
+    }
+}
+
+#[test]
+fn fig5_curves_cross_where_section5_says() {
+    let curves = fig5(200);
+    for c in &curves {
+        // End-to-end stays within (0, 1); CDN = −user everywhere.
+        for i in 0..c.capacities.len() {
+            assert!(c.end_to_end[i] >= -1e-12 && c.end_to_end[i] < 1.0);
+            assert!((c.cdn[i] + c.user[i]).abs() < 1e-12);
+        }
+    }
+    // Neutrality capacities: Baliga crosses earlier than Valancius.
+    let v = curves[0].neutrality_capacity().unwrap();
+    let b = curves[1].neutrality_capacity().unwrap();
+    assert!(b < v);
+    // Valancius needs G ≈ 0.73 ⇒ capacity in the few-to-tens range.
+    assert!(v > 1.0 && v < 50.0, "Valancius neutrality at {v}");
+    assert!(b > 0.1 && b < 10.0, "Baliga neutrality at {b}");
+}
+
+#[test]
+fn fig6_shares_ordered_and_users_partitioned() {
+    let exp = experiment();
+    let f6 = fig6(exp.report(), 64);
+    let v = f6.positive_share(consume_local::energy::ModelKind::Valancius);
+    let b = f6.positive_share(consume_local::energy::ModelKind::Baliga);
+    assert!(b > v, "Baliga {b} vs Valancius {v}");
+    for (_, report) in &f6.reports {
+        assert_eq!(
+            report.carbon_positive() + report.carbon_neutral() + report.carbon_negative(),
+            report.users()
+        );
+        // Some users remain carbon negative (niche viewers) in any world.
+        assert!(report.carbon_negative() > 0);
+    }
+}
+
+#[test]
+fn offload_share_bounded_by_upload_ratio() {
+    // G ≤ ρ always (peers cannot contribute more than q/β of demand).
+    for ratio in [0.3, 0.7, 1.0] {
+        let exp = Experiment::builder()
+            .scale(0.001)
+            .seed(14)
+            .upload_ratio(ratio)
+            .build()
+            .unwrap();
+        let g = exp.report().total.offload_share();
+        assert!(g <= ratio + 1e-9, "ratio {ratio}: offload {g}");
+    }
+}
+
+#[test]
+fn table_reproductions_are_exact() {
+    // Tables III and IV are parameter tables — they must match the paper
+    // digit for digit.
+    let t3 = consume_local::figures::tables::table3();
+    assert_eq!(t3[0].count, 345);
+    assert_eq!(t3[1].count, 9);
+    assert_eq!(t3[2].count, 1);
+    let t4 = consume_local::figures::tables::table4();
+    let row = |sym: &str| t4.iter().find(|r| r.symbol == sym).unwrap();
+    assert_eq!(row("gamma_s").valancius, 211.1);
+    assert_eq!(row("gamma_s").baliga, 281.3);
+    assert_eq!(row("gamma_cdn").valancius, 1050.0);
+    assert_eq!(row("gamma_core").baliga, 245.74);
+    assert_eq!(row("PUE").valancius, 1.2);
+    assert_eq!(row("l").baliga, 1.07);
+}

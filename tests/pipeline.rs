@@ -1,0 +1,109 @@
+//! End-to-end pipeline tests: trace generation → simulation → reports,
+//! checking determinism and byte/energy conservation across crate borders.
+
+use consume_local::prelude::*;
+
+fn experiment(scale: f64, seed: u64) -> Experiment {
+    Experiment::builder().scale(scale).seed(seed).build().expect("valid experiment")
+}
+
+#[test]
+fn full_pipeline_is_deterministic() {
+    let a = experiment(0.0005, 11);
+    let b = experiment(0.0005, 11);
+    assert_eq!(a.trace().sessions(), b.trace().sessions());
+    assert_eq!(a.report(), b.report());
+    // A different seed produces a genuinely different world.
+    let c = experiment(0.0005, 12);
+    assert_ne!(a.trace().sessions(), c.trace().sessions());
+}
+
+#[test]
+fn conservation_holds_at_scale() {
+    let exp = experiment(0.002, 3);
+    let report = exp.report();
+    report.check_conservation().expect("bytes conserve end-to-end");
+    // Ledger totals equal the sum of per-swarm ledgers.
+    let mut demand = 0u64;
+    let mut server = 0u64;
+    let mut peers = 0u64;
+    for s in &report.swarms {
+        demand += s.ledger.demand_bytes;
+        server += s.ledger.server_bytes;
+        peers += s.ledger.peer_bytes();
+    }
+    assert_eq!(demand, report.total.demand_bytes);
+    assert_eq!(server, report.total.server_bytes);
+    assert_eq!(peers, report.total.peer_bytes());
+    // Daily cells partition the total demand too.
+    let daily_demand: u64 = report.daily.iter().map(|c| c.ledger.demand_bytes).sum();
+    assert_eq!(daily_demand, report.total.demand_bytes);
+}
+
+#[test]
+fn energy_accounting_is_order_independent() {
+    // Savings computed from the total ledger must equal savings recomputed
+    // from the per-swarm ledgers merged in any order.
+    let exp = experiment(0.001, 9);
+    let report = exp.report();
+    for params in EnergyParams::published() {
+        let direct = report.total_savings(&params).unwrap();
+        let mut merged = consume_local::sim::ByteLedger::new();
+        let mut reversed: Vec<_> = report.swarms.iter().collect();
+        reversed.reverse();
+        for s in reversed {
+            merged.merge(&s.ledger);
+        }
+        let recomputed = merged.savings(&params).unwrap();
+        assert!((direct - recomputed).abs() < 1e-12, "{}", params.name());
+    }
+}
+
+#[test]
+fn thread_count_does_not_change_results() {
+    let trace = TraceGenerator::new(
+        TraceConfig::london_sep2013().scaled(0.001).unwrap(),
+        21,
+    )
+    .generate()
+    .unwrap();
+    let one = SimConfig { threads: 1, ..Default::default() };
+    let many = SimConfig { threads: 8, ..Default::default() };
+    let r1 = Simulator::new(one).run(&trace);
+    let r8 = Simulator::new(many).run(&trace);
+    assert_eq!(r1, r8);
+}
+
+#[test]
+fn users_in_report_match_population() {
+    let exp = experiment(0.0008, 5);
+    assert_eq!(exp.report().users.len(), exp.trace().population().len());
+    // Every active user in the report actually has sessions in the trace.
+    let mut has_sessions = vec![false; exp.trace().population().len()];
+    for s in exp.trace().sessions() {
+        has_sessions[s.user.0 as usize] = true;
+    }
+    for (uid, traffic) in exp.report().active_users() {
+        assert!(has_sessions[uid as usize], "user {uid} has traffic but no sessions");
+        assert!(traffic.watched_bytes > 0);
+    }
+}
+
+#[test]
+fn savings_within_unit_interval_under_both_models() {
+    let exp = experiment(0.002, 17);
+    for params in EnergyParams::published() {
+        let s = exp.report().total_savings(&params).unwrap();
+        assert!((0.0..1.0).contains(&s), "{}: {s}", params.name());
+        for swarm in &exp.report().swarms {
+            if let Some(sv) = swarm.savings(&params) {
+                assert!(
+                    (-1e-9..1.0).contains(&sv),
+                    "swarm {} under {}: {sv}",
+                    swarm.key,
+                    params.name()
+                );
+            }
+        }
+    }
+}

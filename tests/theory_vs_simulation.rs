@@ -1,0 +1,131 @@
+//! The paper's central validation (Fig. 2): the closed-form Eq. 12 must
+//! track the trace-driven simulation across capacities, upload ratios,
+//! energy models and ISPs.
+
+use consume_local::figures::{fig2, Fig2Options, PopularityTier};
+use consume_local::prelude::*;
+use consume_local::trace::Popularity;
+
+fn exemplar_trace(seed: u64) -> Trace {
+    let mut config = TraceConfig::london_sep2013();
+    config.catalogue_size = 3;
+    config.popularity = Popularity::Zipf { exponent: 3.35 };
+    config.sessions_target = 60_000;
+    config.users = 25_000;
+    TraceGenerator::new(config, seed).generate().unwrap()
+}
+
+#[test]
+fn simulation_dots_track_theory_curves() {
+    let trace = exemplar_trace(77);
+    let opts = Fig2Options { ratios: vec![0.4, 1.0], curve_points: 8 };
+    let panels = fig2(&trace, &SimConfig::default(), &opts);
+    assert_eq!(panels.len(), 6);
+    for panel in &panels {
+        if panel.dots.len() < 5 {
+            continue;
+        }
+        // Demand-weighted agreement: swarms with meaningful capacity agree
+        // within a few points of a percent (the paper's "generally in good
+        // agreement").
+        let significant: Vec<_> =
+            panel.dots.iter().filter(|d| d.capacity > 0.5).collect();
+        if significant.is_empty() {
+            continue;
+        }
+        let gap = significant.iter().map(|d| (d.sim - d.theory).abs()).sum::<f64>()
+            / significant.len() as f64;
+        assert!(
+            gap < 0.05,
+            "{:?}/{:?}: mean |sim − theory| = {gap:.4} over {} dots",
+            panel.model,
+            panel.tier,
+            significant.len()
+        );
+    }
+}
+
+#[test]
+fn savings_scale_with_popularity_tier() {
+    let trace = exemplar_trace(5);
+    let opts = Fig2Options { ratios: vec![1.0], curve_points: 4 };
+    let panels = fig2(&trace, &SimConfig::default(), &opts);
+    let mean_sim = |tier: PopularityTier| -> f64 {
+        let p = panels
+            .iter()
+            .find(|p| p.tier == tier && p.model == consume_local::energy::ModelKind::Valancius)
+            .unwrap();
+        if p.dots.is_empty() {
+            return 0.0;
+        }
+        // Weight by capacity (≈ demand) as the aggregate would.
+        let num: f64 = p.dots.iter().map(|d| d.sim * d.capacity).sum();
+        let den: f64 = p.dots.iter().map(|d| d.capacity).sum();
+        num / den.max(1e-12)
+    };
+    let popular = mean_sim(PopularityTier::Popular);
+    let medium = mean_sim(PopularityTier::Medium);
+    let unpopular = mean_sim(PopularityTier::Unpopular);
+    // The popular tier must dominate both others. Medium vs unpopular can
+    // occasionally invert on a single seed: a fresh low-view episode whose
+    // audience concentrates on broadcast night can out-swarm a flat
+    // back-catalogue item with more total views — temporal concentration
+    // matters as much as volume (cf. the scatter in the paper's Fig. 2).
+    assert!(
+        popular > medium && popular > unpopular,
+        "popular tier must dominate: {popular} / {medium} / {unpopular}"
+    );
+    // The popular tier lands in the paper's teens-to-high-forties band.
+    assert!(popular > 0.10, "popular-tier savings too low: {popular}");
+}
+
+#[test]
+fn upload_ratio_sweep_scales_savings_linearly_at_low_capacity() {
+    // Eq. 12 is linear in ρ for fixed capacity; simulated savings across the
+    // ratio sweep must preserve that proportionality approximately.
+    let trace = exemplar_trace(13);
+    let opts = Fig2Options { ratios: vec![0.2, 0.4, 0.8], curve_points: 4 };
+    let panels = fig2(&trace, &SimConfig::default(), &opts);
+    let panel = panels
+        .iter()
+        .find(|p| {
+            p.tier == PopularityTier::Popular
+                && p.model == consume_local::energy::ModelKind::Valancius
+        })
+        .unwrap();
+    let mean_for = |ratio: f64| -> f64 {
+        let dots: Vec<_> =
+            panel.dots.iter().filter(|d| (d.ratio - ratio).abs() < 1e-9).collect();
+        dots.iter().map(|d| d.sim * d.capacity).sum::<f64>()
+            / dots.iter().map(|d| d.capacity).sum::<f64>().max(1e-12)
+    };
+    let s02 = mean_for(0.2);
+    let s04 = mean_for(0.4);
+    let s08 = mean_for(0.8);
+    assert!((s04 / s02 - 2.0).abs() < 0.25, "0.4/0.2 ratio: {}", s04 / s02);
+    assert!((s08 / s04 - 2.0).abs() < 0.25, "0.8/0.4 ratio: {}", s08 / s04);
+}
+
+#[test]
+fn fig4_theory_matches_simulation_on_full_catalogue() {
+    let exp = Experiment::builder().scale(0.002).seed(31).build().unwrap();
+    let registry = exp.trace().config().registry.clone();
+    let series =
+        consume_local::figures::fig4(exp.report(), &registry, &[IspId(0), IspId(4)]);
+    for s in &series {
+        let theory: std::collections::HashMap<u32, f64> = s.theory.iter().copied().collect();
+        let mut gaps = Vec::new();
+        for &(day, sim) in &s.sim {
+            if let Some(&th) = theory.get(&day) {
+                gaps.push((sim - th).abs());
+            }
+        }
+        let mean_gap = gaps.iter().sum::<f64>() / gaps.len().max(1) as f64;
+        assert!(
+            mean_gap < 0.06,
+            "{}/{:?}: daily theory gap {mean_gap}",
+            s.isp,
+            s.model
+        );
+    }
+}
