@@ -3,7 +3,7 @@
 //! For every sub-swarm the engine sweeps the trace in Δτ windows, skipping
 //! idle gaps, and delegates per-window upload assignment to the configured
 //! matcher. Sub-swarms are independent, so the engine shards them across
-//! crossbeam-scoped worker threads; results are merged in deterministic key
+//! std-scoped worker threads; results are merged in deterministic key
 //! order and the random matcher is seeded per swarm, so the report is
 //! bit-identical regardless of thread count.
 
@@ -61,9 +61,9 @@ impl Simulator {
         let slots: Mutex<Vec<Option<SwarmOutput>>> = Mutex::new((0..n).map(|_| None).collect());
         let next = AtomicUsize::new(0);
         let workers = self.config.threads.min(n.max(1));
-        crossbeam::scope(|scope| {
+        std::thread::scope(|scope| {
             for _ in 0..workers {
-                scope.spawn(|_| loop {
+                scope.spawn(|| loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= n {
                         break;
@@ -73,8 +73,7 @@ impl Simulator {
                     slots.lock()[i] = Some(out);
                 });
             }
-        })
-        .expect("simulation workers do not panic");
+        });
 
         // 3. Merge deterministically in key order.
         let horizon = trace.horizon_seconds();

@@ -13,7 +13,7 @@
 //!   matcher);
 //! * [`ledger`] — byte ledgers and their energy/savings evaluation;
 //! * [`engine`] — the discrete time-step engine, sequential or parallel
-//!   (crossbeam-sharded across sub-swarms, deterministic regardless of
+//!   (thread-sharded across sub-swarms, deterministic regardless of
 //!   thread count);
 //! * [`report`] — per-swarm, per-day×ISP, per-user and total results,
 //!   including theory-vs-simulation comparison points (Fig. 2 dots).

@@ -1,0 +1,180 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Reproduces the subset of the criterion API the workspace benches use —
+//! [`criterion_group!`]/[`criterion_main!`], [`Criterion::bench_function`],
+//! [`Criterion::benchmark_group`], `sample_size` and [`black_box`] — over a
+//! deliberately small wall-clock harness: each benchmark runs its closure
+//! `sample_size` times and reports the mean iteration time. No warm-up,
+//! outlier analysis or HTML reports. Swapping back to the real criterion is
+//! a manifest-only change.
+
+use std::time::Instant;
+
+/// Opaque value barrier; defeats constant-folding of benchmark inputs.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// The benchmark driver: collects named benchmarks and times them.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 100 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed iterations each benchmark runs (builder form,
+    /// used from `criterion_group!`'s `config = ...`).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { iters: self.sample_size as u64, total_nanos: 0.0 };
+        f(&mut b);
+        report(&id.into(), &b);
+        self
+    }
+
+    /// Opens a named group of benchmarks sharing configuration.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup { _criterion: self, name: name.into(), sample_size }
+    }
+}
+
+/// Times the closure handed to [`Bencher::iter`].
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    total_nanos: f64,
+}
+
+impl Bencher {
+    /// Runs `f` for the configured number of iterations and records the
+    /// elapsed wall-clock time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.total_nanos = start.elapsed().as_nanos() as f64;
+    }
+}
+
+/// A group of benchmarks with its own sample size, mirroring criterion's
+/// `BenchmarkGroup`.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    // Held only so the group borrows the driver for its lifetime, as the
+    // real criterion's group does.
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the group's iteration count (scoped to the group, like the real
+    /// criterion — it does not leak into the parent driver).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one named benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        let mut b = Bencher { iters: self.sample_size as u64, total_nanos: 0.0 };
+        f(&mut b);
+        report(&full, &b);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; nothing to flush).
+    pub fn finish(self) {}
+}
+
+fn report(id: &str, b: &Bencher) {
+    let per_iter = b.total_nanos / b.iters.max(1) as f64;
+    let (value, unit) = if per_iter >= 1e9 {
+        (per_iter / 1e9, "s")
+    } else if per_iter >= 1e6 {
+        (per_iter / 1e6, "ms")
+    } else if per_iter >= 1e3 {
+        (per_iter / 1e3, "µs")
+    } else {
+        (per_iter, "ns")
+    };
+    println!("bench {id:<48} {value:>10.3} {unit}/iter ({} iters)", b.iters);
+}
+
+/// Declares a benchmark group function, in either the positional or the
+/// `name = ...; config = ...; targets = ...` form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench binary's `main`, running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_sample_size_times() {
+        let mut runs = 0usize;
+        let mut c = Criterion::default().sample_size(7);
+        c.bench_function("count", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 7);
+    }
+
+    #[test]
+    fn group_config_is_scoped_to_the_group() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut group_runs = 0usize;
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(2).bench_function("inner", |b| b.iter(|| group_runs += 1));
+            g.finish();
+        }
+        assert_eq!(group_runs, 2);
+        // The group's sample size must not leak into the parent driver.
+        let mut later_runs = 0usize;
+        c.bench_function("after", |b| b.iter(|| later_runs += 1));
+        assert_eq!(later_runs, 3);
+    }
+}

@@ -1,0 +1,450 @@
+//! Offline stand-in for the `rand` 0.8 API surface this workspace uses.
+//!
+//! Implements [`Rng`] (`gen`, `gen_range`, `gen_bool`), [`SeedableRng`]
+//! (`seed_from_u64`), [`rngs::StdRng`] and [`seq::SliceRandom`] (`shuffle`)
+//! on top of a xoshiro256++ generator seeded through splitmix64 — the
+//! standard seeding recipe, giving high-quality, reproducible streams.
+//!
+//! Draw values differ from the real `rand::rngs::StdRng` (which is
+//! ChaCha12-based); the workspace only relies on determinism and statistical
+//! quality, never on specific draw values, so the two are interchangeable
+//! here. Swapping back to the real crate is a manifest-only change.
+
+/// A source of 64-bit randomness.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 random bits (the high half of [`next_u64`]).
+    ///
+    /// [`next_u64`]: RngCore::next_u64
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// A generator that can be deterministically seeded.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Typed sampling helpers layered over [`RngCore`], mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Samples a value uniformly over the type's full range (`[0, 1)` for
+    /// floats).
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+
+    /// Samples uniformly from a half-open (`a..b`) or inclusive (`a..=b`)
+    /// range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T: SampleUniform, B: UniformRange<T>>(&mut self, range: B) -> T {
+        range.sample_from(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= p <= 1.0` (as the real `rand` does), so invalid
+    /// probabilities surface instead of silently skewing draws.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p = {p} is outside [0.0, 1.0]");
+        f64::sample_standard(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Types samplable uniformly over their natural domain (`rand`'s `Standard`
+/// distribution).
+pub trait Standard: Sized {
+    /// Draws one value from `rng`.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for u128 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64())
+    }
+}
+
+impl Standard for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    /// Uniform in `[0, 1)` with 24 bits of precision.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl Standard for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Types samplable uniformly from a bounded range.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Draws uniformly from `[lo, hi]` (both ends included).
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+
+    /// Draws uniformly from `[lo, hi)` (upper bound excluded).
+    fn sample_exclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                // Multiply-shift bounded sampling; the bias over a u64 draw
+                // is at most span/2^64, far below anything observable.
+                let span = (hi as i128 - lo as i128 + 1) as u128;
+                let offset = ((u128::from(rng.next_u64()) * span) >> 64) as i128;
+                (lo as i128 + offset) as $t
+            }
+
+            fn sample_exclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                Self::sample_inclusive(rng, lo, hi - 1)
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_uniform_float {
+    ($($t:ident),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                let v = float_affine(lo, hi, $t::sample_standard(rng));
+                // Guard against rounding past the upper bound.
+                if v > hi {
+                    hi
+                } else {
+                    v
+                }
+            }
+
+            fn sample_exclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                // The unit draw is < 1, so the affine map stays below hi in
+                // exact arithmetic; only rounding can land on hi. Step down
+                // to the previous representable value in that case so `a..b`
+                // never yields its excluded bound (matching the real rand).
+                let v = float_affine(lo, hi, $t::sample_standard(rng));
+                if v >= hi {
+                    prev_down(hi, lo)
+                } else {
+                    v
+                }
+            }
+        }
+    )*};
+}
+
+impl_uniform_float!(f32, f64);
+
+/// Maps a unit draw `u ∈ [0, 1)` affinely onto `[lo, hi)`, staying finite
+/// even when `hi - lo` overflows to infinity (e.g. `-MAX..=MAX`): the wide
+/// case is computed around the midpoint with halved scale.
+fn float_affine<T: Float>(lo: T, hi: T, u: T) -> T {
+    let span = hi - lo;
+    if span.is_finite() {
+        lo + span * u
+    } else {
+        let mid = lo.half() + hi.half();
+        let half_span = hi.half() - lo.half();
+        mid + half_span * u.two_u_minus_one()
+    }
+}
+
+/// The largest representable value below `hi` (but never below `lo`).
+fn prev_down<T: Float>(hi: T, lo: T) -> T {
+    let stepped = hi.next_toward_neg_infinity();
+    if stepped < lo {
+        lo
+    } else {
+        stepped
+    }
+}
+
+/// Float helpers for range sampling (`f64::next_down` needs a newer
+/// toolchain than this workspace's pinned `rust-version`, so the bit-step is
+/// hand-rolled).
+trait Float:
+    Copy + PartialOrd + std::ops::Add<Output = Self> + std::ops::Sub<Output = Self> + std::ops::Mul<Output = Self>
+{
+    fn next_toward_neg_infinity(self) -> Self;
+    fn is_finite(self) -> bool;
+    fn half(self) -> Self;
+    /// `2·self − 1`, mapping a unit draw onto `[-1, 1)`.
+    fn two_u_minus_one(self) -> Self;
+}
+
+impl Float for f64 {
+    fn next_toward_neg_infinity(self) -> Self {
+        if self == 0.0 {
+            // Both zeros step to the smallest-magnitude negative value.
+            return f64::from_bits(0x8000_0000_0000_0001);
+        }
+        let bits = self.to_bits();
+        let next = if self > 0.0 { bits - 1 } else { bits + 1 };
+        f64::from_bits(next)
+    }
+
+    fn is_finite(self) -> bool {
+        f64::is_finite(self)
+    }
+
+    fn half(self) -> Self {
+        self * 0.5
+    }
+
+    fn two_u_minus_one(self) -> Self {
+        2.0 * self - 1.0
+    }
+}
+
+impl Float for f32 {
+    fn next_toward_neg_infinity(self) -> Self {
+        if self == 0.0 {
+            return f32::from_bits(0x8000_0001);
+        }
+        let bits = self.to_bits();
+        let next = if self > 0.0 { bits - 1 } else { bits + 1 };
+        f32::from_bits(next)
+    }
+
+    fn is_finite(self) -> bool {
+        f32::is_finite(self)
+    }
+
+    fn half(self) -> Self {
+        self * 0.5
+    }
+
+    fn two_u_minus_one(self) -> Self {
+        2.0 * self - 1.0
+    }
+}
+
+/// Range forms accepted by [`Rng::gen_range`].
+pub trait UniformRange<T> {
+    /// Draws one value uniformly from the range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> UniformRange<T> for std::ops::Range<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "cannot sample from an empty range");
+        T::sample_exclusive(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform> UniformRange<T> for std::ops::RangeInclusive<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "cannot sample from an empty range");
+        T::sample_inclusive(rng, lo, hi)
+    }
+}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    /// A deterministic, seedable generator (xoshiro256++).
+    ///
+    /// Mirrors `rand::rngs::StdRng`'s role: fast, high-quality and
+    /// reproducible from a seed. The draw stream differs from the real
+    /// ChaCha12-based `StdRng`.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl crate::SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            // Expand the seed with splitmix64, the reference seeding scheme
+            // for the xoshiro family.
+            let mut x = state;
+            let mut next = || {
+                x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                z ^ (z >> 31)
+            };
+            Self { s: [next(), next(), next(), next()] }
+        }
+    }
+
+    impl crate::RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+pub mod seq {
+    //! Sequence-related helpers.
+
+    use crate::Rng;
+
+    /// Slice shuffling, mirroring `rand::seq::SliceRandom`.
+    pub trait SliceRandom {
+        /// Shuffles the slice in place (Fisher–Yates).
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn seeding_is_deterministic() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(3..17);
+            assert!((3..17).contains(&x));
+            let y = rng.gen_range(5u64..=5);
+            assert_eq!(y, 5);
+            let f = rng.gen_range(-2.0f64..3.0);
+            assert!((-2.0..3.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn unit_floats_cover_and_stay_in_range() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let f: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&f));
+            sum += f;
+        }
+        let mean = sum / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut v: Vec<u32> = (0..100).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "a 100-element shuffle virtually never fixes all points");
+    }
+
+    #[test]
+    fn exclusive_float_ranges_never_yield_their_upper_bound() {
+        let mut rng = StdRng::seed_from_u64(6);
+        // A range whose width equals the ulp of its bounds: naive rounding
+        // of lo + (hi-lo)·u lands on hi roughly half the time.
+        let lo = 1.0e16f64;
+        let hi = lo + 2.0;
+        for _ in 0..10_000 {
+            let v = rng.gen_range(lo..hi);
+            assert!(v >= lo && v < hi, "draw {v} escaped [{lo}, {hi})");
+        }
+        // One-ulp-wide range: the only value strictly below hi is lo.
+        let hi1 = f64::from_bits(lo.to_bits() + 1);
+        for _ in 0..100 {
+            assert_eq!(rng.gen_range(lo..hi1), lo);
+        }
+    }
+
+    #[test]
+    fn overflow_wide_float_ranges_stay_finite_and_uniform() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut below_zero = 0usize;
+        for _ in 0..10_000 {
+            let v = rng.gen_range(-f64::MAX..=f64::MAX);
+            assert!(v.is_finite(), "draw {v} is not finite");
+            if v < 0.0 {
+                below_zero += 1;
+            }
+        }
+        // Roughly half the mass on each side of zero.
+        assert!((4_000..=6_000).contains(&below_zero), "below zero: {below_zero}");
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0.0, 1.0]")]
+    fn gen_bool_rejects_invalid_probability() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let _ = rng.gen_bool(1.5);
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2200..2800).contains(&hits), "hits {hits}");
+    }
+}

@@ -1,0 +1,23 @@
+//! Offline stand-in for `serde`.
+//!
+//! Provides the two trait names the workspace imports (`Serialize`,
+//! `Deserialize`) and re-exports the no-op derives from the `serde_derive`
+//! shim under the same names, exactly as the real facade crate does. Blanket
+//! impls make every type satisfy the traits so downstream bounds hold.
+//!
+//! The workspace only ever *derives* these traits (its on-disk formats are a
+//! hand-rolled CSV codec in `consume-local-trace`), so no serialisation
+//! machinery is needed. Replacing this shim with the real serde is a
+//! manifest-only change.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker form of `serde::Serialize`; satisfied by every type.
+pub trait Serialize {}
+
+/// Marker form of `serde::Deserialize`; satisfied by every type.
+pub trait Deserialize<'de> {}
+
+impl<T: ?Sized> Serialize for T {}
+
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

@@ -1,0 +1,27 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its public data types
+//! but never serialises anything through serde at runtime (trace I/O is a
+//! hand-rolled CSV codec). This proc-macro crate lets those derives compile
+//! without network access to crates.io: each derive parses nothing and emits
+//! an empty token stream, leaving the marker-trait blanket impls in the
+//! sibling `serde` shim to satisfy any `T: Serialize` bounds.
+//!
+//! Swapping the workspace back to the real serde is a manifest-only change;
+//! no source file names this crate directly.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` (and any `#[serde(...)]` attributes) and
+/// expands to nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` (and any `#[serde(...)]` attributes) and
+/// expands to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
