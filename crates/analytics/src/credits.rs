@@ -46,7 +46,9 @@ pub struct CreditModel {
 impl CreditModel {
     /// Builds a credit model on an energy parameter set.
     pub fn new(params: EnergyParams) -> Self {
-        Self { cost: CostModel::new(params) }
+        Self {
+            cost: CostModel::new(params),
+        }
     }
 
     /// The underlying cost model.
@@ -57,7 +59,11 @@ impl CreditModel {
     /// Normalised carbon credit transfer at offload share `G ∈ [0, 1]`
     /// (Eq. 13). Inputs are clamped into `[0, 1]`.
     pub fn cct(&self, offload_share: f64) -> f64 {
-        let g = if offload_share.is_finite() { offload_share.clamp(0.0, 1.0) } else { 0.0 };
+        let g = if offload_share.is_finite() {
+            offload_share.clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
         let credit = self.cost.cdn_saving_per_bit().as_nanojoules() * g;
         let footprint = self.cost.user_premises_cost_per_bit().as_nanojoules() * (1.0 + g);
         (credit - footprint) / footprint
@@ -150,9 +156,13 @@ mod tests {
 
     #[test]
     fn carbon_neutral_points() {
-        let v = CreditModel::new(EnergyParams::valancius()).carbon_neutral_offload().unwrap();
+        let v = CreditModel::new(EnergyParams::valancius())
+            .carbon_neutral_offload()
+            .unwrap();
         assert!((v - 107.0 / (253.32 - 107.0)).abs() < 1e-9, "got {v}");
-        let b = CreditModel::new(EnergyParams::baliga()).carbon_neutral_offload().unwrap();
+        let b = CreditModel::new(EnergyParams::baliga())
+            .carbon_neutral_offload()
+            .unwrap();
         assert!((b - 107.0 / (337.56 - 107.0)).abs() < 1e-9, "got {b}");
         // CCT crosses zero exactly there.
         for params in EnergyParams::published() {
@@ -218,6 +228,10 @@ mod tests {
         assert_eq!(pt.cdn_savings, pt.offload);
         assert_eq!(pt.user_savings, -pt.offload);
         assert!((pt.cct - m.cct(pt.offload)).abs() < 1e-12);
-        assert!(pt.offload > 0.8, "c=10 offloads most traffic: {}", pt.offload);
+        assert!(
+            pt.offload > 0.8,
+            "c=10 offloads most traffic: {}",
+            pt.offload
+        );
     }
 }

@@ -25,6 +25,8 @@
 //!   closed form.
 //! * [`numeric`] — brute-force Poisson-summation reference implementations,
 //!   used by the property tests and available for cross-checking.
+//! * [`sweep`] — cross-scenario summarization (distribution summaries,
+//!   extrema, speedup ratios) for the core crate's scenario sweep runner.
 //!
 //! # Example: the paper's headline numbers
 //!
@@ -54,7 +56,9 @@ pub mod numeric;
 pub mod offload;
 pub mod planning;
 pub mod savings;
+pub mod sweep;
 
 pub use credits::CreditModel;
 pub use mminf::{capacity_from_active_mean, SwarmCapacity};
 pub use savings::{ModelError, SavingsBreakdown, SavingsModel};
+pub use sweep::{ScenarioSample, SweepSummary};

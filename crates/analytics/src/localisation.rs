@@ -69,7 +69,11 @@ pub fn layer_unit_breakdown(topology: &IspTopology, capacity: SwarmCapacity) -> 
     let at_exp = localised_units(p_exp, c);
     let within_pop = localised_units(p_pop, c);
     let total = localised_units(1.0, c);
-    [at_exp, (within_pop - at_exp).max(0.0), (total - within_pop).max(0.0)]
+    [
+        at_exp,
+        (within_pop - at_exp).max(0.0),
+        (total - within_pop).max(0.0),
+    ]
 }
 
 /// `E[(L−1)·γ_p2p(L)]`: the expected per-window peer-traffic units weighted

@@ -36,7 +36,11 @@ pub struct CapacityError {
 
 impl fmt::Display for CapacityError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "invalid swarm capacity input: {} = {}", self.what, self.value)
+        write!(
+            f,
+            "invalid swarm capacity input: {} = {}",
+            self.what, self.value
+        )
     }
 }
 
@@ -52,7 +56,10 @@ impl SwarmCapacity {
         if c.is_finite() && c >= 0.0 {
             Ok(Self(c))
         } else {
-            Err(CapacityError { what: "c", value: c })
+            Err(CapacityError {
+                what: "c",
+                value: c,
+            })
         }
     }
 
@@ -65,10 +72,16 @@ impl SwarmCapacity {
     /// non-finite.
     pub fn from_rate_and_duration(rate: f64, mean_duration: f64) -> Result<Self, CapacityError> {
         if !rate.is_finite() || rate < 0.0 {
-            return Err(CapacityError { what: "rate", value: rate });
+            return Err(CapacityError {
+                what: "rate",
+                value: rate,
+            });
         }
         if !mean_duration.is_finite() || mean_duration < 0.0 {
-            return Err(CapacityError { what: "mean_duration", value: mean_duration });
+            return Err(CapacityError {
+                what: "mean_duration",
+                value: mean_duration,
+            });
         }
         Self::new(rate * mean_duration)
     }
@@ -80,12 +93,21 @@ impl SwarmCapacity {
     ///
     /// Returns [`CapacityError`] for a non-positive or non-finite horizon or
     /// a negative/non-finite watch-time total.
-    pub fn from_watch_time(total_watch_seconds: f64, horizon_seconds: f64) -> Result<Self, CapacityError> {
+    pub fn from_watch_time(
+        total_watch_seconds: f64,
+        horizon_seconds: f64,
+    ) -> Result<Self, CapacityError> {
         if !horizon_seconds.is_finite() || horizon_seconds <= 0.0 {
-            return Err(CapacityError { what: "horizon_seconds", value: horizon_seconds });
+            return Err(CapacityError {
+                what: "horizon_seconds",
+                value: horizon_seconds,
+            });
         }
         if !total_watch_seconds.is_finite() || total_watch_seconds < 0.0 {
-            return Err(CapacityError { what: "total_watch_seconds", value: total_watch_seconds });
+            return Err(CapacityError {
+                what: "total_watch_seconds",
+                value: total_watch_seconds,
+            });
         }
         Self::new(total_watch_seconds / horizon_seconds)
     }
@@ -195,7 +217,10 @@ mod tests {
         let large = SwarmCapacity::new(100.0).unwrap().probability_online();
         assert!(large > 0.999_999_999);
         let small = SwarmCapacity::new(1e-9).unwrap().probability_online();
-        assert!((small - 1e-9).abs() < 1e-15, "p ≈ c for small c, got {small}");
+        assert!(
+            (small - 1e-9).abs() < 1e-15,
+            "p ≈ c for small c, got {small}"
+        );
     }
 
     #[test]

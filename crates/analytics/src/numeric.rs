@@ -54,12 +54,7 @@ pub fn gamma_weighted_units_numeric(cost: &CostModel, topology: &IspTopology, c:
 
 /// Brute-force end-to-end savings: assembles Eq. 12 with the numeric
 /// expectations instead of the closed forms.
-pub fn savings_numeric(
-    cost: &CostModel,
-    topology: &IspTopology,
-    upload_ratio: f64,
-    c: f64,
-) -> f64 {
+pub fn savings_numeric(cost: &CostModel, topology: &IspTopology, upload_ratio: f64, c: f64) -> f64 {
     if c <= 0.0 || upload_ratio <= 0.0 {
         return 0.0;
     }
@@ -68,7 +63,9 @@ pub fn savings_numeric(
     let psi_pm = cost.peer_fixed_cost_per_bit().as_nanojoules();
     let pue = cost.params().pue;
     let pois = Poisson::new(c).expect("c validated positive");
-    let slots: f64 = (2..=truncation(c)).map(|l| (l - 1) as f64 * pois.pmf(l)).sum();
+    let slots: f64 = (2..=truncation(c))
+        .map(|l| (l - 1) as f64 * pois.pmf(l))
+        .sum();
     let g = rho * slots / c;
     let gross = g * (psi_s - psi_pm) / psi_s;
     let penalty = rho * pue * gamma_weighted_units_numeric(cost, topology, c) / (c * psi_s);

@@ -134,7 +134,10 @@ mod tests {
     fn inverse_round_trips() {
         for target in [0.1, 0.367_879, 0.9, 0.999] {
             let c = capacity_for_sharing_efficiency(target).unwrap();
-            assert!((sharing_efficiency(c) - target).abs() < 1e-6, "target {target}");
+            assert!(
+                (sharing_efficiency(c) - target).abs() < 1e-6,
+                "target {target}"
+            );
         }
         assert_eq!(capacity_for_sharing_efficiency(0.0), None);
         assert_eq!(capacity_for_sharing_efficiency(1.0), None);

@@ -56,10 +56,7 @@ pub fn capacity_for_savings(model: &SavingsModel, target: f64) -> Option<f64> {
 /// streaming becomes carbon-free.
 ///
 /// Returns `None` when neutrality is unreachable under this ratio.
-pub fn capacity_for_carbon_neutrality(
-    credits: &CreditModel,
-    model: &SavingsModel,
-) -> Option<f64> {
+pub fn capacity_for_carbon_neutrality(credits: &CreditModel, model: &SavingsModel) -> Option<f64> {
     let g_star = credits.carbon_neutral_offload()?;
     if g_star >= model.upload_ratio() {
         // G(c) asymptotes to the upload ratio; can't reach G*.
@@ -120,7 +117,10 @@ mod tests {
         let (m, _) = models(1.0);
         for target in [0.05, 0.2, 0.4, 0.6] {
             let c = capacity_for_savings(&m, target).unwrap();
-            assert!((m.savings(c) - target).abs() < 1e-6, "target {target}: c={c}");
+            assert!(
+                (m.savings(c) - target).abs() < 1e-6,
+                "target {target}: c={c}"
+            );
         }
     }
 

@@ -35,7 +35,11 @@ pub struct ModelError {
 
 impl fmt::Display for ModelError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "invalid savings-model parameter: {} = {}", self.what, self.value)
+        write!(
+            f,
+            "invalid savings-model parameter: {} = {}",
+            self.what, self.value
+        )
     }
 }
 
@@ -96,7 +100,10 @@ impl SavingsModel {
         upload_ratio: f64,
     ) -> Result<Self, ModelError> {
         if !upload_ratio.is_finite() || upload_ratio <= 0.0 {
-            return Err(ModelError { what: "upload_ratio", value: upload_ratio });
+            return Err(ModelError {
+                what: "upload_ratio",
+                value: upload_ratio,
+            });
         }
         Ok(Self {
             cost: CostModel::new(params),
@@ -147,8 +154,7 @@ impl SavingsModel {
         let g = self.offload(capacity);
         let gross = g * (psi_s - psi_pm) / psi_s;
         let gamma_units = gamma_weighted_units(&self.cost, &self.topology, cap);
-        let penalty =
-            self.upload_ratio * self.cost.params().pue * gamma_units / (capacity * psi_s);
+        let penalty = self.upload_ratio * self.cost.params().pue * gamma_units / (capacity * psi_s);
         SavingsBreakdown {
             capacity,
             offload: g,
@@ -273,7 +279,11 @@ mod tests {
             let m = model(params, 1.0);
             let s_inf = m.asymptotic_savings();
             let s_big = m.savings(1e6);
-            assert!((s_big - s_inf).abs() < 0.01, "{}: {s_big} vs {s_inf}", params.name());
+            assert!(
+                (s_big - s_inf).abs() < 0.01,
+                "{}: {s_big} vs {s_inf}",
+                params.name()
+            );
             assert!(m.savings(100.0) < s_inf);
         }
     }
@@ -372,8 +382,7 @@ mod tests {
         // sub-swarms. Here we check the topology effect in isolation.
         let small_topo = IspTopology::new(110, 4).unwrap();
         let big = model(EnergyParams::valancius(), 1.0);
-        let small =
-            SavingsModel::new(EnergyParams::valancius(), &small_topo, 1.0).unwrap();
+        let small = SavingsModel::new(EnergyParams::valancius(), &small_topo, 1.0).unwrap();
         // Same capacity: the small tree localises more traffic at ExP level.
         assert!(small.savings(5.0) > big.savings(5.0));
     }

@@ -1,0 +1,138 @@
+//! Cross-scenario summarization for parameter sweeps.
+//!
+//! The sweep runner (in the `consume-local` core crate) produces one outcome
+//! per grid point; this module reduces those outcomes to the aggregate
+//! numbers a trajectory record wants: distribution summaries of savings,
+//! offload and wall-time, the best/worst grid points, and perf speedup
+//! ratios against a recorded baseline.
+
+use consume_local_stats::Summary;
+
+/// One scenario's reduced outcome: the inputs to sweep summarization.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScenarioSample {
+    /// System-wide energy savings `S ∈ [0, 1)` under the reference model.
+    pub savings: f64,
+    /// Share of demand served by peers (the empirical `G`).
+    pub offload: f64,
+    /// Wall-clock time the scenario's simulation took, in milliseconds.
+    pub wall_ms: f64,
+}
+
+/// Aggregate view of one sweep: distribution summaries plus extrema.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepSummary {
+    /// Number of scenarios summarised.
+    pub scenarios: usize,
+    /// Distribution of per-scenario savings.
+    pub savings: Summary,
+    /// Distribution of per-scenario offload shares.
+    pub offload: Summary,
+    /// Distribution of per-scenario wall-times (ms).
+    pub wall_ms: Summary,
+    /// Total wall-time across all scenarios (ms).
+    pub total_wall_ms: f64,
+    /// Index of the scenario with the highest savings.
+    pub best_savings_index: usize,
+    /// Index of the scenario with the lowest savings.
+    pub worst_savings_index: usize,
+}
+
+impl SweepSummary {
+    /// Summarises a sweep; `None` when `samples` is empty.
+    pub fn of(samples: &[ScenarioSample]) -> Option<SweepSummary> {
+        if samples.is_empty() {
+            return None;
+        }
+        let argcmp = |pick_max: bool| {
+            let mut best = 0usize;
+            for (i, s) in samples.iter().enumerate() {
+                let better = if pick_max {
+                    s.savings > samples[best].savings
+                } else {
+                    s.savings < samples[best].savings
+                };
+                if better {
+                    best = i;
+                }
+            }
+            best
+        };
+        Some(SweepSummary {
+            scenarios: samples.len(),
+            savings: Summary::of(samples.iter().map(|s| s.savings))?,
+            offload: Summary::of(samples.iter().map(|s| s.offload))?,
+            wall_ms: Summary::of(samples.iter().map(|s| s.wall_ms))?,
+            total_wall_ms: samples.iter().map(|s| s.wall_ms).sum(),
+            best_savings_index: argcmp(true),
+            worst_savings_index: argcmp(false),
+        })
+    }
+}
+
+/// The speedup ratio `baseline / current` of a timed kernel, or `None` when
+/// either measurement is non-positive or non-finite. `> 1` means the current
+/// code is faster than the recorded baseline.
+pub fn speedup(baseline_ms: f64, current_ms: f64) -> Option<f64> {
+    (baseline_ms.is_finite() && current_ms.is_finite() && baseline_ms > 0.0 && current_ms > 0.0)
+        .then(|| baseline_ms / current_ms)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples() -> Vec<ScenarioSample> {
+        vec![
+            ScenarioSample {
+                savings: 0.30,
+                offload: 0.40,
+                wall_ms: 100.0,
+            },
+            ScenarioSample {
+                savings: 0.10,
+                offload: 0.15,
+                wall_ms: 50.0,
+            },
+            ScenarioSample {
+                savings: 0.45,
+                offload: 0.60,
+                wall_ms: 400.0,
+            },
+        ]
+    }
+
+    #[test]
+    fn summary_aggregates_and_finds_extrema() {
+        let s = SweepSummary::of(&samples()).unwrap();
+        assert_eq!(s.scenarios, 3);
+        assert_eq!(s.best_savings_index, 2);
+        assert_eq!(s.worst_savings_index, 1);
+        assert!((s.total_wall_ms - 550.0).abs() < 1e-9);
+        assert!((s.savings.mean - (0.30 + 0.10 + 0.45) / 3.0).abs() < 1e-12);
+        assert_eq!(s.offload.max, 0.60);
+        assert_eq!(s.wall_ms.min, 50.0);
+    }
+
+    #[test]
+    fn empty_sweep_has_no_summary() {
+        assert_eq!(SweepSummary::of(&[]), None);
+    }
+
+    #[test]
+    fn first_extremum_wins_ties() {
+        let twice = vec![samples()[0], samples()[0]];
+        let s = SweepSummary::of(&twice).unwrap();
+        assert_eq!(s.best_savings_index, 0);
+        assert_eq!(s.worst_savings_index, 0);
+    }
+
+    #[test]
+    fn speedup_ratio() {
+        assert_eq!(speedup(300.0, 100.0), Some(3.0));
+        assert_eq!(speedup(100.0, 200.0), Some(0.5));
+        assert_eq!(speedup(0.0, 100.0), None);
+        assert_eq!(speedup(100.0, 0.0), None);
+        assert_eq!(speedup(f64::NAN, 100.0), None);
+    }
+}

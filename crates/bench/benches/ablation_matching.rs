@@ -16,14 +16,23 @@ fn regenerate() {
     println!("\n=== Ablation A1: hierarchical vs random peer matching ===");
     let exp = shared_experiment();
     let mut csv = String::from("matcher,offload,exp_share,pop_share,core_share,valancius,baliga\n");
-    for (label, matcher) in [("hierarchical", MatcherKind::Hierarchical), ("random", MatcherKind::Random)] {
+    for (label, matcher) in [
+        ("hierarchical", MatcherKind::Hierarchical),
+        ("random", MatcherKind::Random),
+    ] {
         let mut cfg = exp.sim_config().clone();
         cfg.matcher = matcher;
         let report = exp.resimulate(cfg).expect("valid config");
         let peer = report.total.peer_bytes().max(1) as f64;
-        let shares: Vec<f64> =
-            report.total.peer_bytes_by_layer.iter().map(|&b| b as f64 / peer).collect();
-        let v = report.total_savings(&EnergyParams::valancius()).unwrap_or(0.0);
+        let shares: Vec<f64> = report
+            .total
+            .peer_bytes_by_layer
+            .iter()
+            .map(|&b| b as f64 / peer)
+            .collect();
+        let v = report
+            .total_savings(&EnergyParams::valancius())
+            .unwrap_or(0.0);
         let b = report.total_savings(&EnergyParams::baliga()).unwrap_or(0.0);
         println!(
             "{label:>13}: offload {} | peer bytes at ExP {} / PoP {} / Core {} | savings V {} B {}",
@@ -53,7 +62,10 @@ fn benches(c: &mut Criterion) {
     let topo = IspTopology::london_table3().expect("published topology");
     let mut rng = rand::rngs::StdRng::seed_from_u64(1);
     let peers: Vec<Peer> = (0..200)
-        .map(|_| Peer { isp: IspId(rng.gen_range(0..2)), location: topo.random_location(&mut rng) })
+        .map(|_| Peer {
+            isp: IspId(rng.gen_range(0..2)),
+            location: topo.random_location(&mut rng),
+        })
         .collect();
     let (needs, budgets) = uniform_window(peers.len(), 1_875_000, 1_875_000);
     c.bench_function("matching/hierarchical_200peers", |b| {

@@ -18,7 +18,9 @@ fn regenerate() {
         let mut cfg = exp.sim_config().clone();
         cfg.participation_rate = rate;
         let report = exp.resimulate(cfg).expect("valid config");
-        let v = report.total_savings(&EnergyParams::valancius()).unwrap_or(0.0);
+        let v = report
+            .total_savings(&EnergyParams::valancius())
+            .unwrap_or(0.0);
         let b = report.total_savings(&EnergyParams::baliga()).unwrap_or(0.0);
         let f6 = fig6(&report, 8);
         let pos_v = f6.positive_share(consume_local::energy::ModelKind::Valancius);
@@ -45,13 +47,18 @@ fn regenerate() {
 fn benches(c: &mut Criterion) {
     regenerate();
     let trace = TraceGenerator::new(
-        TraceConfig::london_sep2013().scaled(0.001).expect("valid scale"),
+        TraceConfig::london_sep2013()
+            .scaled(0.001)
+            .expect("valid scale"),
         5,
     )
     .generate()
     .expect("valid config");
     c.bench_function("participation/simulation_rate0.3", |b| {
-        let cfg = SimConfig { participation_rate: 0.3, ..Default::default() };
+        let cfg = SimConfig {
+            participation_rate: 0.3,
+            ..Default::default()
+        };
         let sim = Simulator::new(cfg);
         b.iter(|| sim.run(&trace))
     });

@@ -21,7 +21,9 @@ fn regenerate() {
         let mut cfg = exp.sim_config().clone();
         cfg.policy = policy;
         let report = exp.resimulate(cfg).expect("valid config");
-        let v = report.total_savings(&EnergyParams::valancius()).unwrap_or(0.0);
+        let v = report
+            .total_savings(&EnergyParams::valancius())
+            .unwrap_or(0.0);
         let b = report.total_savings(&EnergyParams::baliga()).unwrap_or(0.0);
         println!(
             "{label:>20}: {:>6} swarms | offload {} | savings V {} B {}",
@@ -45,7 +47,9 @@ fn benches(c: &mut Criterion) {
     regenerate();
     // Kernel: a full simulation run at 1/1000 scale under the default policy.
     let trace = TraceGenerator::new(
-        TraceConfig::london_sep2013().scaled(0.001).expect("valid scale"),
+        TraceConfig::london_sep2013()
+            .scaled(0.001)
+            .expect("valid scale"),
         5,
     )
     .generate()

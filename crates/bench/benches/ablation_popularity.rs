@@ -15,9 +15,13 @@ fn run(popularity: Popularity, label: &str, csv: &mut String) {
         .scaled(bench_scale())
         .expect("valid scale");
     config.popularity = popularity;
-    let trace = TraceGenerator::new(config, 2013).generate().expect("valid config");
+    let trace = TraceGenerator::new(config, 2013)
+        .generate()
+        .expect("valid config");
     let report = Simulator::new(SimConfig::default()).run(&trace);
-    let v = report.total_savings(&EnergyParams::valancius()).unwrap_or(0.0);
+    let v = report
+        .total_savings(&EnergyParams::valancius())
+        .unwrap_or(0.0);
     let b = report.total_savings(&EnergyParams::baliga()).unwrap_or(0.0);
     println!(
         "{label:>28}: offload {} | savings V {} B {}",
@@ -25,17 +29,39 @@ fn run(popularity: Popularity, label: &str, csv: &mut String) {
         pct(v),
         pct(b)
     );
-    csv.push_str(&format!("{label},{},{v},{b}\n", report.total.offload_share()));
+    csv.push_str(&format!(
+        "{label},{},{v},{b}\n",
+        report.total.offload_share()
+    ));
 }
 
 fn regenerate() {
-    println!("\n=== Ablation A5: demand concentration (scale {}) ===", bench_scale());
+    println!(
+        "\n=== Ablation A5: demand concentration (scale {}) ===",
+        bench_scale()
+    );
     let mut csv = String::from("popularity,offload,valancius,baliga\n");
-    run(Popularity::Zipf { exponent: 0.55 }, "single Zipf s=0.55", &mut csv);
-    run(Popularity::Zipf { exponent: 0.8 }, "single Zipf s=0.80", &mut csv);
-    run(Popularity::catchup_tv(), "broken power law (default)", &mut csv);
     run(
-        Popularity::BrokenZipf { head_exponent: 0.3, tail_exponent: 1.4, break_fraction: 0.03 },
+        Popularity::Zipf { exponent: 0.55 },
+        "single Zipf s=0.55",
+        &mut csv,
+    );
+    run(
+        Popularity::Zipf { exponent: 0.8 },
+        "single Zipf s=0.80",
+        &mut csv,
+    );
+    run(
+        Popularity::catchup_tv(),
+        "broken power law (default)",
+        &mut csv,
+    );
+    run(
+        Popularity::BrokenZipf {
+            head_exponent: 0.3,
+            tail_exponent: 1.4,
+            break_fraction: 0.03,
+        },
         "heavier head",
         &mut csv,
     );

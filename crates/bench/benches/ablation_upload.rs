@@ -16,7 +16,9 @@ fn regenerate() {
         let mut cfg = exp.sim_config().clone();
         cfg.upload = UploadModel::Ratio(ratio);
         let report = exp.resimulate(cfg).expect("valid config");
-        let v = report.total_savings(&EnergyParams::valancius()).unwrap_or(0.0);
+        let v = report
+            .total_savings(&EnergyParams::valancius())
+            .unwrap_or(0.0);
         let b = report.total_savings(&EnergyParams::baliga()).unwrap_or(0.0);
         println!(
             "q/β = {ratio:>3}: offload {} | savings V {} B {}",
@@ -24,13 +26,18 @@ fn regenerate() {
             pct(v),
             pct(b)
         );
-        csv.push_str(&format!("ratio {ratio},{},{v},{b}\n", report.total.offload_share()));
+        csv.push_str(&format!(
+            "ratio {ratio},{},{v},{b}\n",
+            report.total.offload_share()
+        ));
     }
     // The 2017 UK average uplink from the paper's §IV-B-1.
     let mut cfg = exp.sim_config().clone();
     cfg.upload = UploadModel::AbsoluteBps(4_300_000);
     let report = exp.resimulate(cfg).expect("valid config");
-    let v = report.total_savings(&EnergyParams::valancius()).unwrap_or(0.0);
+    let v = report
+        .total_savings(&EnergyParams::valancius())
+        .unwrap_or(0.0);
     let b = report.total_savings(&EnergyParams::baliga()).unwrap_or(0.0);
     println!(
         "4.3 Mb/s : offload {} | savings V {} B {}   (uncapped UK-average uplink)",
@@ -38,7 +45,10 @@ fn regenerate() {
         pct(v),
         pct(b)
     );
-    csv.push_str(&format!("4.3Mbps,{},{v},{b}\n", report.total.offload_share()));
+    csv.push_str(&format!(
+        "4.3Mbps,{},{v},{b}\n",
+        report.total.offload_share()
+    ));
     save_csv("ablation_upload.csv", &csv);
     println!("savings grow linearly with q/β up to 1.0 and saturate beyond — peers cannot");
     println!("usefully upload faster than the stream's bitrate to a single downloader.");
@@ -47,14 +57,18 @@ fn regenerate() {
 fn benches(c: &mut Criterion) {
     regenerate();
     let trace = TraceGenerator::new(
-        TraceConfig::london_sep2013().scaled(0.001).expect("valid scale"),
+        TraceConfig::london_sep2013()
+            .scaled(0.001)
+            .expect("valid scale"),
         5,
     )
     .generate()
     .expect("valid config");
     c.bench_function("upload/simulation_absolute_4.3Mbps", |b| {
-        let cfg =
-            SimConfig { upload: UploadModel::AbsoluteBps(4_300_000), ..Default::default() };
+        let cfg = SimConfig {
+            upload: UploadModel::AbsoluteBps(4_300_000),
+            ..Default::default()
+        };
         let sim = Simulator::new(cfg);
         b.iter(|| sim.run(&trace))
     });

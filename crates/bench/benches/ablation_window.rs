@@ -15,7 +15,9 @@ fn regenerate() {
         let mut cfg = exp.sim_config().clone();
         cfg.window_secs = window;
         let report = exp.resimulate(cfg).expect("valid config");
-        let v = report.total_savings(&EnergyParams::valancius()).unwrap_or(0.0);
+        let v = report
+            .total_savings(&EnergyParams::valancius())
+            .unwrap_or(0.0);
         let b = report.total_savings(&EnergyParams::baliga()).unwrap_or(0.0);
         println!(
             "Δτ = {window:>2} s: offload {} | savings V {} B {}",
@@ -23,7 +25,10 @@ fn regenerate() {
             pct(v),
             pct(b)
         );
-        csv.push_str(&format!("{window},{},{v},{b}\n", report.total.offload_share()));
+        csv.push_str(&format!(
+            "{window},{},{v},{b}\n",
+            report.total.offload_share()
+        ));
     }
     save_csv("ablation_window.csv", &csv);
 }
@@ -31,7 +36,9 @@ fn regenerate() {
 fn benches(c: &mut Criterion) {
     regenerate();
     let trace = TraceGenerator::new(
-        TraceConfig::london_sep2013().scaled(0.001).expect("valid scale"),
+        TraceConfig::london_sep2013()
+            .scaled(0.001)
+            .expect("valid scale"),
         5,
     )
     .generate()
@@ -39,7 +46,10 @@ fn benches(c: &mut Criterion) {
     let mut group = c.benchmark_group("window");
     for window in [5u64, 10, 60] {
         group.bench_function(format!("simulation_dt{window}"), |b| {
-            let cfg = SimConfig { window_secs: window, ..Default::default() };
+            let cfg = SimConfig {
+                window_secs: window,
+                ..Default::default()
+            };
             let sim = Simulator::new(cfg);
             b.iter(|| sim.run(&trace))
         });

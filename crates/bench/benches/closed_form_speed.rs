@@ -12,14 +12,16 @@ use consume_local::topology::IspTopology;
 fn regenerate() {
     println!("\n=== Closed form vs numeric reference ===");
     let topo = IspTopology::london_table3().expect("published topology");
-    let model =
-        SavingsModel::new(EnergyParams::valancius(), &topo, 1.0).expect("valid ratio");
+    let model = SavingsModel::new(EnergyParams::valancius(), &topo, 1.0).expect("valid ratio");
     let cost = CostModel::new(EnergyParams::valancius());
     println!("capacity   closed-form S    numeric S      |Δ|");
     for c in [0.1, 1.0, 10.0, 100.0] {
         let closed = model.savings(c);
         let brute = numeric::savings_numeric(&cost, &topo, 1.0, c);
-        println!("{c:>8} {closed:>14.6} {brute:>12.6} {:>10.2e}", (closed - brute).abs());
+        println!(
+            "{c:>8} {closed:>14.6} {brute:>12.6} {:>10.2e}",
+            (closed - brute).abs()
+        );
     }
     let target = planning::capacity_for_savings(&model, 0.30).expect("reachable");
     println!("planning query: S(c) = 30% at c ≈ {target:.2}");
@@ -28,8 +30,7 @@ fn regenerate() {
 fn benches(c: &mut Criterion) {
     regenerate();
     let topo = IspTopology::london_table3().expect("published topology");
-    let model =
-        SavingsModel::new(EnergyParams::valancius(), &topo, 1.0).expect("valid ratio");
+    let model = SavingsModel::new(EnergyParams::valancius(), &topo, 1.0).expect("valid ratio");
     let cost = CostModel::new(EnergyParams::valancius());
     c.bench_function("closed_form/savings_c10", |b| {
         b.iter(|| model.savings(black_box(10.0)))

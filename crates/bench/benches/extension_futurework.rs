@@ -20,7 +20,9 @@ fn regenerate() {
         let mut cfg = exp.sim_config().clone();
         cfg.preload_fraction = f;
         let report = exp.resimulate(cfg).expect("valid config");
-        let v = report.total_savings(&EnergyParams::valancius()).unwrap_or(0.0);
+        let v = report
+            .total_savings(&EnergyParams::valancius())
+            .unwrap_or(0.0);
         let b = report.total_savings(&EnergyParams::baliga()).unwrap_or(0.0);
         println!(
             "  preload {:>3.0}%: offload {} | savings V {} B {}",
@@ -29,7 +31,10 @@ fn regenerate() {
             pct(v),
             pct(b)
         );
-        csv.push_str(&format!("preload,{f},{},{v},{b}\n", report.total.offload_share()));
+        csv.push_str(&format!(
+            "preload,{f},{},{v},{b}\n",
+            report.total.offload_share()
+        ));
     }
     println!("  preloading shifts shareable prime-time bytes to unshared prefetch — it");
     println!("  *competes* with peer assistance unless the prefetch itself is peer-fed.");
@@ -39,7 +44,9 @@ fn regenerate() {
         let mut cfg = exp.sim_config().clone();
         cfg.edge_cache = (top > 0).then_some(EdgeCache { top_items: top });
         let report = exp.resimulate(cfg).expect("valid config");
-        let v = report.total_savings(&EnergyParams::valancius()).unwrap_or(0.0);
+        let v = report
+            .total_savings(&EnergyParams::valancius())
+            .unwrap_or(0.0);
         let b = report.total_savings(&EnergyParams::baliga()).unwrap_or(0.0);
         let cache_share = report.total.cache_bytes as f64 / report.total.demand_bytes as f64;
         println!(
@@ -52,7 +59,9 @@ fn regenerate() {
     }
 
     println!("-- live streaming (one 500K-viewer broadcast evening) --");
-    let base = TraceConfig::london_sep2013().scaled(0.05).expect("valid scale");
+    let base = TraceConfig::london_sep2013()
+        .scaled(0.05)
+        .expect("valid scale");
     let event = LiveEvent {
         content: ContentId(0),
         start: SimTime::from_day_hour(5, 20),
@@ -60,10 +69,12 @@ fn regenerate() {
         viewers: 25_000, // 500K at full scale
         join_jitter_secs: 420.0,
     };
-    let trace = live_event_trace(&base, shared_population(&base), &[event], 2013)
-        .expect("valid event");
+    let trace =
+        live_event_trace(&base, shared_population(&base), &[event], 2013).expect("valid event");
     let report = Simulator::new(exp.sim_config().clone()).run(&trace);
-    let v = report.total_savings(&EnergyParams::valancius()).unwrap_or(0.0);
+    let v = report
+        .total_savings(&EnergyParams::valancius())
+        .unwrap_or(0.0);
     let b = report.total_savings(&EnergyParams::baliga()).unwrap_or(0.0);
     println!(
         "  live event: offload {} | savings V {} B {} (approaching the Eq. 12 asymptotes",
@@ -71,12 +82,11 @@ fn regenerate() {
         pct(v),
         pct(b)
     );
-    println!(
-        "  of {} / {})",
-        pct(0.646),
-        pct(0.370)
-    );
-    csv.push_str(&format!("live,500k,{},{v},{b}\n", report.total.offload_share()));
+    println!("  of {} / {})", pct(0.646), pct(0.370));
+    csv.push_str(&format!(
+        "live,500k,{},{v},{b}\n",
+        report.total.offload_share()
+    ));
     save_csv("extension_futurework.csv", &csv);
 }
 
@@ -89,7 +99,9 @@ fn shared_population(base: &TraceConfig) -> consume_local::trace::Population {
 
 fn benches(c: &mut Criterion) {
     regenerate();
-    let base = TraceConfig::london_sep2013().scaled(0.01).expect("valid scale");
+    let base = TraceConfig::london_sep2013()
+        .scaled(0.01)
+        .expect("valid scale");
     let event = LiveEvent {
         content: ContentId(0),
         start: SimTime::from_day_hour(5, 20),

@@ -19,7 +19,9 @@ fn exemplar_trace() -> Trace {
     config.popularity = Popularity::Zipf { exponent: 3.35 };
     config.sessions_target = 112_000;
     config.users = 40_000;
-    TraceGenerator::new(config, 2013).generate().expect("valid config")
+    TraceGenerator::new(config, 2013)
+        .generate()
+        .expect("valid config")
 }
 
 fn regenerate() {
@@ -33,11 +35,17 @@ fn regenerate() {
     for panel in &panels {
         println!(
             "--- {:?} / {} (item {}, ≈{:.0} expected views) ---",
-            panel.model, panel.tier.label(), panel.item, panel.expected_views
+            panel.model,
+            panel.tier.label(),
+            panel.item,
+            panel.expected_views
         );
         for ratio in &opts.ratios {
-            let dots: Vec<_> =
-                panel.dots.iter().filter(|d| (d.ratio - ratio).abs() < 1e-9).collect();
+            let dots: Vec<_> = panel
+                .dots
+                .iter()
+                .filter(|d| (d.ratio - ratio).abs() < 1e-9)
+                .collect();
             if dots.is_empty() {
                 continue;
             }
@@ -49,13 +57,18 @@ fn regenerate() {
             println!(
                 "  q/β={ratio}: {} dots, cap {:.2}–{:.2}, sim {} vs theory {}",
                 dots.len(),
-                dots.iter().map(|d| d.capacity).fold(f64::INFINITY, f64::min),
+                dots.iter()
+                    .map(|d| d.capacity)
+                    .fold(f64::INFINITY, f64::min),
                 dots.iter().map(|d| d.capacity).fold(0.0, f64::max),
                 pct(wmean(&|d| d.sim)),
                 pct(wmean(&|d| d.theory)),
             );
         }
-        println!("  mean |sim − theory| over dots: {}", pct(panel.mean_theory_gap()));
+        println!(
+            "  mean |sim − theory| over dots: {}",
+            pct(panel.mean_theory_gap())
+        );
         for d in &panel.dots {
             dots_csv.push_str(&format!(
                 "{:?},{:?},{},{},{},{},{}\n",

@@ -8,7 +8,10 @@ use consume_local::figures::fig3;
 use consume_local_bench::{bench_scale, pct, save_csv, shared_experiment};
 
 fn regenerate() {
-    println!("\n=== Fig. 3: catalogue-wide distributions (scale {}) ===", bench_scale());
+    println!(
+        "\n=== Fig. 3: catalogue-wide distributions (scale {}) ===",
+        bench_scale()
+    );
     let exp = shared_experiment();
     let data = fig3(exp.report());
 

@@ -11,7 +11,10 @@ use consume_local_bench::{bench_scale, pct, save_csv, shared_experiment};
 const ISPS: [IspId; 3] = [IspId(0), IspId(3), IspId(4)];
 
 fn regenerate() {
-    println!("\n=== Fig. 4: daily aggregate savings (scale {}) ===", bench_scale());
+    println!(
+        "\n=== Fig. 4: daily aggregate savings (scale {}) ===",
+        bench_scale()
+    );
     let exp = shared_experiment();
     let registry = exp.trace().config().registry.clone();
     let series = fig4(exp.report(), &registry, &ISPS);

@@ -9,7 +9,10 @@ use consume_local::figures::fig6;
 use consume_local_bench::{bench_scale, pct, save_csv, shared_experiment};
 
 fn regenerate() {
-    println!("\n=== Fig. 6: per-user CCT distribution (scale {}) ===", bench_scale());
+    println!(
+        "\n=== Fig. 6: per-user CCT distribution (scale {}) ===",
+        bench_scale()
+    );
     let exp = shared_experiment();
     let data = fig6(exp.report(), 160);
 

@@ -1,0 +1,164 @@
+//! The sweep subsystem's benchmark and the engine hot-path perf record.
+//!
+//! Two jobs:
+//!
+//! 1. **Engine hot path** — times `Simulator::run` on the reference
+//!    large-scale scenario (the `medium` preset: 18 000 users / ≈ 117 K
+//!    sessions, ≥ 10 K-user bar) at 1 and 8 threads, and compares against
+//!    the recorded pre-optimization baseline;
+//! 2. **Scenario sweep** — runs a parameter-grid sweep through the
+//!    [`SweepRunner`] (reduced `ci_quick` grid when `CL_SWEEP_QUICK` is
+//!    set, the `ablations` grid at small scale otherwise).
+//!
+//! Both results land in `BENCH_2.json` at the workspace root — the perf
+//! trajectory record CI regenerates and uploads on every run.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use consume_local::export::json::JsonValue;
+use consume_local::prelude::*;
+use consume_local::sweep::{SweepConfig, SweepGrid, SweepRunner};
+use consume_local::trace::ScalePreset;
+
+/// Seed of the reference engine scenario (also used by the recorded
+/// baseline measurements below).
+const ENGINE_SEED: u64 = 2018;
+
+/// Pre-optimization engine wall-times for the reference scenario, measured
+/// at the seed commit (73e63f1, PR 1) on the development machine:
+/// best-of-3 after warm-up, `medium` preset, default `SimConfig`.
+/// Absolute times differ across machines; the committed `BENCH_2.json`
+/// pairs these with same-machine post-optimization numbers.
+const BASELINE_WALL_MS: [(usize, f64); 2] = [(1, 1595.7), (8, 1566.6)];
+
+/// Best-of-3 wall time (ms) for one `Simulator::run`, after one warm-up.
+fn time_run(sim: &Simulator, trace: &Trace) -> f64 {
+    let _ = sim.run(trace);
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let start = Instant::now();
+        let report = sim.run(trace);
+        let ms = start.elapsed().as_secs_f64() * 1e3;
+        std::hint::black_box(&report);
+        best = best.min(ms);
+    }
+    best
+}
+
+fn engine_hot_path() -> JsonValue {
+    let config = ScalePreset::Medium.apply(TraceConfig::london_sep2013());
+    let users = config.users;
+    let trace = TraceGenerator::new(config, ENGINE_SEED)
+        .generate()
+        .expect("valid preset");
+    println!(
+        "\n=== Engine hot path ({} users, {} sessions) ===",
+        users,
+        trace.sessions().len()
+    );
+    let mut runs = Vec::new();
+    for (threads, baseline_ms) in BASELINE_WALL_MS {
+        let sim = Simulator::new(SimConfig {
+            threads,
+            ..Default::default()
+        });
+        let wall_ms = time_run(&sim, &trace);
+        let speedup = consume_local::analytics::sweep::speedup(baseline_ms, wall_ms);
+        println!(
+            "threads={threads}: {wall_ms:.1} ms (baseline {baseline_ms:.1} ms, {}× speedup)",
+            speedup.map_or("?".into(), |s| format!("{s:.2}"))
+        );
+        runs.push(
+            JsonValue::object()
+                .field("threads", threads)
+                .field("wall_ms", wall_ms)
+                .field("baseline_wall_ms", baseline_ms)
+                .field("speedup", speedup.map_or(JsonValue::Null, JsonValue::Num)),
+        );
+    }
+    JsonValue::object()
+        .field(
+            "scenario",
+            "medium/london5/hierarchical/isp+bitrate/dt10/q1",
+        )
+        .field("seed", ENGINE_SEED)
+        .field("users", u64::from(users))
+        .field("sessions", trace.sessions().len())
+        .field("baseline_commit", "73e63f1")
+        .field("runs", runs)
+}
+
+fn sweep_results(quick: bool) -> JsonValue {
+    let grid = if quick {
+        SweepGrid::ci_quick()
+    } else {
+        SweepGrid::ablations(ScalePreset::Small)
+    };
+    let config = SweepConfig {
+        grid,
+        seed: ENGINE_SEED,
+        ..Default::default()
+    };
+    let runner = SweepRunner::new(config).expect("bench grids are valid");
+    println!(
+        "=== Scenario sweep ({} scenarios, quick={quick}) ===",
+        runner.scenarios().len()
+    );
+    let report = runner.run();
+    if let Some(summary) = report.summary() {
+        println!(
+            "mean savings {:.1}%, total wall {:.1} s",
+            summary.savings.mean * 100.0,
+            summary.total_wall_ms / 1e3
+        );
+    }
+    report.to_json()
+}
+
+fn write_bench_record() {
+    let quick = std::env::var("CL_SWEEP_QUICK").is_ok();
+    let doc = JsonValue::object()
+        .field("schema", "consume-local/bench-v1")
+        .field("pr", 2u64)
+        .field("quick", quick)
+        .field("engine_hot_path", engine_hot_path())
+        .field("sweep", sweep_results(quick));
+    let path = consume_local_bench::workspace_root().join("BENCH_2.json");
+    match consume_local::export::write_text(&path, &(doc.render() + "\n")) {
+        Ok(()) => println!("  [json] {}", path.display()),
+        Err(e) => eprintln!("  [json] failed to write {}: {e}", path.display()),
+    }
+}
+
+fn benches(c: &mut Criterion) {
+    write_bench_record();
+    // Criterion kernels at smoke scale so the timed closures stay short.
+    let trace = TraceGenerator::new(
+        ScalePreset::Smoke.apply(TraceConfig::london_sep2013()),
+        ENGINE_SEED,
+    )
+    .generate()
+    .expect("valid preset");
+    let mut group = c.benchmark_group("sweep_engine");
+    group.sample_size(10);
+    let sequential = Simulator::new(SimConfig {
+        threads: 1,
+        ..Default::default()
+    });
+    group.bench_function("engine_smoke_t1", |b| b.iter(|| sequential.run(&trace)));
+    let runner = SweepRunner::new(SweepConfig {
+        grid: SweepGrid::paper_point(),
+        seed: ENGINE_SEED,
+        ..Default::default()
+    })
+    .expect("valid grid");
+    group
+        .sample_size(3)
+        .bench_function("sweep_paper_point", |b| b.iter(|| runner.run()));
+    group.finish();
+}
+
+criterion_group!(group, benches);
+criterion_main!(group);

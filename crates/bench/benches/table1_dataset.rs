@@ -23,9 +23,24 @@ fn regenerate() {
         let table = tables::table1(label, &trace, scale);
         println!("{}", table.render(paper));
         for (row, measured, projected, target) in [
-            ("users", table.measured.active_users as f64, table.projected_users, paper.0),
-            ("ips", table.measured.active_households as f64, table.projected_ips, paper.1),
-            ("sessions", table.measured.sessions as f64, table.projected_sessions, paper.2),
+            (
+                "users",
+                table.measured.active_users as f64,
+                table.projected_users,
+                paper.0,
+            ),
+            (
+                "ips",
+                table.measured.active_households as f64,
+                table.projected_ips,
+                paper.1,
+            ),
+            (
+                "sessions",
+                table.measured.sessions as f64,
+                table.projected_sessions,
+                paper.2,
+            ),
         ] {
             csv.push_str(&format!("{label},{row},{measured},{projected},{target}\n"));
         }
@@ -36,10 +51,14 @@ fn regenerate() {
 fn benches(c: &mut Criterion) {
     regenerate();
     // Kernel: generating a month-long trace at 1/1000 scale.
-    let config = TraceConfig::london_sep2013().scaled(0.001).expect("valid scale");
+    let config = TraceConfig::london_sep2013()
+        .scaled(0.001)
+        .expect("valid scale");
     c.bench_function("table1/trace_generation_0.001", |b| {
         b.iter(|| {
-            TraceGenerator::new(config.clone(), 7).generate().expect("valid config")
+            TraceGenerator::new(config.clone(), 7)
+                .generate()
+                .expect("valid config")
         })
     });
 }

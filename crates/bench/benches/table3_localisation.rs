@@ -14,7 +14,12 @@ fn regenerate() {
     println!("{}", tables::render_table3(&rows));
     let mut csv = String::from("layer,count,probability\n");
     for r in &rows {
-        csv.push_str(&format!("{},{},{}\n", r.layer.short_name(), r.count, r.probability));
+        csv.push_str(&format!(
+            "{},{},{}\n",
+            r.layer.short_name(),
+            r.count,
+            r.probability
+        ));
     }
     save_csv("table3_localisation.csv", &csv);
 }

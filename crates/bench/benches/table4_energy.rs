@@ -14,7 +14,10 @@ fn regenerate() {
     println!("{}", tables::render_table4(&rows));
     let mut csv = String::from("variable,symbol,valancius,baliga\n");
     for r in &rows {
-        csv.push_str(&format!("{},{},{},{}\n", r.variable, r.symbol, r.valancius, r.baliga));
+        csv.push_str(&format!(
+            "{},{},{},{}\n",
+            r.variable, r.symbol, r.valancius, r.baliga
+        ));
     }
     save_csv("table4_energy.csv", &csv);
 

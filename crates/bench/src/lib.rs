@@ -40,14 +40,20 @@ pub fn shared_experiment() -> Experiment {
         .expect("bench experiment config is valid")
 }
 
+/// The workspace root, regardless of the bench binary's working directory —
+/// where repo-level artefacts such as `BENCH_*.json` live.
+pub fn workspace_root() -> PathBuf {
+    // crates/bench/ → workspace root.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
 /// Output directory for the regenerated figure data: the *workspace*
 /// `target/paper-figures/`, regardless of the bench binary's working
 /// directory.
 pub fn figures_dir() -> PathBuf {
-    let target = std::env::var("CARGO_TARGET_DIR").map(PathBuf::from).unwrap_or_else(|_| {
-        // crates/bench/ → workspace root → target/
-        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..").join("target")
-    });
+    let target = std::env::var("CARGO_TARGET_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| workspace_root().join("target"));
     target.join("paper-figures")
 }
 

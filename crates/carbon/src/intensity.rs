@@ -39,7 +39,10 @@ impl GridIntensity {
     /// The approximate 2013 UK grid average: 500 gCO₂/kWh (coal still in
     /// the mix), flat across the day.
     pub fn uk_2013() -> Self {
-        Self { mean_g_per_kwh: 500.0, hourly_factors: None }
+        Self {
+            mean_g_per_kwh: 500.0,
+            hourly_factors: None,
+        }
     }
 
     /// The 2013 UK grid with a diurnal swing: overnight wind/nuclear share
@@ -59,7 +62,10 @@ impl GridIntensity {
         if !g_per_kwh.is_finite() || g_per_kwh < 0.0 {
             return None;
         }
-        Some(Self { mean_g_per_kwh: g_per_kwh, hourly_factors: None })
+        Some(Self {
+            mean_g_per_kwh: g_per_kwh,
+            hourly_factors: None,
+        })
     }
 
     /// A diurnal intensity: `mean_g_per_kwh` scaled by 24 positive hourly
@@ -78,7 +84,10 @@ impl GridIntensity {
         for f in &mut normalised {
             *f /= mean;
         }
-        Some(Self { mean_g_per_kwh, hourly_factors: Some(normalised) })
+        Some(Self {
+            mean_g_per_kwh,
+            hourly_factors: Some(normalised),
+        })
     }
 
     /// The day-mean intensity in gCO₂/kWh.
@@ -98,10 +107,7 @@ impl GridIntensity {
     /// Panics if `hour >= 24`.
     pub fn grams_at_hour(&self, energy: Energy, hour: u32) -> f64 {
         assert!(hour < 24, "hour must be < 24, got {hour}");
-        let factor = self
-            .hourly_factors
-            .map(|f| f[hour as usize])
-            .unwrap_or(1.0);
+        let factor = self.hourly_factors.map(|f| f[hour as usize]).unwrap_or(1.0);
         energy.as_kwh() * self.mean_g_per_kwh * factor
     }
 
@@ -149,7 +155,7 @@ mod tests {
     fn diurnal_profile_normalised_and_ordered() {
         let g = GridIntensity::uk_2013_diurnal();
         let e = Energy::from_joules(3.6e6); // 1 kWh
-        // The 24-hour mean must equal the flat mean.
+                                            // The 24-hour mean must equal the flat mean.
         let daily_mean: f64 = (0..24).map(|h| g.grams_at_hour(e, h)).sum::<f64>() / 24.0;
         assert!((daily_mean - 500.0).abs() < 1e-9);
         // Night is cleaner than the evening peak.
@@ -192,8 +198,7 @@ mod tests {
         use crate::CarbonStatement;
         use consume_local_energy::EnergyParams;
         let st =
-            CarbonStatement::new(50_000_000_000, 50_000_000_000, &EnergyParams::baliga())
-                .unwrap();
+            CarbonStatement::new(50_000_000_000, 50_000_000_000, &EnergyParams::baliga()).unwrap();
         let grid = GridIntensity::uk_2013();
         let foot_g = grid.grams_for(st.footprint);
         let credit_g = grid.grams_for(st.credit);

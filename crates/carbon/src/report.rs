@@ -37,7 +37,12 @@ impl CreditReport {
                 CarbonStatus::Negative => negative += 1,
             }
         }
-        Self { cct: Edf::from_samples(ccts), positive, neutral, negative }
+        Self {
+            cct: Edf::from_samples(ccts),
+            positive,
+            neutral,
+            negative,
+        }
     }
 
     /// Number of users with a statement (watched > 0).
@@ -113,8 +118,7 @@ mod tests {
     #[test]
     fn counts_partition_users() {
         let params = EnergyParams::valancius();
-        let traffic: Vec<(u64, u64)> =
-            (0..100).map(|i| (1_000, i * 25)).collect();
+        let traffic: Vec<(u64, u64)> = (0..100).map(|i| (1_000, i * 25)).collect();
         let report = CreditReport::from_traffic(traffic, &params);
         assert_eq!(
             report.carbon_positive() + report.carbon_neutral() + report.carbon_negative(),
@@ -143,7 +147,10 @@ mod tests {
         for w in series.windows(2) {
             assert!(w[1].1 >= w[0].1);
         }
-        assert!((series.last().unwrap().1 - 1.0).abs() < 1e-9, "CDF reaches 1 by 0.6");
+        assert!(
+            (series.last().unwrap().1 - 1.0).abs() < 1e-9,
+            "CDF reaches 1 by 0.6"
+        );
     }
 
     #[test]

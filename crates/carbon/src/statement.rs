@@ -80,7 +80,9 @@ impl CarbonStatement {
             watched_bytes,
             uploaded_bytes,
             footprint: footprint_per_bit.energy_for(transferred),
-            credit: cost.cdn_saving_per_bit().energy_for(Traffic::from_bytes(uploaded_bytes)),
+            credit: cost
+                .cdn_saving_per_bit()
+                .energy_for(Traffic::from_bytes(uploaded_bytes)),
             cct,
             status: CarbonStatus::of(cct),
         })
@@ -104,7 +106,11 @@ mod tests {
     fn non_sharer_is_fully_negative() {
         for params in EnergyParams::published() {
             let st = CarbonStatement::new(1_000_000, 0, &params).unwrap();
-            assert!((st.cct + 1.0).abs() < 1e-12, "CCT must be −1, got {}", st.cct);
+            assert!(
+                (st.cct + 1.0).abs() < 1e-12,
+                "CCT must be −1, got {}",
+                st.cct
+            );
             assert_eq!(st.status, CarbonStatus::Negative);
             assert_eq!(st.credit, Energy::ZERO);
             assert!(st.footprint.as_joules() > 0.0);
@@ -144,7 +150,10 @@ mod tests {
         assert_eq!(CarbonStatus::of(0.5), CarbonStatus::Positive);
         assert_eq!(CarbonStatus::of(-0.5), CarbonStatus::Negative);
         assert_eq!(CarbonStatus::of(0.0), CarbonStatus::Neutral);
-        assert_eq!(CarbonStatus::of(CarbonStatus::TOLERANCE / 2.0), CarbonStatus::Neutral);
+        assert_eq!(
+            CarbonStatus::of(CarbonStatus::TOLERANCE / 2.0),
+            CarbonStatus::Neutral
+        );
         assert_eq!(CarbonStatus::Positive.to_string(), "carbon-positive");
     }
 

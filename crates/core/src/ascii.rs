@@ -66,9 +66,7 @@ impl Chart {
             .enumerate()
             .flat_map(|(si, (_, pts))| {
                 pts.iter()
-                    .filter(|(x, y)| {
-                        x.is_finite() && y.is_finite() && (!self.log_x || *x > 0.0)
-                    })
+                    .filter(|(x, y)| x.is_finite() && y.is_finite() && (!self.log_x || *x > 0.0))
                     .map(move |&(x, y)| (si, tx(x), y))
             })
             .collect();
@@ -160,7 +158,10 @@ pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
         }
         line.trim_end().to_string() + "\n"
     };
-    out.push_str(&render_row(headers.iter().map(|s| s.to_string()).collect(), &widths));
+    out.push_str(&render_row(
+        headers.iter().map(|s| s.to_string()).collect(),
+        &widths,
+    ));
     out.push_str(&render_row(
         widths.iter().map(|w| "-".repeat(*w)).collect(),
         &widths,
@@ -177,7 +178,9 @@ mod tests {
 
     #[test]
     fn chart_renders_points() {
-        let out = Chart::new(30, 8).series('o', &[(0.0, 0.0), (10.0, 1.0)]).render();
+        let out = Chart::new(30, 8)
+            .series('o', &[(0.0, 0.0), (10.0, 1.0)])
+            .render();
         assert!(out.contains('o'));
         assert!(out.lines().count() >= 8);
     }
@@ -187,7 +190,10 @@ mod tests {
         assert!(Chart::new(30, 8).render().is_empty());
         assert!(Chart::new(30, 8).series('x', &[]).render().is_empty());
         // Non-finite-only series render nothing.
-        assert!(Chart::new(30, 8).series('x', &[(f64::NAN, 1.0)]).render().is_empty());
+        assert!(Chart::new(30, 8)
+            .series('x', &[(f64::NAN, 1.0)])
+            .render()
+            .is_empty());
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use consume_local_sim::{SimConfig, SimReport, Simulator};
+use consume_local_sim::{SimConfig, SimConfigError, SimReport, Simulator};
 use consume_local_trace::{Trace, TraceConfig, TraceError, TraceGenerator};
 
 /// Error from [`ExperimentBuilder::build`].
@@ -11,7 +11,7 @@ pub enum ExperimentError {
     /// The trace configuration or scale was invalid.
     Trace(TraceError),
     /// The simulator configuration was invalid.
-    Sim(String),
+    Sim(SimConfigError),
 }
 
 impl fmt::Display for ExperimentError {
@@ -27,7 +27,7 @@ impl std::error::Error for ExperimentError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ExperimentError::Trace(e) => Some(e),
-            ExperimentError::Sim(_) => None,
+            ExperimentError::Sim(e) => Some(e),
         }
     }
 }
@@ -35,6 +35,12 @@ impl std::error::Error for ExperimentError {
 impl From<TraceError> for ExperimentError {
     fn from(e: TraceError) -> Self {
         ExperimentError::Trace(e)
+    }
+}
+
+impl From<SimConfigError> for ExperimentError {
+    fn from(e: SimConfigError) -> Self {
+        ExperimentError::Sim(e)
     }
 }
 
@@ -49,7 +55,12 @@ pub struct ExperimentBuilder {
 
 impl Default for ExperimentBuilder {
     fn default() -> Self {
-        Self { base: TraceConfig::london_sep2013(), scale: 0.002, seed: 42, sim: SimConfig::default() }
+        Self {
+            base: TraceConfig::london_sep2013(),
+            scale: 0.002,
+            seed: 42,
+            sim: SimConfig::default(),
+        }
     }
 }
 
@@ -90,11 +101,17 @@ impl ExperimentBuilder {
     ///
     /// Returns [`ExperimentError`] if either configuration is invalid.
     pub fn build(self) -> Result<Experiment, ExperimentError> {
-        self.sim.validate().map_err(ExperimentError::Sim)?;
+        let simulator = Simulator::try_new(self.sim.clone())?;
         let config = self.base.scaled(self.scale)?;
         let trace = TraceGenerator::new(config, self.seed).generate()?;
-        let report = Simulator::new(self.sim.clone()).run(&trace);
-        Ok(Experiment { scale: self.scale, seed: self.seed, sim: self.sim, trace, report })
+        let report = simulator.run(&trace);
+        Ok(Experiment {
+            scale: self.scale,
+            seed: self.seed,
+            sim: self.sim,
+            trace,
+            report,
+        })
     }
 }
 
@@ -146,8 +163,7 @@ impl Experiment {
     ///
     /// Returns [`ExperimentError::Sim`] for an invalid configuration.
     pub fn resimulate(&self, sim: SimConfig) -> Result<SimReport, ExperimentError> {
-        sim.validate().map_err(ExperimentError::Sim)?;
-        Ok(Simulator::new(sim).run(&self.trace))
+        Ok(Simulator::try_new(sim)?.run(&self.trace))
     }
 }
 
@@ -166,7 +182,10 @@ mod tests {
         let exp = tiny();
         assert!(!exp.trace().sessions().is_empty());
         exp.report().check_conservation().unwrap();
-        let s = exp.report().total_savings(&EnergyParams::valancius()).unwrap();
+        let s = exp
+            .report()
+            .total_savings(&EnergyParams::valancius())
+            .unwrap();
         assert!(s > 0.0 && s < 1.0);
         assert_eq!(exp.scale(), 0.0003);
         assert_eq!(exp.seed(), 7);

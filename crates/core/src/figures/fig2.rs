@@ -22,8 +22,11 @@ pub enum PopularityTier {
 
 impl PopularityTier {
     /// All tiers in the paper's column order.
-    pub const ALL: [PopularityTier; 3] =
-        [PopularityTier::Popular, PopularityTier::Medium, PopularityTier::Unpopular];
+    pub const ALL: [PopularityTier; 3] = [
+        PopularityTier::Popular,
+        PopularityTier::Medium,
+        PopularityTier::Unpopular,
+    ];
 
     /// The targeted monthly view count.
     pub fn target_views(self) -> f64 {
@@ -55,7 +58,10 @@ pub struct Fig2Options {
 
 impl Default for Fig2Options {
     fn default() -> Self {
-        Self { ratios: vec![0.2, 0.4, 0.6, 0.8, 1.0], curve_points: 48 }
+        Self {
+            ratios: vec![0.2, 0.4, 0.6, 0.8, 1.0],
+            curve_points: 48,
+        }
     }
 }
 
@@ -101,7 +107,11 @@ impl Fig2Panel {
         if self.dots.is_empty() {
             return 0.0;
         }
-        self.dots.iter().map(|d| (d.sim - d.theory).abs()).sum::<f64>() / self.dots.len() as f64
+        self.dots
+            .iter()
+            .map(|d| (d.sim - d.theory).abs())
+            .sum::<f64>()
+            / self.dots.len() as f64
     }
 }
 
@@ -115,7 +125,12 @@ pub fn fig2(trace: &Trace, base: &SimConfig, opts: &Fig2Options) -> Vec<Fig2Pane
     let items: Vec<(PopularityTier, ContentId)> = PopularityTier::ALL
         .iter()
         .map(|&tier| {
-            (tier, trace.catalogue().item_with_views(tier.target_views(), total_sessions))
+            (
+                tier,
+                trace
+                    .catalogue()
+                    .item_with_views(tier.target_views(), total_sessions),
+            )
         })
         .collect();
 
@@ -138,7 +153,10 @@ pub fn fig2(trace: &Trace, base: &SimConfig, opts: &Fig2Options) -> Vec<Fig2Pane
     // One simulation per ratio covers all items and ISPs.
     let mut runs = Vec::with_capacity(opts.ratios.len());
     for &ratio in &opts.ratios {
-        let cfg = SimConfig { upload: UploadModel::Ratio(ratio), ..base.clone() };
+        let cfg = SimConfig {
+            upload: UploadModel::Ratio(ratio),
+            ..base.clone()
+        };
         runs.push((ratio, Simulator::new(cfg).run(&sub_trace)));
     }
 
@@ -151,7 +169,9 @@ pub fn fig2(trace: &Trace, base: &SimConfig, opts: &Fig2Options) -> Vec<Fig2Pane
             let mut cap_hi = 0.0f64;
             for (ratio, report) in &runs {
                 for swarm in report.swarms.iter().filter(|s| s.key.content == item) {
-                    let Some(sim) = swarm.savings(&params) else { continue };
+                    let Some(sim) = swarm.savings(&params) else {
+                        continue;
+                    };
                     if swarm.capacity <= 0.0 {
                         continue;
                     }
@@ -165,7 +185,13 @@ pub fn fig2(trace: &Trace, base: &SimConfig, opts: &Fig2Options) -> Vec<Fig2Pane
                         .savings(swarm.capacity);
                     cap_lo = cap_lo.min(swarm.capacity);
                     cap_hi = cap_hi.max(swarm.capacity);
-                    dots.push(Fig2Dot { isp, ratio: *ratio, capacity: swarm.capacity, sim, theory });
+                    dots.push(Fig2Dot {
+                        isp,
+                        ratio: *ratio,
+                        capacity: swarm.capacity,
+                        sim,
+                        theory,
+                    });
                 }
             }
             if !cap_lo.is_finite() {
@@ -205,13 +231,13 @@ mod tests {
     use consume_local_trace::{TraceConfig, TraceGenerator};
 
     fn tiny_fig2() -> Vec<Fig2Panel> {
-        let trace = TraceGenerator::new(
-            TraceConfig::london_sep2013().scaled(0.0005).unwrap(),
-            3,
-        )
-        .generate()
-        .unwrap();
-        let opts = Fig2Options { ratios: vec![0.4, 1.0], curve_points: 12 };
+        let trace = TraceGenerator::new(TraceConfig::london_sep2013().scaled(0.0005).unwrap(), 3)
+            .generate()
+            .unwrap();
+        let opts = Fig2Options {
+            ratios: vec![0.4, 1.0],
+            curve_points: 12,
+        };
         fig2(&trace, &SimConfig::default(), &opts)
     }
 

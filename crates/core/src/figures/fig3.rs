@@ -23,8 +23,11 @@ pub struct Fig3 {
 
 /// Computes Fig. 3 from a full-catalogue simulation report.
 pub fn fig3(report: &SimReport) -> Fig3 {
-    let capacities: Vec<f64> =
-        report.swarm_capacities().into_iter().filter(|&c| c > 0.0).collect();
+    let capacities: Vec<f64> = report
+        .swarm_capacities()
+        .into_iter()
+        .filter(|&c| c > 0.0)
+        .collect();
     let capacity_edf = Edf::from_samples(capacities.iter().copied());
     let capacity_ccdf = capacity_edf.ccdf_log_series(1e-3, 1e3, 60);
 
@@ -46,7 +49,9 @@ pub fn fig3(report: &SimReport) -> Fig3 {
             .filter(|s| s.time_avg_capacity > 0.0 && s.ledger.demand_bytes > 0)
             .collect();
         by_capacity.sort_by(|a, b| {
-            b.time_avg_capacity.partial_cmp(&a.time_avg_capacity).expect("finite")
+            b.time_avg_capacity
+                .partial_cmp(&a.time_avg_capacity)
+                .expect("finite")
         });
         let take = (by_capacity.len() / 100).max(1);
         let (mut num, mut den) = (0.0f64, 0.0f64);
@@ -75,15 +80,18 @@ mod tests {
     use crate::experiment::Experiment;
 
     fn data() -> Fig3 {
-        let exp = Experiment::builder().scale(0.0008).seed(21).build().unwrap();
+        let exp = Experiment::builder()
+            .scale(0.0008)
+            .seed(21)
+            .build()
+            .unwrap();
         fig3(exp.report())
     }
 
     #[test]
     fn ccdfs_are_monotone_decreasing() {
         let f = data();
-        for series in std::iter::once(&f.capacity_ccdf)
-            .chain(f.savings_ccdf.iter().map(|(_, s)| s))
+        for series in std::iter::once(&f.capacity_ccdf).chain(f.savings_ccdf.iter().map(|(_, s)| s))
         {
             for w in series.windows(2) {
                 assert!(w[1].1 <= w[0].1 + 1e-12);
@@ -105,9 +113,7 @@ mod tests {
     #[test]
     fn top_swarms_save_far_more_than_median() {
         let f = data();
-        for ((m1, median), (m2, top)) in
-            f.median_savings.iter().zip(&f.top1pct_savings)
-        {
+        for ((m1, median), (m2, top)) in f.median_savings.iter().zip(&f.top1pct_savings) {
             assert_eq!(m1, m2);
             assert!(
                 top > &(median + 0.05),
@@ -120,8 +126,14 @@ mod tests {
         // capacities and are checked by the bench harness at larger scale;
         // see EXPERIMENTS.md.)
         let median_v = f.median_savings[0].1;
-        assert!(median_v < 0.12, "median per-swarm savings should be small: {median_v}");
+        assert!(
+            median_v < 0.12,
+            "median per-swarm savings should be small: {median_v}"
+        );
         let top_v = f.top1pct_savings[0].1;
-        assert!(top_v > 3.0 * median_v.max(0.01), "top-1% savings should dominate: {top_v}");
+        assert!(
+            top_v > 3.0 * median_v.max(0.01),
+            "top-1% savings should dominate: {top_v}"
+        );
     }
 }

@@ -43,7 +43,9 @@ pub fn fig4(report: &SimReport, registry: &IspRegistry, isps: &[IspId]) -> Vec<F
 
             // Theory: per day, demand-weighted S_theory over the ISP's
             // swarms at their per-day capacities.
-            let Some(profile) = registry.get(isp) else { continue };
+            let Some(profile) = registry.get(isp) else {
+                continue;
+            };
             let mut per_day: HashMap<u32, (f64, f64)> = HashMap::new();
             for swarm in report.swarms.iter().filter(|s| s.key.isp == Some(isp)) {
                 let model =
@@ -60,11 +62,18 @@ pub fn fig4(report: &SimReport, registry: &IspRegistry, isps: &[IspId]) -> Vec<F
                     e.1 += w;
                 }
             }
-            let mut theory: Vec<(u32, f64)> =
-                per_day.into_iter().map(|(d, (num, den))| (d, num / den)).collect();
+            let mut theory: Vec<(u32, f64)> = per_day
+                .into_iter()
+                .map(|(d, (num, den))| (d, num / den))
+                .collect();
             theory.sort_by_key(|&(d, _)| d);
 
-            out.push(Fig4Series { isp, model, sim, theory });
+            out.push(Fig4Series {
+                isp,
+                model,
+                sim,
+                theory,
+            });
         }
     }
     out
@@ -76,7 +85,11 @@ mod tests {
     use crate::experiment::Experiment;
 
     fn series() -> Vec<Fig4Series> {
-        let exp = Experiment::builder().scale(0.0008).seed(33).build().unwrap();
+        let exp = Experiment::builder()
+            .scale(0.0008)
+            .seed(33)
+            .build()
+            .unwrap();
         let registry = exp.trace().config().registry.clone();
         fig4(exp.report(), &registry, &[IspId(0), IspId(3), IspId(4)])
     }

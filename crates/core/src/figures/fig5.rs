@@ -56,7 +56,14 @@ pub fn fig5(points: usize) -> Vec<Fig5Curves> {
                 user.push(pt.user_savings);
                 cct.push(pt.cct);
             }
-            Fig5Curves { model, capacities: capacities.clone(), end_to_end, cdn, user, cct }
+            Fig5Curves {
+                model,
+                capacities: capacities.clone(),
+                end_to_end,
+                cdn,
+                user,
+                cct,
+            }
         })
         .collect()
 }
@@ -91,7 +98,10 @@ mod tests {
     fn asymptotic_cct_matches_section5() {
         let cs = curves();
         let at_end = |m: ModelKind| {
-            cs.iter().find(|c| c.model == m).map(|c| *c.cct.last().unwrap()).unwrap()
+            cs.iter()
+                .find(|c| c.model == m)
+                .map(|c| *c.cct.last().unwrap())
+                .unwrap()
         };
         assert!((at_end(ModelKind::Valancius) - 0.18).abs() < 0.01);
         assert!((at_end(ModelKind::Baliga) - 0.58).abs() < 0.01);

@@ -32,7 +32,10 @@ pub fn fig6(report: &SimReport, points: usize) -> Fig6 {
     for model in ModelKind::ALL {
         let params = EnergyParams::of(model);
         let credit = CreditReport::from_traffic(
-            report.users.iter().map(|u| (u.watched_bytes, u.uploaded_bytes)),
+            report
+                .users
+                .iter()
+                .map(|u| (u.watched_bytes, u.uploaded_bytes)),
             &params,
         );
         series.push((model, credit.fig6_series(points)));
@@ -76,14 +79,20 @@ mod tests {
         // are checked by the bench harness; see EXPERIMENTS.md.)
         assert!(b > v, "Baliga {b} vs Valancius {v}");
         assert!(b > 0.02, "some users must turn positive under Baliga: {b}");
-        assert!(v < 0.9, "Valancius share must stay below Baliga-like levels: {v}");
+        assert!(
+            v < 0.9,
+            "Valancius share must stay below Baliga-like levels: {v}"
+        );
     }
 
     #[test]
     fn niche_viewers_stay_negative() {
         let f = data();
         for (_, r) in &f.reports {
-            assert!(r.carbon_negative() > 0, "some users must stay carbon negative");
+            assert!(
+                r.carbon_negative() > 0,
+                "some users must stay carbon negative"
+            );
             assert!(r.carbon_positive() > 0);
         }
     }

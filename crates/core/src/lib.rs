@@ -19,9 +19,10 @@
 //! | [`sim`] | the Δτ-window trace-driven simulator |
 //! | [`carbon`] | per-user carbon statements and population reports |
 //! | [`experiment`] | one-call orchestration: trace → simulation → reports |
+//! | [`sweep`] | declarative parameter-grid sweeps fanned across threads |
 //! | [`figures`] | regeneration of every table and figure in the paper |
 //! | [`ascii`] | terminal rendering of series and tables |
-//! | [`export`] | CSV export of any figure's data |
+//! | [`export`] | CSV/JSON export of figure and sweep data |
 //!
 //! # Quickstart
 //!
@@ -49,6 +50,7 @@ pub mod ascii;
 pub mod experiment;
 pub mod export;
 pub mod figures;
+pub mod sweep;
 
 /// The closed-form analytical model (re-export of `consume-local-analytics`).
 pub mod analytics {
@@ -98,6 +100,7 @@ pub mod prelude {
     pub use crate::experiment::Experiment;
     pub use crate::sim::{SimConfig, SimReport, Simulator, UploadModel};
     pub use crate::swarm::{MatcherKind, SwarmPolicy};
+    pub use crate::sweep::{SweepConfig, SweepGrid, SweepReport, SweepRunner};
     pub use crate::topology::{IspId, IspRegistry, IspTopology, Layer};
-    pub use crate::trace::{Trace, TraceConfig, TraceGenerator};
+    pub use crate::trace::{ScalePreset, Trace, TraceConfig, TraceGenerator};
 }

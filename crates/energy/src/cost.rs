@@ -143,7 +143,8 @@ mod tests {
         for p in EnergyParams::published() {
             let m = CostModel::new(p);
             assert!(
-                m.peer_cost_per_bit(Layer::ExchangePoint) < m.peer_cost_per_bit(Layer::PointOfPresence)
+                m.peer_cost_per_bit(Layer::ExchangePoint)
+                    < m.peer_cost_per_bit(Layer::PointOfPresence)
             );
             assert!(m.peer_cost_per_bit(Layer::PointOfPresence) < m.peer_cost_per_bit(Layer::Core));
         }

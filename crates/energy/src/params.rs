@@ -37,8 +37,12 @@ pub const VALANCIUS_HOP: f64 = 150.0;
 
 /// Hop counts the paper uses to derive the Valancius network legs:
 /// CDN path 7 hops, core-localised P2P 6, PoP-localised 4, ExP-localised 2.
-pub const VALANCIUS_HOPS: ValanciusHops =
-    ValanciusHops { cdn: 7, p2p_core: 6, p2p_pop: 4, p2p_exchange: 2 };
+pub const VALANCIUS_HOPS: ValanciusHops = ValanciusHops {
+    cdn: 7,
+    p2p_core: 6,
+    p2p_pop: 4,
+    p2p_exchange: 2,
+};
 
 /// Hop counts for the Valancius hop-based derivation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -157,7 +161,11 @@ pub struct ParamError {
 
 impl fmt::Display for ParamError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "energy parameter `{}` = {} violates: {}", self.field, self.value, self.requirement)
+        write!(
+            f,
+            "energy parameter `{}` = {} violates: {}",
+            self.field, self.value, self.requirement
+        )
     }
 }
 
@@ -249,12 +257,20 @@ impl EnergyParamsBuilder {
         ];
         for (field, value) in checks {
             if !value.is_finite() || value < 0.0 {
-                return Err(ParamError { field, value, requirement: "finite and non-negative" });
+                return Err(ParamError {
+                    field,
+                    value,
+                    requirement: "finite and non-negative",
+                });
             }
         }
         for (field, value) in [("pue", p.pue), ("loss", p.loss)] {
             if !value.is_finite() || value < 1.0 {
-                return Err(ParamError { field, value, requirement: "finite and at least 1.0" });
+                return Err(ParamError {
+                    field,
+                    value,
+                    requirement: "finite and at least 1.0",
+                });
             }
         }
         if p.p2p_exchange > p.p2p_pop || p.p2p_pop > p.p2p_core {
@@ -316,7 +332,10 @@ mod tests {
 
     #[test]
     fn of_and_published_agree() {
-        assert_eq!(EnergyParams::of(ModelKind::Valancius), EnergyParams::valancius());
+        assert_eq!(
+            EnergyParams::of(ModelKind::Valancius),
+            EnergyParams::valancius()
+        );
         assert_eq!(EnergyParams::of(ModelKind::Baliga), EnergyParams::baliga());
         assert_eq!(EnergyParams::published()[1].kind, Some(ModelKind::Baliga));
     }
@@ -328,7 +347,10 @@ mod tests {
         assert!(EnergyParams::builder().pue(0.5).build().is_err());
         assert!(EnergyParams::builder().loss(f64::NAN).build().is_err());
         // Violate layer ordering.
-        let err = EnergyParams::builder().p2p_exchange_nj(999.0).p2p_pop_nj(1.0).build();
+        let err = EnergyParams::builder()
+            .p2p_exchange_nj(999.0)
+            .p2p_pop_nj(1.0)
+            .build();
         assert!(err.is_err());
         assert!(err.unwrap_err().to_string().contains("ordering"));
     }

@@ -58,7 +58,12 @@ pub fn table4_rows() -> Vec<Table4Row> {
             valancius: v.p2p_core.as_nanojoules(),
             baliga: b.p2p_core.as_nanojoules(),
         },
-        Table4Row { variable: "Power Efficiency", symbol: "PUE", valancius: v.pue, baliga: b.pue },
+        Table4Row {
+            variable: "Power Efficiency",
+            symbol: "PUE",
+            valancius: v.pue,
+            baliga: b.pue,
+        },
         Table4Row {
             variable: "End-user energy loss",
             symbol: "l",

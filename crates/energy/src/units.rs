@@ -278,7 +278,10 @@ mod tests {
         assert_eq!(t.as_bits(), 12_000.0);
         let sum: Traffic = [t, Traffic::from_bytes(500)].into_iter().sum();
         assert_eq!(sum.as_bytes(), 2_000);
-        assert_eq!(Traffic::from_bytes(u64::MAX).saturating_add(t).as_bytes(), u64::MAX);
+        assert_eq!(
+            Traffic::from_bytes(u64::MAX).saturating_add(t).as_bytes(),
+            u64::MAX
+        );
     }
 
     #[test]

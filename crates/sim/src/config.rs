@@ -1,8 +1,57 @@
 //! Simulation configuration.
 
+use std::fmt;
+
 use serde::{Deserialize, Serialize};
 
 use consume_local_swarm::{MatcherKind, SwarmPolicy};
+
+/// A violated [`SimConfig`] constraint, reported as a typed error so callers
+/// (the experiment builder, the sweep runner) can propagate it without
+/// stringly-typed plumbing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SimConfigError {
+    /// `window_secs` was zero.
+    ZeroWindow,
+    /// The upload ratio was non-positive or non-finite.
+    BadUploadRatio(f64),
+    /// The absolute upload bandwidth was zero.
+    ZeroUploadBandwidth,
+    /// `threads` was zero.
+    ZeroThreads,
+    /// `preload_fraction` was outside `[0, 1)`.
+    BadPreloadFraction(f64),
+    /// `edge_cache.top_items` was zero.
+    ZeroCacheItems,
+    /// `participation_rate` was outside `(0, 1]`.
+    BadParticipationRate(f64),
+}
+
+impl fmt::Display for SimConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimConfigError::ZeroWindow => write!(f, "window_secs must be positive"),
+            SimConfigError::BadUploadRatio(r) => {
+                write!(f, "upload ratio must be positive, got {r}")
+            }
+            SimConfigError::ZeroUploadBandwidth => {
+                write!(f, "absolute upload bandwidth must be positive")
+            }
+            SimConfigError::ZeroThreads => write!(f, "threads must be at least 1"),
+            SimConfigError::BadPreloadFraction(p) => {
+                write!(f, "preload_fraction must be in [0, 1), got {p}")
+            }
+            SimConfigError::ZeroCacheItems => {
+                write!(f, "edge_cache.top_items must be positive")
+            }
+            SimConfigError::BadParticipationRate(r) => {
+                write!(f, "participation_rate must be in (0, 1], got {r}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimConfigError {}
 
 /// How much upload bandwidth each peer contributes.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -108,56 +157,63 @@ impl Default for SimConfig {
 impl SimConfig {
     /// The paper's configuration with a specific `q/β` ratio.
     pub fn with_ratio(ratio: f64) -> Self {
-        Self { upload: UploadModel::Ratio(ratio), ..Self::default() }
+        Self {
+            upload: UploadModel::Ratio(ratio),
+            ..Self::default()
+        }
     }
 
     /// Validates the configuration.
     ///
     /// # Errors
     ///
-    /// Returns a description of the first invalid field.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Returns the first violated constraint as a [`SimConfigError`].
+    pub fn validate(&self) -> Result<(), SimConfigError> {
         if self.window_secs == 0 {
-            return Err("window_secs must be positive".into());
+            return Err(SimConfigError::ZeroWindow);
         }
         match self.upload {
             UploadModel::Ratio(r) if !r.is_finite() || r <= 0.0 => {
-                return Err(format!("upload ratio must be positive, got {r}"));
+                return Err(SimConfigError::BadUploadRatio(r));
             }
             UploadModel::AbsoluteBps(0) => {
-                return Err("absolute upload bandwidth must be positive".into());
+                return Err(SimConfigError::ZeroUploadBandwidth);
             }
             _ => {}
         }
         if self.threads == 0 {
-            return Err("threads must be at least 1".into());
+            return Err(SimConfigError::ZeroThreads);
         }
         if !(0.0..1.0).contains(&self.preload_fraction) {
-            return Err(format!(
-                "preload_fraction must be in [0, 1), got {}",
-                self.preload_fraction
-            ));
+            return Err(SimConfigError::BadPreloadFraction(self.preload_fraction));
         }
         if let Some(cache) = self.edge_cache {
             if cache.top_items == 0 {
-                return Err("edge_cache.top_items must be positive".into());
+                return Err(SimConfigError::ZeroCacheItems);
             }
         }
         if !self.participation_rate.is_finite()
             || self.participation_rate <= 0.0
             || self.participation_rate > 1.0
         {
-            return Err(format!(
-                "participation_rate must be in (0, 1], got {}",
-                self.participation_rate
+            return Err(SimConfigError::BadParticipationRate(
+                self.participation_rate,
             ));
         }
         Ok(())
     }
+
+    /// The workspace's default worker-thread count: available parallelism
+    /// capped at 16 (also the sweep runner's default fan-out width).
+    pub fn default_threads() -> usize {
+        num_threads_default()
+    }
 }
 
 fn num_threads_default() -> usize {
-    std::thread::available_parallelism().map(|n| n.get().min(16)).unwrap_or(1)
+    std::thread::available_parallelism()
+        .map(|n| n.get().min(16))
+        .unwrap_or(1)
 }
 
 #[cfg(test)]
@@ -200,24 +256,45 @@ mod tests {
 
     #[test]
     fn validation_catches_bad_fields() {
-        let c = SimConfig { window_secs: 0, ..Default::default() };
+        let c = SimConfig {
+            window_secs: 0,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
-        let c = SimConfig { upload: UploadModel::Ratio(0.0), ..Default::default() };
+        let c = SimConfig {
+            upload: UploadModel::Ratio(0.0),
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
-        let c = SimConfig { upload: UploadModel::AbsoluteBps(0), ..Default::default() };
+        let c = SimConfig {
+            upload: UploadModel::AbsoluteBps(0),
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
-        let c = SimConfig { threads: 0, ..Default::default() };
+        let c = SimConfig {
+            threads: 0,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
-        let c = SimConfig { preload_fraction: 1.0, ..Default::default() };
+        let c = SimConfig {
+            preload_fraction: 1.0,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
         let c = SimConfig {
             edge_cache: Some(EdgeCache { top_items: 0 }),
             ..Default::default()
         };
         assert!(c.validate().is_err());
-        let c = SimConfig { participation_rate: 0.0, ..Default::default() };
+        let c = SimConfig {
+            participation_rate: 0.0,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
-        let c = SimConfig { participation_rate: 1.5, ..Default::default() };
+        let c = SimConfig {
+            participation_rate: 1.5,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
     }
 

@@ -7,16 +7,11 @@
 //! order and the random matcher is seeded per swarm, so the report is
 //! bit-identical regardless of thread count.
 
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
-
-use parking_lot::Mutex;
-
-use consume_local_swarm::matching::PeerTransfer;
+use consume_local_swarm::matching::MatchOutcome;
 use consume_local_swarm::{Peer, SwarmKey};
 use consume_local_trace::{SimTime, Trace};
 
-use crate::config::SimConfig;
+use crate::config::{SimConfig, SimConfigError};
 use crate::ledger::ByteLedger;
 use crate::report::{DailyIspCell, SimReport, SwarmReport, UserTraffic};
 
@@ -32,12 +27,24 @@ impl Simulator {
     /// # Panics
     ///
     /// Panics if the configuration is invalid (see [`SimConfig::validate`]);
-    /// construct configs through their builders/presets to avoid this.
+    /// use [`Simulator::try_new`] to handle invalid configurations as typed
+    /// errors instead.
     pub fn new(config: SimConfig) -> Self {
-        if let Err(e) = config.validate() {
-            panic!("invalid simulator config: {e}");
+        match Self::try_new(config) {
+            Ok(sim) => sim,
+            Err(e) => panic!("invalid simulator config: {e}"),
         }
-        Self { config }
+    }
+
+    /// Creates a simulator, rejecting an invalid configuration as a typed
+    /// [`SimConfigError`] instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated constraint (see [`SimConfig::validate`]).
+    pub fn try_new(config: SimConfig) -> Result<Self, SimConfigError> {
+        config.validate()?;
+        Ok(Self { config })
     }
 
     /// The configuration in use.
@@ -47,47 +54,50 @@ impl Simulator {
 
     /// Runs the simulation over a trace and returns the full report.
     pub fn run(&self, trace: &Trace) -> SimReport {
-        // 1. Group sessions into sub-swarms, preserving start order.
-        let mut groups: HashMap<SwarmKey, Vec<u32>> = HashMap::new();
-        for (i, s) in trace.sessions().iter().enumerate() {
-            groups.entry(self.config.policy.key_for(s)).or_default().push(i as u32);
+        // 1. Group sessions into sub-swarms with one stable sort instead of
+        //    a `HashMap<SwarmKey, Vec<u32>>` rebuild: ties keep the trace's
+        //    start order, and swarms come out already key-ordered.
+        let sessions = trace.sessions();
+        let mut keyed_sessions: Vec<(SwarmKey, u32)> = sessions
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (self.config.policy.key_for(s), i as u32))
+            .collect();
+        keyed_sessions.sort_by_key(|&(key, _)| key);
+        let indices: Vec<u32> = keyed_sessions.iter().map(|&(_, i)| i).collect();
+        let mut keyed: Vec<(SwarmKey, std::ops::Range<usize>)> = Vec::new();
+        let mut start = 0usize;
+        while start < keyed_sessions.len() {
+            let key = keyed_sessions[start].0;
+            let mut end = start + 1;
+            while end < keyed_sessions.len() && keyed_sessions[end].0 == key {
+                end += 1;
+            }
+            keyed.push((key, start..end));
+            start = end;
         }
-        let mut keyed: Vec<(SwarmKey, Vec<u32>)> = groups.into_iter().collect();
-        keyed.sort_by_key(|(k, _)| *k);
 
         // 2. Simulate swarms (work-stealing across threads; each swarm's
         //    result is placed at its key-ordered slot).
         let n = keyed.len();
-        let slots: Mutex<Vec<Option<SwarmOutput>>> = Mutex::new((0..n).map(|_| None).collect());
-        let next = AtomicUsize::new(0);
-        let workers = self.config.threads.min(n.max(1));
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
-                    }
-                    let (key, indices) = &keyed[i];
-                    let out = self.simulate_swarm(*key, indices, trace);
-                    slots.lock()[i] = Some(out);
-                });
-            }
+        let outputs = crate::par::parallel_map(n, self.config.threads, |i| {
+            let (key, range) = &keyed[i];
+            self.simulate_swarm(*key, &indices[range.clone()], trace)
         });
 
-        // 3. Merge deterministically in key order.
+        // 3. Merge deterministically in key order. Day × ISP cells are
+        //    collected flat and merged with one sort — no hash map rebuild.
         let horizon = trace.horizon_seconds();
         let total_windows = horizon / self.config.window_secs;
         let mut swarms = Vec::with_capacity(n);
         let mut users = vec![UserTraffic::default(); trace.population().len()];
-        let mut daily_map: HashMap<(u32, Option<consume_local_topology::IspId>), ByteLedger> =
-            HashMap::new();
+        let mut daily_cells: Vec<(u32, Option<consume_local_topology::IspId>, ByteLedger)> =
+            Vec::new();
         let mut total = ByteLedger::new();
-        for (slot, (key, indices)) in slots.into_inner().into_iter().zip(&keyed) {
-            let out = slot.expect("every swarm simulated");
+        for (out, (key, range)) in outputs.into_iter().zip(&keyed) {
             total.merge(&out.ledger);
             for (day, ledger) in &out.daily {
-                daily_map.entry((*day, key.isp)).or_default().merge(ledger);
+                daily_cells.push((*day, key.isp, *ledger));
             }
             for &(user, watched, uploaded) in &out.users {
                 let t = &mut users[user as usize];
@@ -106,18 +116,21 @@ impl Simulator {
             swarms.push(SwarmReport {
                 key: *key,
                 ledger: out.ledger,
-                sessions: indices.len() as u64,
+                sessions: range.len() as u64,
                 capacity: effective_capacity(&out.ledger),
                 time_avg_capacity: out.ledger.measured_capacity(total_windows),
                 upload_ratio: out.upload_ratio,
                 daily: daily_points,
             });
         }
-        let mut daily: Vec<DailyIspCell> = daily_map
-            .into_iter()
-            .map(|((day, isp), ledger)| DailyIspCell { day, isp, ledger })
-            .collect();
-        daily.sort_by_key(|c| (c.day, c.isp));
+        daily_cells.sort_by_key(|&(day, isp, _)| (day, isp));
+        let mut daily: Vec<DailyIspCell> = Vec::new();
+        for (day, isp, ledger) in daily_cells {
+            match daily.last_mut() {
+                Some(cell) if cell.day == day && cell.isp == isp => cell.ledger.merge(&ledger),
+                _ => daily.push(DailyIspCell { day, isp, ledger }),
+            }
+        }
 
         SimReport {
             horizon_secs: horizon,
@@ -133,15 +146,34 @@ impl Simulator {
     fn simulate_swarm(&self, key: SwarmKey, indices: &[u32], trace: &Trace) -> SwarmOutput {
         let dt = self.config.window_secs;
         let sessions = trace.sessions();
-        let mut matcher = self.config.matcher.build(swarm_seed(self.config.seed, &key));
+        let mut matcher = self
+            .config
+            .matcher
+            .build(swarm_seed(self.config.seed, &key));
 
         let mut out = SwarmOutput::default();
-        let mut user_acc: HashMap<u32, (u64, u64)> = HashMap::new();
+
+        // Dense user slots: traffic accumulates in a flat vector indexed by
+        // the user's rank among this swarm's (sorted, distinct) users, not in
+        // a per-window-updated `HashMap<u32, _>`.
+        let mut swarm_users: Vec<u32> = indices
+            .iter()
+            .map(|&i| sessions[i as usize].user.0)
+            .collect();
+        swarm_users.sort_unstable();
+        swarm_users.dedup();
+        let mut user_acc: Vec<(u64, u64)> = vec![(0, 0); swarm_users.len()];
 
         // Representative ratio for the report (uniform within bitrate-split
         // swarms; a demand-weighted mix otherwise).
         let first_bitrate = sessions[indices[0] as usize].bitrate_bps();
         out.upload_ratio = self.config.upload.ratio_for(first_bitrate).min(1.0);
+
+        let preload_f = self.config.preload_fraction;
+        let cached = self
+            .config
+            .edge_cache
+            .is_some_and(|c| key.content.0 < c.top_items);
 
         let mut active: Vec<ActiveSession> = Vec::new();
         let mut i = 0usize;
@@ -153,7 +185,7 @@ impl Simulator {
         let mut peers: Vec<Peer> = Vec::new();
         let mut needs: Vec<u64> = Vec::new();
         let mut budgets: Vec<u64> = Vec::new();
-        let mut demands: Vec<u64> = Vec::new();
+        let mut outcome = MatchOutcome::default();
 
         while t < horizon {
             active.retain(|a| a.end > t);
@@ -163,11 +195,40 @@ impl Simulator {
                     break;
                 }
                 if s.end() > t {
+                    // Per-session window quantities are fixed for the whole
+                    // session (bitrate and Δτ do not change), so they are
+                    // computed once here instead of once per window. A
+                    // preloaded fraction of every session's bytes bypasses
+                    // the swarm (§VI preloading extension; 0 by default).
+                    let full_demand = u64::from(s.bitrate_bps()) * dt / 8;
+                    let preload = (full_demand as f64 * preload_f) as u64;
+                    let demand = full_demand - preload;
+                    // Non-participating users never upload (NetSession-style
+                    // partial participation); their own peer-receipt cap is
+                    // based on the swarm's typical uplink, not their zero
+                    // one.
+                    let nominal_budget = self.config.upload.budget_bytes(s.bitrate_bps(), dt);
+                    let budget = if participates(s.user.0, self.config.participation_rate) {
+                        nominal_budget
+                    } else {
+                        0
+                    };
+                    let user_slot = swarm_users
+                        .binary_search(&s.user.0)
+                        .expect("swarm_users indexes every session user")
+                        as u32;
                     active.push(ActiveSession {
                         end: s.end(),
-                        user: s.user.0,
-                        peer: Peer { isp: s.isp, location: s.location },
-                        bitrate_bps: s.bitrate_bps(),
+                        user_slot,
+                        peer: Peer {
+                            isp: s.isp,
+                            location: s.location,
+                        },
+                        full_demand,
+                        demand,
+                        preload,
+                        need: demand.min(nominal_budget),
+                        budget,
                     });
                 }
                 i += 1;
@@ -185,53 +246,30 @@ impl Simulator {
             }
 
             // Build the window inputs. Peer 0 (earliest joiner, since
-            // `active` preserves arrival order) is the fresh fetcher.
-            // A preloaded fraction of every session's bytes bypasses the
-            // swarm (§VI preloading extension; 0 by default).
-            let preload_f = self.config.preload_fraction;
-            let cached = self
-                .config
-                .edge_cache
-                .is_some_and(|c| key.content.0 < c.top_items);
+            // `active` preserves arrival order) is the fresh fetcher. The
+            // CDN-side "ineligible" remainder carries the fetcher's full
+            // in-swarm demand plus every peer's demand − need.
             peers.clear();
             needs.clear();
             budgets.clear();
-            demands.clear();
             let mut preload_total = 0u64;
-            for a in &active {
-                let full_demand = u64::from(a.bitrate_bps) * dt / 8;
-                let preload = (full_demand as f64 * preload_f) as u64;
-                let demand = full_demand - preload;
-                preload_total += preload;
-                // Non-participating users never upload (NetSession-style
-                // partial participation); their own peer-receipt cap is
-                // based on the swarm's typical uplink, not their zero one.
-                let nominal_budget = self.config.upload.budget_bytes(a.bitrate_bps, dt);
-                let budget = if participates(a.user, self.config.participation_rate) {
-                    nominal_budget
-                } else {
-                    0
-                };
+            let mut swarm_demand = 0u64;
+            let mut ineligible = 0u64;
+            for (k, a) in active.iter().enumerate() {
+                preload_total += a.preload;
+                swarm_demand += a.demand;
+                ineligible += if k == 0 { a.demand } else { a.demand - a.need };
                 peers.push(a.peer);
-                demands.push(demand);
-                needs.push(demand.min(nominal_budget));
-                budgets.push(budget);
+                needs.push(a.need);
+                budgets.push(a.budget);
             }
-            let outcome = matcher.match_window(&peers, &needs, &budgets, 0);
+            matcher.match_window_into(&peers, &needs, &budgets, 0, &mut outcome);
 
-            // Account the window.
-            let demand_total: u64 = demands.iter().sum::<u64>() + preload_total;
-            // The CDN-side fallback carries: the fetcher's full in-swarm
-            // demand, every peer's "ineligible" remainder (demand − need),
-            // and the matcher's residual unmet needs. With an edge cache
-            // holding this item, that fallback is served at the exchange
-            // instead of the CDN.
-            let ineligible: u64 = demands
-                .iter()
-                .zip(&needs)
-                .enumerate()
-                .map(|(k, (d, n))| if k == 0 { *d } else { d - n })
-                .sum();
+            // Account the window. The CDN-side fallback carries the
+            // ineligible remainder and the matcher's residual unmet needs;
+            // with an edge cache holding this item, that fallback is served
+            // at the exchange instead of the CDN.
+            let demand_total = swarm_demand + preload_total;
             let fallback = ineligible + outcome.server_bytes;
             let (server_total, cache_total, preload_srv, preload_cache) = if cached {
                 (0, fallback, 0, preload_total)
@@ -256,11 +294,10 @@ impl Simulator {
             debug_assert!(window_ledger.is_conserved(), "window bytes must conserve");
 
             for (k, a) in active.iter().enumerate() {
-                let tr: &PeerTransfer = &outcome.per_peer[k];
-                let acc = user_acc.entry(a.user).or_default();
+                let acc = &mut user_acc[a.user_slot as usize];
                 // Users watch their full demand (preloaded bytes included).
-                acc.0 += u64::from(a.bitrate_bps) * dt / 8;
-                acc.1 += tr.uploaded;
+                acc.0 += a.full_demand;
+                acc.1 += outcome.per_peer[k].uploaded;
             }
 
             out.ledger.merge(&window_ledger);
@@ -276,8 +313,15 @@ impl Simulator {
             t = t + dt;
         }
 
-        out.users = user_acc.into_iter().map(|(u, (w, up))| (u, w, up)).collect();
-        out.users.sort_unstable_by_key(|&(u, _, _)| u);
+        // `swarm_users` is sorted, so the output is already user-ordered.
+        // Users whose sessions never spanned a window boundary accumulated
+        // nothing and are dropped, exactly as before the dense-slot rewrite.
+        out.users = swarm_users
+            .into_iter()
+            .zip(user_acc)
+            .filter(|&(_, acc)| acc != (0, 0))
+            .map(|(u, (w, up))| (u, w, up))
+            .collect();
         out
     }
 }
@@ -336,12 +380,24 @@ struct SwarmOutput {
     upload_ratio: f64,
 }
 
+/// One active session with its per-window quantities precomputed at join
+/// time (they are constant for the session's lifetime).
 #[derive(Debug, Clone, Copy)]
 struct ActiveSession {
     end: SimTime,
-    user: u32,
+    /// Rank of the session's user among the swarm's sorted distinct users.
+    user_slot: u32,
     peer: Peer,
-    bitrate_bps: u32,
+    /// Full per-window demand `β·Δτ/8` in bytes, preload included.
+    full_demand: u64,
+    /// In-swarm per-window demand (full demand minus the preloaded part).
+    demand: u64,
+    /// Per-window bytes served by predictive preloading.
+    preload: u64,
+    /// Peer-receivable cap `min(demand, q·Δτ/8)`.
+    need: u64,
+    /// Per-window upload budget (0 for non-participants).
+    budget: u64,
 }
 
 #[cfg(test)]
@@ -362,12 +418,9 @@ mod tests {
     /// A hand-built trace: two users, same ISP/exchange/bitrate, overlapping
     /// sessions on one item.
     fn pair_trace(offset_secs: u64) -> Trace {
-        let base = TraceGenerator::new(
-            TraceConfig::london_sep2013().scaled(0.0002).unwrap(),
-            3,
-        )
-        .generate()
-        .unwrap();
+        let base = TraceGenerator::new(TraceConfig::london_sep2013().scaled(0.0002).unwrap(), 3)
+            .generate()
+            .unwrap();
         let topo = IspTopology::london_table3().unwrap();
         let loc = topo.location_of(ExchangeId(5));
         let mk = |user: u32, start: u64| SessionRecord {
@@ -404,7 +457,11 @@ mod tests {
         // Each 10 s window: fetcher from server, peer 1 fully from peer 0.
         let demand = report.total.demand_bytes;
         assert_eq!(report.total.peer_bytes(), demand / 2);
-        assert_eq!(report.total.peer_bytes_by_layer[0], demand / 2, "all at ExP");
+        assert_eq!(
+            report.total.peer_bytes_by_layer[0],
+            demand / 2,
+            "all at ExP"
+        );
         // User 1 downloaded from peers; user 0 uploaded everything.
         assert_eq!(report.users[0].uploaded_bytes, demand / 2);
         assert_eq!(report.users[1].uploaded_bytes, 0);
@@ -442,8 +499,14 @@ mod tests {
     #[test]
     fn deterministic_across_thread_counts() {
         let trace = tiny_trace();
-        let c1 = SimConfig { threads: 1, ..Default::default() };
-        let c4 = SimConfig { threads: 4, ..Default::default() };
+        let c1 = SimConfig {
+            threads: 1,
+            ..Default::default()
+        };
+        let c4 = SimConfig {
+            threads: 4,
+            ..Default::default()
+        };
         let r1 = Simulator::new(c1).run(&trace);
         let r4 = Simulator::new(c4).run(&trace);
         assert_eq!(r1, r4);
@@ -452,7 +515,10 @@ mod tests {
     #[test]
     fn random_matcher_deterministic_and_no_better_locality() {
         let trace = tiny_trace();
-        let cfg = SimConfig { matcher: MatcherKind::Random, ..Default::default() };
+        let cfg = SimConfig {
+            matcher: MatcherKind::Random,
+            ..Default::default()
+        };
         let a = Simulator::new(cfg.clone()).run(&trace);
         let b = Simulator::new(cfg).run(&trace);
         assert_eq!(a, b, "random matcher must be seed-deterministic");
@@ -500,13 +566,19 @@ mod tests {
     #[test]
     #[should_panic(expected = "invalid simulator config")]
     fn rejects_invalid_config() {
-        let _ = Simulator::new(SimConfig { window_secs: 0, ..Default::default() });
+        let _ = Simulator::new(SimConfig {
+            window_secs: 0,
+            ..Default::default()
+        });
     }
 
     #[test]
     fn preloading_reduces_sharing_but_conserves() {
         let trace = pair_trace(0);
-        let cfg = SimConfig { preload_fraction: 0.4, ..Default::default() };
+        let cfg = SimConfig {
+            preload_fraction: 0.4,
+            ..Default::default()
+        };
         let preloaded = Simulator::new(cfg).run(&trace);
         preloaded.check_conservation().unwrap();
         let baseline = Simulator::new(SimConfig::default()).run(&trace);
@@ -521,9 +593,7 @@ mod tests {
         assert!(preloaded.total.offload_share() < baseline.total.offload_share());
         // And therefore lower savings: preloading fights peer assistance.
         let p = EnergyParams::valancius();
-        assert!(
-            preloaded.total_savings(&p).unwrap() < baseline.total_savings(&p).unwrap()
-        );
+        assert!(preloaded.total_savings(&p).unwrap() < baseline.total_savings(&p).unwrap());
     }
 
     #[test]
@@ -574,7 +644,10 @@ mod tests {
                 non_participants_uploading += 1;
             }
         }
-        assert!(non_participants_uploading > 0, "test must cover non-participants");
+        assert!(
+            non_participants_uploading > 0,
+            "test must cover non-participants"
+        );
         // Deterministic membership: same result twice.
         let again = Simulator::new(SimConfig {
             participation_rate: 0.3,
@@ -588,15 +661,21 @@ mod tests {
     fn participation_is_monotone() {
         let trace = tiny_trace();
         let offload_at = |rate: f64| {
-            Simulator::new(SimConfig { participation_rate: rate, ..Default::default() })
-                .run(&trace)
-                .total
-                .offload_share()
+            Simulator::new(SimConfig {
+                participation_rate: rate,
+                ..Default::default()
+            })
+            .run(&trace)
+            .total
+            .offload_share()
         };
         let lo = offload_at(0.2);
         let mid = offload_at(0.6);
         let hi = offload_at(1.0);
-        assert!(lo < mid && mid < hi, "offload must grow with participation: {lo} {mid} {hi}");
+        assert!(
+            lo < mid && mid < hi,
+            "offload must grow with participation: {lo} {mid} {hi}"
+        );
     }
 
     #[test]

@@ -49,7 +49,11 @@ impl ByteLedger {
     pub fn merge(&mut self, other: &ByteLedger) {
         self.demand_bytes += other.demand_bytes;
         self.server_bytes += other.server_bytes;
-        for (a, b) in self.peer_bytes_by_layer.iter_mut().zip(other.peer_bytes_by_layer) {
+        for (a, b) in self
+            .peer_bytes_by_layer
+            .iter_mut()
+            .zip(other.peer_bytes_by_layer)
+        {
             *a += b;
         }
         self.cache_bytes += other.cache_bytes;
@@ -80,15 +84,16 @@ impl ByteLedger {
     /// `PUE·(γ_s + γ_exp) + l·γ_m` per bit.
     pub fn hybrid_energy(&self, params: &EnergyParams) -> Energy {
         let cost = CostModel::new(*params);
-        let mut e = cost
-            .server_energy(Traffic::from_bytes(self.server_bytes + self.preload_bytes));
+        let mut e = cost.server_energy(Traffic::from_bytes(self.server_bytes + self.preload_bytes));
         for layer in Layer::ALL {
             e += cost.peer_energy(
                 Traffic::from_bytes(self.peer_bytes_by_layer[layer.index()]),
                 layer,
             );
         }
-        e += cost.edge_cache_cost_per_bit().energy_for(Traffic::from_bytes(self.cache_bytes));
+        e += cost
+            .edge_cache_cost_per_bit()
+            .energy_for(Traffic::from_bytes(self.cache_bytes));
         e
     }
 
@@ -101,7 +106,8 @@ impl ByteLedger {
     /// Energy savings `S = 1 − hybrid/baseline` (Eq. 1); `None` when no
     /// demand was recorded.
     pub fn savings(&self, params: &EnergyParams) -> Option<f64> {
-        self.hybrid_energy(params).savings_vs(self.baseline_energy(params))
+        self.hybrid_energy(params)
+            .savings_vs(self.baseline_energy(params))
     }
 
     /// The measured swarm capacity: mean online peers per window over
@@ -184,7 +190,10 @@ mod tests {
     #[test]
     fn savings_depend_on_layer() {
         let mk = |layer: usize| {
-            let mut l = ByteLedger { demand_bytes: 1_000, ..Default::default() };
+            let mut l = ByteLedger {
+                demand_bytes: 1_000,
+                ..Default::default()
+            };
             l.peer_bytes_by_layer[layer] = 1_000;
             l.savings(&EnergyParams::baliga()).unwrap()
         };

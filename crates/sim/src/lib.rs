@@ -42,9 +42,10 @@
 pub mod config;
 pub mod engine;
 pub mod ledger;
+pub mod par;
 pub mod report;
 
-pub use config::{EdgeCache, SimConfig, UploadModel};
+pub use config::{EdgeCache, SimConfig, SimConfigError, UploadModel};
 pub use engine::Simulator;
 pub use ledger::ByteLedger;
 pub use report::{DailyIspCell, SimReport, SwarmDay, SwarmReport, UserTraffic};

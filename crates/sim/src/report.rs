@@ -205,7 +205,11 @@ mod tests {
     }
 
     fn report() -> SimReport {
-        let key = SwarmKey { content: ContentId(0), isp: Some(IspId(0)), bitrate: None };
+        let key = SwarmKey {
+            content: ContentId(0),
+            isp: Some(IspId(0)),
+            bitrate: None,
+        };
         let ledger = ByteLedger {
             demand_bytes: 300,
             server_bytes: 200,
@@ -226,13 +230,27 @@ mod tests {
                 time_avg_capacity: 0.1,
                 upload_ratio: 1.0,
                 daily: vec![
-                    SwarmDay { day: 0, capacity: 0.2, demand_bytes: 200 },
-                    SwarmDay { day: 1, capacity: 0.1, demand_bytes: 100 },
+                    SwarmDay {
+                        day: 0,
+                        capacity: 0.2,
+                        demand_bytes: 200,
+                    },
+                    SwarmDay {
+                        day: 1,
+                        capacity: 0.1,
+                        demand_bytes: 100,
+                    },
                 ],
             }],
             users: vec![
-                UserTraffic { watched_bytes: 200, uploaded_bytes: 60 },
-                UserTraffic { watched_bytes: 100, uploaded_bytes: 40 },
+                UserTraffic {
+                    watched_bytes: 200,
+                    uploaded_bytes: 60,
+                },
+                UserTraffic {
+                    watched_bytes: 100,
+                    uploaded_bytes: 40,
+                },
                 UserTraffic::default(),
             ],
             daily: vec![
@@ -255,7 +273,10 @@ mod tests {
         assert!(broken.check_conservation().is_err());
         let mut broken = r;
         broken.users[1].uploaded_bytes = 0;
-        assert!(broken.check_conservation().unwrap_err().contains("uploaded"));
+        assert!(broken
+            .check_conservation()
+            .unwrap_err()
+            .contains("uploaded"));
     }
 
     #[test]
@@ -266,7 +287,9 @@ mod tests {
         assert_eq!(series[0].0, 0);
         assert_eq!(series[1].0, 1);
         assert!(series[0].1 > series[1].1, "day 0 offloaded more");
-        assert!(r.daily_savings(Some(IspId(3)), &EnergyParams::valancius()).is_empty());
+        assert!(r
+            .daily_savings(Some(IspId(3)), &EnergyParams::valancius())
+            .is_empty());
     }
 
     #[test]
@@ -290,8 +313,15 @@ mod tests {
         assert_eq!(r.total_windows(), 60);
         let pts = r.swarm_points(&EnergyParams::baliga());
         assert_eq!(pts.len(), 1);
-        assert_eq!(pts[0].0, 0.15, "theory-comparison points use effective capacity");
-        assert_eq!(r.swarm_capacities(), vec![0.1], "distributions use time-averaged capacity");
+        assert_eq!(
+            pts[0].0, 0.15,
+            "theory-comparison points use effective capacity"
+        );
+        assert_eq!(
+            r.swarm_capacities(),
+            vec![0.1],
+            "distributions use time-averaged capacity"
+        );
         assert!(r.total_savings(&EnergyParams::baliga()).unwrap() > 0.0);
     }
 }

@@ -31,11 +31,17 @@ impl fmt::Display for DistError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             DistError::NotPositive { param, value } => {
-                write!(f, "parameter `{param}` must be positive and finite, got {value}")
+                write!(
+                    f,
+                    "parameter `{param}` must be positive and finite, got {value}"
+                )
             }
             DistError::Empty { param } => write!(f, "parameter `{param}` must be non-empty"),
             DistError::BadWeights => {
-                write!(f, "weights must be non-negative and finite with a positive sum")
+                write!(
+                    f,
+                    "weights must be non-negative and finite with a positive sum"
+                )
             }
         }
     }
@@ -108,7 +114,9 @@ impl Poisson {
     /// Returns [`DistError::NotPositive`] if `lambda` is not finite and
     /// strictly positive.
     pub fn new(lambda: f64) -> Result<Self, DistError> {
-        Ok(Self { lambda: require_positive("lambda", lambda)? })
+        Ok(Self {
+            lambda: require_positive("lambda", lambda)?,
+        })
     }
 
     /// The mean (and variance) of the distribution.
@@ -193,7 +201,9 @@ impl Exponential {
     /// Returns [`DistError::NotPositive`] if `rate` is not finite and
     /// strictly positive.
     pub fn new(rate: f64) -> Result<Self, DistError> {
-        Ok(Self { rate: require_positive("rate", rate)? })
+        Ok(Self {
+            rate: require_positive("rate", rate)?,
+        })
     }
 
     /// Creates an exponential distribution with the given mean (`1/rate`).
@@ -203,7 +213,9 @@ impl Exponential {
     /// Returns [`DistError::NotPositive`] if `mean` is not finite and
     /// strictly positive.
     pub fn with_mean(mean: f64) -> Result<Self, DistError> {
-        Ok(Self { rate: 1.0 / require_positive("mean", mean)? })
+        Ok(Self {
+            rate: 1.0 / require_positive("mean", mean)?,
+        })
     }
 
     /// The rate parameter.
@@ -327,9 +339,15 @@ impl Normal {
     /// strictly positive, or if `mean` is not finite.
     pub fn new(mean: f64, std_dev: f64) -> Result<Self, DistError> {
         if !mean.is_finite() {
-            return Err(DistError::NotPositive { param: "mean", value: mean });
+            return Err(DistError::NotPositive {
+                param: "mean",
+                value: mean,
+            });
         }
-        Ok(Self { mean, std_dev: require_positive("std_dev", std_dev)? })
+        Ok(Self {
+            mean,
+            std_dev: require_positive("std_dev", std_dev)?,
+        })
     }
 
     /// The location parameter.
@@ -381,7 +399,9 @@ impl LogNormal {
     /// Returns [`DistError::NotPositive`] on non-finite `mu` or non-positive
     /// `sigma`.
     pub fn new(mu: f64, sigma: f64) -> Result<Self, DistError> {
-        Ok(Self { normal: Normal::new(mu, sigma)? })
+        Ok(Self {
+            normal: Normal::new(mu, sigma)?,
+        })
     }
 
     /// Creates a log-normal with a target *linear-space* mean and the given
@@ -538,7 +558,11 @@ impl Categorical {
             prob[i] = 1.0;
             alias[i] = i;
         }
-        Ok(Self { prob, alias, weights_norm })
+        Ok(Self {
+            prob,
+            alias,
+            weights_norm,
+        })
     }
 
     /// Number of categories.
@@ -599,7 +623,10 @@ mod tests {
             let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
             let tol = 5.0 * (lambda / n as f64).sqrt() + 0.01;
             assert!((mean - lambda).abs() < tol, "mean {mean} vs {lambda}");
-            assert!((var - lambda).abs() < 0.15 * lambda + 0.05, "var {var} vs {lambda}");
+            assert!(
+                (var - lambda).abs() < 0.15 * lambda + 0.05,
+                "var {var} vs {lambda}"
+            );
         }
     }
 

@@ -144,12 +144,18 @@ impl Edf {
     /// CCDF evaluated on a log-spaced grid, as used for the log-x CCDF plots
     /// of Fig. 3. Empty if the EDF is empty or `lo`/`hi` are invalid.
     pub fn ccdf_log_series(&self, lo: f64, hi: f64, points: usize) -> Vec<(f64, f64)> {
-        grid::log_spaced(lo, hi, points).into_iter().map(|x| (x, self.ccdf(x))).collect()
+        grid::log_spaced(lo, hi, points)
+            .into_iter()
+            .map(|x| (x, self.ccdf(x)))
+            .collect()
     }
 
     /// CDF evaluated on a linearly spaced grid (Fig. 6 style).
     pub fn cdf_linear_series(&self, lo: f64, hi: f64, points: usize) -> Vec<(f64, f64)> {
-        grid::lin_spaced(lo, hi, points).into_iter().map(|x| (x, self.cdf(x))).collect()
+        grid::lin_spaced(lo, hi, points)
+            .into_iter()
+            .map(|x| (x, self.cdf(x)))
+            .collect()
     }
 }
 
@@ -161,8 +167,10 @@ impl FromIterator<f64> for Edf {
 
 impl Extend<f64> for Edf {
     fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
-        self.sorted.extend(iter.into_iter().filter(|x| x.is_finite()));
-        self.sorted.sort_by(|a, b| a.partial_cmp(b).expect("non-finite filtered"));
+        self.sorted
+            .extend(iter.into_iter().filter(|x| x.is_finite()));
+        self.sorted
+            .sort_by(|a, b| a.partial_cmp(b).expect("non-finite filtered"));
     }
 }
 

@@ -42,7 +42,10 @@ pub fn log_spaced(lo: f64, hi: f64, points: usize) -> Vec<f64> {
     if lo <= 0.0 || hi <= 0.0 || !lo.is_finite() || !hi.is_finite() {
         return Vec::new();
     }
-    lin_spaced(lo.ln(), hi.ln(), points).into_iter().map(f64::exp).collect()
+    lin_spaced(lo.ln(), hi.ln(), points)
+        .into_iter()
+        .map(f64::exp)
+        .collect()
 }
 
 #[cfg(test)]

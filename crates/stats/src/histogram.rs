@@ -34,7 +34,10 @@ pub struct BucketError;
 
 impl std::fmt::Display for BucketError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "invalid histogram buckets: need finite bounds, lo < hi (lo > 0 for log), count > 0")
+        write!(
+            f,
+            "invalid histogram buckets: need finite bounds, lo < hi (lo > 0 for log), count > 0"
+        )
     }
 }
 
@@ -74,7 +77,9 @@ impl Histogram {
     /// buckets are requested, or a log layout has a non-positive lower bound.
     pub fn new(buckets: Buckets) -> Result<Self, BucketError> {
         let ok = match buckets {
-            Buckets::Linear { lo, hi, count } => lo.is_finite() && hi.is_finite() && lo < hi && count > 0,
+            Buckets::Linear { lo, hi, count } => {
+                lo.is_finite() && hi.is_finite() && lo < hi && count > 0
+            }
             Buckets::Logarithmic { lo, hi, count } => {
                 lo.is_finite() && hi.is_finite() && lo > 0.0 && lo < hi && count > 0
             }
@@ -85,7 +90,13 @@ impl Histogram {
         let n = match buckets {
             Buckets::Linear { count, .. } | Buckets::Logarithmic { count, .. } => count,
         };
-        Ok(Self { buckets, counts: vec![0; n], underflow: 0, overflow: 0, total: 0 })
+        Ok(Self {
+            buckets,
+            counts: vec![0; n],
+            underflow: 0,
+            overflow: 0,
+            total: 0,
+        })
     }
 
     /// Records one sample. Non-finite samples are counted as overflow.
@@ -203,7 +214,12 @@ mod tests {
 
     #[test]
     fn linear_bucketing() {
-        let mut h = Histogram::new(Buckets::Linear { lo: 0.0, hi: 10.0, count: 10 }).unwrap();
+        let mut h = Histogram::new(Buckets::Linear {
+            lo: 0.0,
+            hi: 10.0,
+            count: 10,
+        })
+        .unwrap();
         h.record_all([0.0, 0.999, 5.0, 9.999, 10.0, -0.1]);
         assert_eq!(h.bucket_count(0), 2);
         assert_eq!(h.bucket_count(5), 1);
@@ -215,7 +231,12 @@ mod tests {
 
     #[test]
     fn log_bucketing_covers_decades() {
-        let mut h = Histogram::new(Buckets::Logarithmic { lo: 0.001, hi: 1000.0, count: 6 }).unwrap();
+        let mut h = Histogram::new(Buckets::Logarithmic {
+            lo: 0.001,
+            hi: 1000.0,
+            count: 6,
+        })
+        .unwrap();
         // Decade midpoints land in consecutive buckets.
         h.record_all([0.003, 0.03, 0.3, 3.0, 30.0, 300.0]);
         for i in 0..6 {
@@ -228,7 +249,12 @@ mod tests {
 
     #[test]
     fn counts_conserved() {
-        let mut h = Histogram::new(Buckets::Linear { lo: -1.0, hi: 1.0, count: 4 }).unwrap();
+        let mut h = Histogram::new(Buckets::Linear {
+            lo: -1.0,
+            hi: 1.0,
+            count: 4,
+        })
+        .unwrap();
         h.record_all((0..1000).map(|i| (i as f64 / 100.0).sin()));
         let in_buckets: u64 = (0..h.len()).map(|i| h.bucket_count(i)).sum();
         assert_eq!(in_buckets + h.underflow() + h.overflow(), h.total());
@@ -236,15 +262,40 @@ mod tests {
 
     #[test]
     fn rejects_bad_layouts() {
-        assert!(Histogram::new(Buckets::Linear { lo: 1.0, hi: 1.0, count: 4 }).is_err());
-        assert!(Histogram::new(Buckets::Linear { lo: 0.0, hi: 1.0, count: 0 }).is_err());
-        assert!(Histogram::new(Buckets::Logarithmic { lo: 0.0, hi: 1.0, count: 2 }).is_err());
-        assert!(Histogram::new(Buckets::Logarithmic { lo: f64::NAN, hi: 1.0, count: 2 }).is_err());
+        assert!(Histogram::new(Buckets::Linear {
+            lo: 1.0,
+            hi: 1.0,
+            count: 4
+        })
+        .is_err());
+        assert!(Histogram::new(Buckets::Linear {
+            lo: 0.0,
+            hi: 1.0,
+            count: 0
+        })
+        .is_err());
+        assert!(Histogram::new(Buckets::Logarithmic {
+            lo: 0.0,
+            hi: 1.0,
+            count: 2
+        })
+        .is_err());
+        assert!(Histogram::new(Buckets::Logarithmic {
+            lo: f64::NAN,
+            hi: 1.0,
+            count: 2
+        })
+        .is_err());
     }
 
     #[test]
     fn non_finite_goes_to_overflow() {
-        let mut h = Histogram::new(Buckets::Linear { lo: 0.0, hi: 1.0, count: 2 }).unwrap();
+        let mut h = Histogram::new(Buckets::Linear {
+            lo: 0.0,
+            hi: 1.0,
+            count: 2,
+        })
+        .unwrap();
         h.record(f64::NAN);
         h.record(f64::NEG_INFINITY);
         assert_eq!(h.overflow(), 2);
@@ -252,7 +303,12 @@ mod tests {
 
     #[test]
     fn rows_iterate_in_order() {
-        let h = Histogram::new(Buckets::Linear { lo: 0.0, hi: 4.0, count: 4 }).unwrap();
+        let h = Histogram::new(Buckets::Linear {
+            lo: 0.0,
+            hi: 4.0,
+            count: 4,
+        })
+        .unwrap();
         let rows: Vec<_> = h.rows().collect();
         assert_eq!(rows.len(), 4);
         assert_eq!(rows[0].0, 0.0);

@@ -109,8 +109,14 @@ mod tests {
     #[test]
     fn same_label_same_stream() {
         let d = SeedDerive::new(123);
-        let a: Vec<u64> = (0..8).map(|_| 0).scan(d.stream("x"), |r, _| Some(r.gen())).collect();
-        let b: Vec<u64> = (0..8).map(|_| 0).scan(d.stream("x"), |r, _| Some(r.gen())).collect();
+        let a: Vec<u64> = (0..8)
+            .map(|_| 0)
+            .scan(d.stream("x"), |r, _| Some(r.gen()))
+            .collect();
+        let b: Vec<u64> = (0..8)
+            .map(|_| 0)
+            .scan(d.stream("x"), |r, _| Some(r.gen()))
+            .collect();
         assert_eq!(a, b);
     }
 
@@ -123,7 +129,10 @@ mod tests {
 
     #[test]
     fn different_masters_differ() {
-        assert_ne!(SeedDerive::new(1).seed_for("a"), SeedDerive::new(2).seed_for("a"));
+        assert_ne!(
+            SeedDerive::new(1).seed_for("a"),
+            SeedDerive::new(2).seed_for("a")
+        );
     }
 
     #[test]

@@ -40,7 +40,13 @@ impl Default for OnlineStats {
 impl OnlineStats {
     /// Creates an empty accumulator.
     pub fn new() -> Self {
-        Self { count: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+        Self {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
     }
 
     /// Adds one sample. Non-finite samples are ignored.
@@ -167,7 +173,14 @@ impl fmt::Display for Summary {
         write!(
             f,
             "n={} mean={:.4} sd={:.4} min={:.4} p25={:.4} med={:.4} p75={:.4} max={:.4}",
-            self.count, self.mean, self.std_dev, self.min, self.p25, self.median, self.p75, self.max
+            self.count,
+            self.mean,
+            self.std_dev,
+            self.min,
+            self.p25,
+            self.median,
+            self.p75,
+            self.max
         )
     }
 }

@@ -57,7 +57,11 @@ pub struct PeerTransfer {
 }
 
 /// Outcome of matching one window.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// Reusable: engines keep one outcome alive across windows and refill it
+/// through [`Matcher::match_window_into`], so the per-peer attribution vector
+/// is allocated once per swarm instead of once per window.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct MatchOutcome {
     /// Bytes served by the CDN.
     pub server_bytes: u64,
@@ -91,8 +95,29 @@ impl MatchOutcome {
 /// `needs[i] = min(q_i, demand_i)` and adds the peer-ineligible remainder
 /// `demand_i − needs[i]` to the server itself (see the sim crate).
 pub trait Matcher {
-    /// Matches one window. `peers`, `needs` and `budgets` must have equal
-    /// lengths and `fetcher < peers.len()`.
+    /// Matches one window into a caller-owned outcome, overwriting whatever
+    /// it held. This is the engine's hot-path entry point: a reused outcome
+    /// plus the matcher's internal scratch make a window allocation-free
+    /// once buffers have grown to the swarm's peak peer count.
+    ///
+    /// `peers`, `needs` and `budgets` must have equal lengths and
+    /// `fetcher < peers.len()`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic on length mismatches or an out-of-range
+    /// `fetcher`.
+    fn match_window_into(
+        &mut self,
+        peers: &[Peer],
+        needs: &[u64],
+        budgets: &[u64],
+        fetcher: usize,
+        out: &mut MatchOutcome,
+    );
+
+    /// Matches one window, returning a fresh outcome (convenience wrapper
+    /// over [`Matcher::match_window_into`]).
     ///
     /// # Panics
     ///
@@ -104,7 +129,11 @@ pub trait Matcher {
         needs: &[u64],
         budgets: &[u64],
         fetcher: usize,
-    ) -> MatchOutcome;
+    ) -> MatchOutcome {
+        let mut out = MatchOutcome::default();
+        self.match_window_into(peers, needs, budgets, fetcher, &mut out);
+        out
+    }
 }
 
 /// Which matcher to instantiate (serialisable configuration surface).
@@ -145,9 +174,22 @@ pub fn uniform_window(n: usize, demand: u64, budget: u64) -> (Vec<u64>, Vec<u64>
 /// spread evenly across a swarm's members, as a managed coordinator would
 /// do. The rotation is part of the matcher's state, which is why engines
 /// construct one matcher per sub-swarm.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+///
+/// Grouping uses a **bucket index**: each peer's `(ISP, PoP, exchange)`
+/// coordinates are packed into one integer key, and a single sort of the
+/// peer indices by that key yields both grouping passes — same-exchange
+/// peers form runs nested inside same-PoP runs, because an exchange point
+/// determines its parent PoP (the tree invariant of
+/// [`UserLocation`](consume_local_topology::UserLocation)). The keys, the
+/// order and the working need/budget vectors are scratch buffers owned by
+/// the matcher, so a window performs no allocation once they have grown to
+/// the swarm's peak peer count.
+#[derive(Debug, Clone, Default)]
 pub struct HierarchicalMatcher {
     windows_matched: u64,
+    keys: Vec<u128>,
+    order: Vec<u32>,
+    work: WorkBuffers,
 }
 
 impl HierarchicalMatcher {
@@ -157,37 +199,56 @@ impl HierarchicalMatcher {
     }
 }
 
+/// Bucket key: ISP, then parent PoP, then exchange, then peer index. Equal
+/// `(isp, pop, exchange)` prefixes tie-break on the index, so sorting by the
+/// packed key is exactly a stable sort on the location coordinates.
+fn bucket_key(p: &Peer, index: usize) -> u128 {
+    (u128::from(p.isp.0) << 96)
+        | (u128::from(p.location.pop().0) << 64)
+        | (u128::from(p.location.exchange().0) << 32)
+        | index as u128
+}
+
 impl Matcher for HierarchicalMatcher {
-    fn match_window(
+    fn match_window_into(
         &mut self,
         peers: &[Peer],
         needs: &[u64],
         budgets: &[u64],
         fetcher: usize,
-    ) -> MatchOutcome {
+        out: &mut MatchOutcome,
+    ) {
         validate_inputs(peers, needs, budgets, fetcher);
         let n = peers.len();
         let rotation = self.windows_matched as usize;
         self.windows_matched += 1;
-        let mut state = MatchState::new(peers, needs, budgets, fetcher).with_rotation(rotation);
+        let mut state = MatchState::begin(&mut self.work, needs, budgets, fetcher, rotation, out);
 
-        // Pass 1: within exchange points (same ISP, same exchange).
-        let mut order: Vec<usize> = (0..n).collect();
-        order.sort_by_key(|&i| (peers[i].isp, peers[i].location.exchange()));
-        state.drain_groups(&order, |a, b| {
-            a.isp == b.isp && a.location.exchange() == b.location.exchange()
-        }, Layer::ExchangePoint, peers);
+        // One sort serves both locality passes (see the type-level docs).
+        self.keys.clear();
+        self.keys
+            .extend(peers.iter().enumerate().map(|(i, p)| bucket_key(p, i)));
+        self.order.clear();
+        self.order.extend(0..n as u32);
+        let keys = &self.keys;
+        self.order.sort_unstable_by_key(|&i| keys[i as usize]);
 
-        // Pass 2: within PoPs (same ISP, same PoP).
-        order.sort_by_key(|&i| (peers[i].isp, peers[i].location.pop()));
-        state.drain_groups(&order, |a, b| a.isp == b.isp && a.location.pop() == b.location.pop(),
-            Layer::PointOfPresence, peers);
+        // Pass 1: within exchange points — runs of equal (isp, pop, exchange).
+        state.drain_runs(&self.order, keys, 32, Layer::ExchangePoint);
 
-        // Pass 3: anywhere (core).
-        let order: Vec<usize> = (0..n).collect();
-        state.drain_groups(&order, |_, _| true, Layer::Core, peers);
+        // Pass 2: within PoPs — runs of equal (isp, pop).
+        if !state.done() {
+            state.drain_runs(&self.order, keys, 64, Layer::PointOfPresence);
+        }
 
-        state.finish()
+        // Pass 3: anywhere (core), in peer-index order.
+        if !state.done() {
+            self.order.clear();
+            self.order.extend(0..n as u32);
+            state.drain_one_group(&self.order, Layer::Core);
+        }
+
+        state.finish();
     }
 }
 
@@ -198,138 +259,189 @@ impl Matcher for HierarchicalMatcher {
 #[derive(Debug)]
 pub struct RandomMatcher {
     rng: StdRng,
+    uploaders: Vec<u32>,
+    downloaders: Vec<u32>,
+    work: WorkBuffers,
 }
 
 impl RandomMatcher {
     /// Creates a random matcher with its own deterministic stream.
     pub fn new(seed: u64) -> Self {
-        Self { rng: StdRng::seed_from_u64(seed) }
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+            uploaders: Vec::new(),
+            downloaders: Vec::new(),
+            work: WorkBuffers::default(),
+        }
     }
 }
 
 impl Matcher for RandomMatcher {
-    fn match_window(
+    fn match_window_into(
         &mut self,
         peers: &[Peer],
         needs: &[u64],
         budgets: &[u64],
         fetcher: usize,
-    ) -> MatchOutcome {
+        out: &mut MatchOutcome,
+    ) {
         validate_inputs(peers, needs, budgets, fetcher);
         let n = peers.len();
-        let mut state = MatchState::new(peers, needs, budgets, fetcher);
-        let mut uploaders: Vec<usize> = (0..n).collect();
-        uploaders.shuffle(&mut self.rng);
-        let mut downloaders: Vec<usize> = (0..n).filter(|&i| i != fetcher).collect();
-        downloaders.shuffle(&mut self.rng);
+        let mut state = MatchState::begin(&mut self.work, needs, budgets, fetcher, 0, out);
+        self.uploaders.clear();
+        self.uploaders.extend(0..n as u32);
+        self.uploaders.shuffle(&mut self.rng);
+        self.downloaders.clear();
+        self.downloaders
+            .extend((0..n as u32).filter(|&i| i as usize != fetcher));
+        self.downloaders.shuffle(&mut self.rng);
 
         let mut j = 0usize;
-        for &d in &downloaders {
-            while state.needs[d] > 0 {
-                while j < uploaders.len() && state.budgets[uploaders[j]] == 0 {
+        for &d in &self.downloaders {
+            let d = d as usize;
+            while state.needs()[d] > 0 {
+                while j < self.uploaders.len() && state.budgets()[self.uploaders[j] as usize] == 0 {
                     j += 1;
                 }
-                if j >= uploaders.len() {
+                if j >= self.uploaders.len() {
                     break;
                 }
-                let mut u = uploaders[j];
+                let mut u = self.uploaders[j] as usize;
                 if u == d {
                     let mut k = j + 1;
-                    while k < uploaders.len() && state.budgets[uploaders[k]] == 0 {
+                    while k < self.uploaders.len()
+                        && state.budgets()[self.uploaders[k] as usize] == 0
+                    {
                         k += 1;
                     }
-                    if k >= uploaders.len() {
+                    if k >= self.uploaders.len() {
                         break;
                     }
-                    u = uploaders[k];
+                    u = self.uploaders[k] as usize;
                 }
                 state.transfer(d, u, closeness(&peers[d], &peers[u]));
             }
         }
-        state.finish()
+        state.finish();
     }
 }
 
 fn validate_inputs(peers: &[Peer], needs: &[u64], budgets: &[u64], fetcher: usize) {
     assert_eq!(peers.len(), needs.len(), "needs length must match peers");
-    assert_eq!(peers.len(), budgets.len(), "budgets length must match peers");
+    assert_eq!(
+        peers.len(),
+        budgets.len(),
+        "budgets length must match peers"
+    );
     assert!(fetcher < peers.len(), "fetcher index out of range");
 }
 
-/// Shared bookkeeping for matcher implementations.
-struct MatchState {
+/// Residual need/budget working vectors, owned by a matcher and reused
+/// across windows.
+#[derive(Debug, Clone, Default)]
+struct WorkBuffers {
     needs: Vec<u64>,
     budgets: Vec<u64>,
-    per_peer: Vec<PeerTransfer>,
-    peer_bytes_by_layer: [u64; 3],
-    fetcher: usize,
-    rotation: usize,
 }
 
-impl MatchState {
-    fn new(peers: &[Peer], needs: &[u64], budgets: &[u64], fetcher: usize) -> Self {
-        let mut needs = needs.to_vec();
-        needs[fetcher] = 0; // the fetcher streams from the CDN
+/// Shared bookkeeping for matcher implementations: borrows the matcher's
+/// scratch and the caller's outcome for the duration of one window.
+struct MatchState<'a> {
+    work: &'a mut WorkBuffers,
+    out: &'a mut MatchOutcome,
+    fetcher: usize,
+    rotation: usize,
+    need_total: u64,
+    budget_total: u64,
+}
+
+impl<'a> MatchState<'a> {
+    fn begin(
+        work: &'a mut WorkBuffers,
+        needs: &[u64],
+        budgets: &[u64],
+        fetcher: usize,
+        rotation: usize,
+        out: &'a mut MatchOutcome,
+    ) -> Self {
+        work.needs.clear();
+        work.needs.extend_from_slice(needs);
+        work.needs[fetcher] = 0; // the fetcher streams from the CDN
+        work.budgets.clear();
+        work.budgets.extend_from_slice(budgets);
+        out.server_bytes = 0;
+        out.peer_bytes_by_layer = [0; 3];
+        out.per_peer.clear();
+        out.per_peer.resize(needs.len(), PeerTransfer::default());
+        let need_total = work.needs.iter().sum();
+        let budget_total = work.budgets.iter().sum();
         Self {
-            needs,
-            budgets: budgets.to_vec(),
-            per_peer: vec![PeerTransfer::default(); peers.len()],
-            peer_bytes_by_layer: [0; 3],
+            work,
+            out,
             fetcher,
-            rotation: 0,
+            rotation,
+            need_total,
+            budget_total,
         }
     }
 
-    fn with_rotation(mut self, rotation: usize) -> Self {
-        self.rotation = rotation;
-        self
+    fn needs(&self) -> &[u64] {
+        &self.work.needs
+    }
+
+    fn budgets(&self) -> &[u64] {
+        &self.work.budgets
+    }
+
+    /// Whether no further transfer is possible (needs or budgets exhausted).
+    fn done(&self) -> bool {
+        self.need_total == 0 || self.budget_total == 0
     }
 
     /// Moves `min(need, budget)` bytes from uploader `u` to downloader `d`.
     fn transfer(&mut self, d: usize, u: usize, layer: Layer) {
         debug_assert_ne!(d, u, "self-transfer");
-        let t = self.needs[d].min(self.budgets[u]);
+        let t = self.work.needs[d].min(self.work.budgets[u]);
         if t == 0 {
             return;
         }
-        self.needs[d] -= t;
-        self.budgets[u] -= t;
-        self.per_peer[d].from_peers += t;
-        self.per_peer[u].uploaded += t;
-        self.peer_bytes_by_layer[layer.index()] += t;
+        self.work.needs[d] -= t;
+        self.work.budgets[u] -= t;
+        self.need_total -= t;
+        self.budget_total -= t;
+        self.out.per_peer[d].from_peers += t;
+        self.out.per_peer[u].uploaded += t;
+        self.out.peer_bytes_by_layer[layer.index()] += t;
     }
 
-    /// Drains needs against budgets inside each group of `order` (peers for
-    /// which `same_group` holds), accounting transfers at `layer`.
-    fn drain_groups(
-        &mut self,
-        order: &[usize],
-        same_group: impl Fn(&Peer, &Peer) -> bool,
-        layer: Layer,
-        peers: &[Peer],
-    ) {
+    /// Drains needs against budgets inside each run of `order` whose bucket
+    /// keys agree above `shift` bits, accounting transfers at `layer`.
+    fn drain_runs(&mut self, order: &[u32], keys: &[u128], shift: u32, layer: Layer) {
         let n = order.len();
         let mut start = 0usize;
         while start < n {
+            let group = keys[order[start] as usize] >> shift;
             let mut end = start + 1;
-            while end < n && same_group(&peers[order[start]], &peers[order[end]]) {
+            while end < n && keys[order[end] as usize] >> shift == group {
                 end += 1;
             }
-            let members = &order[start..end];
-            if members.len() >= 2 {
-                self.drain_one_group(members, layer);
+            if end - start >= 2 {
+                self.drain_one_group(&order[start..end], layer);
+                if self.done() {
+                    return;
+                }
             }
             start = end;
         }
     }
 
-    fn drain_one_group(&mut self, members: &[usize], layer: Layer) {
+    fn drain_one_group(&mut self, members: &[u32], layer: Layer) {
         let len = members.len();
         // Uploaders are scanned circularly starting at a rotating offset so
         // upload burden (and carbon credit) spreads across the group over
         // successive windows.
         let offset = self.rotation % len;
-        let at = |step: usize| members[(offset + step) % len];
+        let at = |step: usize| members[(offset + step) % len] as usize;
         // Two tiers: first spend the budgets of peers that are themselves
         // still downloading (their budget risks being stranded — a peer
         // cannot serve itself), then everyone else's. Without the tiering,
@@ -337,14 +449,15 @@ impl MatchState {
         // while a pure uploader's budget was burned early.
         for require_need in [true, false] {
             let usable = |state: &Self, u: usize| {
-                state.budgets[u] > 0 && (!require_need || state.needs[u] > 0)
+                state.work.budgets[u] > 0 && (!require_need || state.work.needs[u] > 0)
             };
             let mut j = 0usize;
             for &d in members {
+                let d = d as usize;
                 if d == self.fetcher {
                     continue;
                 }
-                while self.needs[d] > 0 {
+                while self.work.needs[d] > 0 {
                     while j < len && !usable(self, at(j)) {
                         j += 1;
                     }
@@ -370,23 +483,19 @@ impl MatchState {
         }
     }
 
-    fn finish(mut self) -> MatchOutcome {
+    fn finish(self) {
         // Unmet needs fall back to the CDN; the fetcher's full demand was
         // already zeroed into `needs[fetcher]` and is charged by the caller
         // via its own demand accounting — here we charge residual needs.
         let mut server = 0u64;
-        for (i, need) in self.needs.iter().enumerate() {
+        for (i, need) in self.work.needs.iter().enumerate() {
             if i == self.fetcher {
                 continue;
             }
-            self.per_peer[i].from_server += need;
+            self.out.per_peer[i].from_server += need;
             server += need;
         }
-        MatchOutcome {
-            server_bytes: server,
-            peer_bytes_by_layer: self.peer_bytes_by_layer,
-            per_peer: self.per_peer,
-        }
+        self.out.server_bytes = server;
     }
 }
 
@@ -400,7 +509,10 @@ mod tests {
     }
 
     fn peer(isp: u8, exchange: u32) -> Peer {
-        Peer { isp: IspId(isp), location: topo().location_of(ExchangeId(exchange)) }
+        Peer {
+            isp: IspId(isp),
+            location: topo().location_of(ExchangeId(exchange)),
+        }
     }
 
     /// 4 peers: two share exchange 0 (pop 0), one on exchange 2 (pop 0),
@@ -414,7 +526,11 @@ mod tests {
         assert_eq!(closeness(&peer(0, 0), &peer(0, 0)), Layer::ExchangePoint);
         assert_eq!(closeness(&peer(0, 0), &peer(0, 2)), Layer::PointOfPresence);
         assert_eq!(closeness(&peer(0, 0), &peer(0, 1)), Layer::Core);
-        assert_eq!(closeness(&peer(0, 0), &peer(1, 0)), Layer::Core, "cross-ISP is core");
+        assert_eq!(
+            closeness(&peer(0, 0), &peer(1, 0)),
+            Layer::Core,
+            "cross-ISP is core"
+        );
     }
 
     #[test]
@@ -422,7 +538,10 @@ mod tests {
         let peers = vec![peer(0, 0)];
         let (needs, budgets) = uniform_window(1, 1000, 1000);
         let out = HierarchicalMatcher::new().match_window(&peers, &needs, &budgets, 0);
-        assert_eq!(out.server_bytes, 0, "fetcher demand is charged by the caller");
+        assert_eq!(
+            out.server_bytes, 0,
+            "fetcher demand is charged by the caller"
+        );
         assert_eq!(out.peer_bytes(), 0);
         assert_eq!(out.per_peer[0], PeerTransfer::default());
     }
@@ -470,7 +589,10 @@ mod tests {
         // Peer 2 (exchange 2, pop 0) matches someone in pop 0 at PoP level.
         // Peer 3 (exchange 1, pop 1) has nobody in pop 1: served across core.
         assert_eq!(out.peer_bytes_by_layer[Layer::ExchangePoint.index()], 1000);
-        assert_eq!(out.peer_bytes_by_layer[Layer::PointOfPresence.index()], 1000);
+        assert_eq!(
+            out.peer_bytes_by_layer[Layer::PointOfPresence.index()],
+            1000
+        );
         assert_eq!(out.peer_bytes_by_layer[Layer::Core.index()], 1000);
         assert_eq!(out.server_bytes, 0);
     }
@@ -484,8 +606,11 @@ mod tests {
         let out = HierarchicalMatcher::new().match_window(&peers, &needs, &budgets, 0);
         assert_eq!(out.peer_bytes(), 1000, "all budget consumed");
         assert_eq!(out.server_bytes, 2400 - 1000);
-        let delivered: u64 =
-            out.per_peer.iter().map(|t| t.from_peers + t.from_server).sum();
+        let delivered: u64 = out
+            .per_peer
+            .iter()
+            .map(|t| t.from_peers + t.from_server)
+            .sum();
         assert_eq!(delivered, 2400);
     }
 
@@ -621,8 +746,7 @@ mod tests {
 
         /// Arbitrary window: up to 24 peers across 2 ISPs / 8 exchanges,
         /// with arbitrary needs and budgets.
-        fn window_strategy(
-        ) -> impl Strategy<Value = (Vec<Peer>, Vec<u64>, Vec<u64>, usize)> {
+        fn window_strategy() -> impl Strategy<Value = (Vec<Peer>, Vec<u64>, Vec<u64>, usize)> {
             (2usize..24).prop_flat_map(|n| {
                 (
                     proptest::collection::vec((0u8..2, 0u32..8), n..=n),
@@ -631,8 +755,7 @@ mod tests {
                     0..n,
                 )
                     .prop_map(|(locs, needs, budgets, fetcher)| {
-                        let peers: Vec<Peer> =
-                            locs.into_iter().map(|(i, e)| peer(i, e)).collect();
+                        let peers: Vec<Peer> = locs.into_iter().map(|(i, e)| peer(i, e)).collect();
                         (peers, needs, budgets, fetcher)
                     })
             })

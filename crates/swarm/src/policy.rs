@@ -31,22 +31,34 @@ impl Default for SwarmPolicy {
 impl SwarmPolicy {
     /// The paper's evaluation policy: ISP-friendly, bitrate-split swarms.
     pub fn paper_default() -> Self {
-        Self { split_by_isp: true, split_by_bitrate: true }
+        Self {
+            split_by_isp: true,
+            split_by_bitrate: true,
+        }
     }
 
     /// Cross-ISP matching allowed (ablation A1 upper bound).
     pub fn cross_isp() -> Self {
-        Self { split_by_isp: false, split_by_bitrate: true }
+        Self {
+            split_by_isp: false,
+            split_by_bitrate: true,
+        }
     }
 
     /// Mixed-bitrate swarms (ablation A2).
     pub fn mixed_bitrate() -> Self {
-        Self { split_by_isp: true, split_by_bitrate: false }
+        Self {
+            split_by_isp: true,
+            split_by_bitrate: false,
+        }
     }
 
     /// The least restrictive policy: one swarm per content item.
     pub fn content_only() -> Self {
-        Self { split_by_isp: false, split_by_bitrate: false }
+        Self {
+            split_by_isp: false,
+            split_by_bitrate: false,
+        }
     }
 
     /// The sub-swarm key for a session under this policy.
@@ -111,7 +123,11 @@ mod tests {
         let c = p.key_for(&session(0, DeviceClass::HdTv));
         assert_ne!(a, b, "different ISPs split");
         assert_ne!(a, c, "different bitrates split");
-        assert_eq!(a, p.key_for(&session(0, DeviceClass::Tablet)), "same bitrate merges");
+        assert_eq!(
+            a,
+            p.key_for(&session(0, DeviceClass::Tablet)),
+            "same bitrate merges"
+        );
     }
 
     #[test]
@@ -129,7 +145,14 @@ mod tests {
         let a = p.key_for(&session(0, DeviceClass::Mobile));
         let b = p.key_for(&session(3, DeviceClass::FullHdTv));
         assert_eq!(a, b);
-        assert_eq!(a, SwarmKey { content: ContentId(42), isp: None, bitrate: None });
+        assert_eq!(
+            a,
+            SwarmKey {
+                content: ContentId(42),
+                isp: None,
+                bitrate: None
+            }
+        );
     }
 
     #[test]

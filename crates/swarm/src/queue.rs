@@ -41,7 +41,10 @@ impl MmInfQueue {
         // Validate through the distribution constructors.
         Exponential::new(arrival_rate)?;
         Exponential::with_mean(mean_duration)?;
-        Ok(Self { arrival_rate, mean_duration })
+        Ok(Self {
+            arrival_rate,
+            mean_duration,
+        })
     }
 
     /// The theoretical capacity `c = r·u`.
@@ -78,8 +81,10 @@ impl MmInfQueue {
         let mut lonely_time = 0.0f64;
 
         while t < horizon {
-            let next_departure =
-                departures.peek().map(|std::cmp::Reverse(OrdF64(d))| *d).unwrap_or(f64::INFINITY);
+            let next_departure = departures
+                .peek()
+                .map(|std::cmp::Reverse(OrdF64(d))| *d)
+                .unwrap_or(f64::INFINITY);
             let next_event = next_arrival.min(next_departure).min(horizon);
             let dt = next_event - t;
             weighted_occupancy += occupancy as f64 * dt;
@@ -126,7 +131,9 @@ impl PartialOrd for OrdF64 {
 
 impl Ord for OrdF64 {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0.partial_cmp(&other.0).expect("event times are finite")
+        self.0
+            .partial_cmp(&other.0)
+            .expect("event times are finite")
     }
 }
 

@@ -79,15 +79,16 @@ impl IspRegistry {
     ///
     /// Returns [`RegistryError::Empty`] with no ISPs, or
     /// [`RegistryError::BadShare`] for a non-positive/non-finite share.
-    pub fn new(
-        entries: Vec<(String, f64, IspTopology)>,
-    ) -> Result<Self, RegistryError> {
+    pub fn new(entries: Vec<(String, f64, IspTopology)>) -> Result<Self, RegistryError> {
         if entries.is_empty() {
             return Err(RegistryError::Empty);
         }
         for (name, share, _) in &entries {
             if !share.is_finite() || *share <= 0.0 {
-                return Err(RegistryError::BadShare { name: name.clone(), share: *share });
+                return Err(RegistryError::BadShare {
+                    name: name.clone(),
+                    share: *share,
+                });
             }
         }
         let total: f64 = entries.iter().map(|(_, s, _)| s).sum();
@@ -197,11 +198,8 @@ mod tests {
     #[test]
     fn normalisation_of_custom_shares() {
         let t = IspTopology::new(10, 2).unwrap();
-        let reg = IspRegistry::new(vec![
-            ("a".into(), 3.0, t.clone()),
-            ("b".into(), 1.0, t),
-        ])
-        .unwrap();
+        let reg =
+            IspRegistry::new(vec![("a".into(), 3.0, t.clone()), ("b".into(), 1.0, t)]).unwrap();
         let shares = reg.market_shares();
         assert!((shares[0] - 0.75).abs() < 1e-12);
         assert!((shares[1] - 0.25).abs() < 1e-12);
@@ -209,7 +207,10 @@ mod tests {
 
     #[test]
     fn rejects_bad_input() {
-        assert!(matches!(IspRegistry::new(vec![]), Err(RegistryError::Empty)));
+        assert!(matches!(
+            IspRegistry::new(vec![]),
+            Err(RegistryError::Empty)
+        ));
         let t = IspTopology::new(10, 2).unwrap();
         let err = IspRegistry::new(vec![("x".into(), 0.0, t)]).unwrap_err();
         assert!(err.to_string().contains("invalid market share"));

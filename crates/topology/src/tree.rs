@@ -74,10 +74,14 @@ impl IspTopology {
     /// [`TopologyError::FewerExchangesThanPops`] if `n_exchanges < n_pops`.
     pub fn new(n_exchanges: u32, n_pops: u32) -> Result<Self, TopologyError> {
         if n_exchanges == 0 {
-            return Err(TopologyError::ZeroNodes { layer: Layer::ExchangePoint });
+            return Err(TopologyError::ZeroNodes {
+                layer: Layer::ExchangePoint,
+            });
         }
         if n_pops == 0 {
-            return Err(TopologyError::ZeroNodes { layer: Layer::PointOfPresence });
+            return Err(TopologyError::ZeroNodes {
+                layer: Layer::PointOfPresence,
+            });
         }
         if n_exchanges < n_pops {
             return Err(TopologyError::FewerExchangesThanPops {
@@ -85,7 +89,10 @@ impl IspTopology {
                 pops: n_pops,
             });
         }
-        Ok(Self { n_exchanges, n_pops })
+        Ok(Self {
+            n_exchanges,
+            n_pops,
+        })
     }
 
     /// The topology of the large London ISP published in Table III:
@@ -124,7 +131,10 @@ impl IspTopology {
     ///
     /// Panics if `exchange` is out of range for this tree.
     pub fn parent_pop(&self, exchange: ExchangeId) -> PopId {
-        assert!(exchange.0 < self.n_exchanges, "exchange {exchange} out of range");
+        assert!(
+            exchange.0 < self.n_exchanges,
+            "exchange {exchange} out of range"
+        );
         PopId(exchange.0 % self.n_pops)
     }
 

@@ -102,7 +102,11 @@ pub fn age_decay_weights(broadcast_day: i32, days: u32) -> Option<Vec<f64>> {
     let mut weights = Vec::with_capacity(days as usize);
     for d in 0..days as i32 {
         let age = d - broadcast_day;
-        let w = if age < 0 { 0.0 } else { (-lambda * f64::from(age)).exp() + EVERGREEN_FLOOR };
+        let w = if age < 0 {
+            0.0
+        } else {
+            (-lambda * f64::from(age)).exp() + EVERGREEN_FLOOR
+        };
         weights.push(w);
     }
     let total: f64 = weights.iter().sum();
@@ -119,12 +123,7 @@ pub fn age_decay_weights(broadcast_day: i32, days: u32) -> Option<Vec<f64>> {
 /// expected share of an item's monthly views falling in `(day, hour)`.
 ///
 /// The combined shares over the whole window sum to 1.
-pub fn window_share(
-    day_weights: &[f64],
-    profile: &DiurnalProfile,
-    day: u32,
-    hour: u32,
-) -> f64 {
+pub fn window_share(day_weights: &[f64], profile: &DiurnalProfile, day: u32, hour: u32) -> f64 {
     let base: f64 = day_weights
         .iter()
         .enumerate()
@@ -196,10 +195,13 @@ mod tests {
     #[test]
     fn back_catalogue_is_flat_ish() {
         let w = age_decay_weights(-200, 30).unwrap();
-        let (min, max) = w
-            .iter()
-            .fold((f64::INFINITY, 0.0f64), |(lo, hi), &x| (lo.min(x), hi.max(x)));
-        assert!(max / min < 1.5, "old items should be nearly flat: {min}..{max}");
+        let (min, max) = w.iter().fold((f64::INFINITY, 0.0f64), |(lo, hi), &x| {
+            (lo.min(x), hi.max(x))
+        });
+        assert!(
+            max / min < 1.5,
+            "old items should be nearly flat: {min}..{max}"
+        );
     }
 
     #[test]

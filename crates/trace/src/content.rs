@@ -140,7 +140,11 @@ impl Catalogue {
                 broadcast_day,
             });
         }
-        Some(Self { items, weights, popularity })
+        Some(Self {
+            items,
+            weights,
+            popularity,
+        })
     }
 
     /// The items, ordered by popularity rank.
@@ -279,7 +283,11 @@ mod tests {
             items.iter().filter(|i| i.broadcast_day >= 0).count() as f64 / items.len() as f64
         };
         assert!(fresh(0..200) > 0.6, "head fresh share {}", fresh(0..200));
-        assert!(fresh(1800..2000) < 0.4, "tail fresh share {}", fresh(1800..2000));
+        assert!(
+            fresh(1800..2000) < 0.4,
+            "tail fresh share {}",
+            fresh(1800..2000)
+        );
     }
 
     #[test]
@@ -300,8 +308,7 @@ mod tests {
     #[test]
     fn zipf_variant_still_supported() {
         let mut rng = StdRng::seed_from_u64(9);
-        let c =
-            Catalogue::generate(100, Popularity::Zipf { exponent: 1.0 }, 30, &mut rng).unwrap();
+        let c = Catalogue::generate(100, Popularity::Zipf { exponent: 1.0 }, 30, &mut rng).unwrap();
         // Classic Zipf: rank 0 twice the share of rank 1.
         let r0 = c.popularity_share(ContentId(0));
         let r1 = c.popularity_share(ContentId(1));

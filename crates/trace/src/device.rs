@@ -93,8 +93,10 @@ impl BitrateClass {
 
     /// All distinct bitrate classes in the default device mix, ascending.
     pub fn all_in_mix() -> Vec<BitrateClass> {
-        let mut v: Vec<BitrateClass> =
-            DeviceClass::MIX.iter().map(|(d, _)| d.bitrate_class()).collect();
+        let mut v: Vec<BitrateClass> = DeviceClass::MIX
+            .iter()
+            .map(|(d, _)| d.bitrate_class())
+            .collect();
         v.sort();
         v.dedup();
         v
@@ -139,7 +141,10 @@ mod tests {
         let classes = BitrateClass::all_in_mix();
         assert_eq!(classes.len(), 4); // 0.8, 1.5, 2.8, 5.0
         assert!(classes.windows(2).all(|w| w[0] < w[1]));
-        assert_eq!(DeviceClass::Tablet.bitrate_class(), DeviceClass::Desktop.bitrate_class());
+        assert_eq!(
+            DeviceClass::Tablet.bitrate_class(),
+            DeviceClass::Desktop.bitrate_class()
+        );
     }
 
     #[test]

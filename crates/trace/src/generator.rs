@@ -89,7 +89,10 @@ impl TraceConfig {
     /// Returns [`TraceError`] when `scale` is outside `(0, 1]`.
     pub fn scaled(mut self, scale: f64) -> Result<Self, TraceError> {
         if !scale.is_finite() || scale <= 0.0 || scale > 1.0 {
-            return Err(TraceError::BadConfig { field: "scale", value: scale });
+            return Err(TraceError::BadConfig {
+                field: "scale",
+                value: scale,
+            });
         }
         self.users = ((f64::from(self.users) * scale).round() as u32).max(1);
         self.sessions_target = ((self.sessions_target as f64 * scale).round() as u64).max(1);
@@ -131,6 +134,68 @@ impl TraceConfig {
     /// The traced horizon in seconds.
     pub fn horizon_seconds(&self) -> u64 {
         u64::from(self.days) * crate::time::SECS_PER_DAY
+    }
+}
+
+/// Named workload scales for sweeps and benchmarks: each preset is a fixed
+/// fraction of full-scale September-2013 London, chosen so experiment suites
+/// can talk about "smoke" or "large" runs instead of raw scale fractions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ScalePreset {
+    /// ≈ 1 K users / 7 K sessions — CI smoke tests.
+    Smoke,
+    /// ≈ 4 K users / 23 K sessions — fast local iteration.
+    Small,
+    /// ≈ 18 K users / 117 K sessions — the benchmark reference scenario.
+    Medium,
+    /// ≈ 180 K users / 1.2 M sessions — the committed figure scale.
+    Large,
+    /// Full-scale London (3.6 M users / 23.5 M sessions).
+    Full,
+}
+
+impl ScalePreset {
+    /// Every preset, smallest first.
+    pub const ALL: [ScalePreset; 5] = [
+        ScalePreset::Smoke,
+        ScalePreset::Small,
+        ScalePreset::Medium,
+        ScalePreset::Large,
+        ScalePreset::Full,
+    ];
+
+    /// The scale fraction this preset applies.
+    pub fn scale(self) -> f64 {
+        match self {
+            ScalePreset::Smoke => 0.0003,
+            ScalePreset::Small => 0.001,
+            ScalePreset::Medium => 0.005,
+            ScalePreset::Large => 0.05,
+            ScalePreset::Full => 1.0,
+        }
+    }
+
+    /// A stable lower-case name for result files and bench ids.
+    pub fn name(self) -> &'static str {
+        match self {
+            ScalePreset::Smoke => "smoke",
+            ScalePreset::Small => "small",
+            ScalePreset::Medium => "medium",
+            ScalePreset::Large => "large",
+            ScalePreset::Full => "full",
+        }
+    }
+
+    /// Applies the preset to a base configuration.
+    pub fn apply(self, base: TraceConfig) -> TraceConfig {
+        base.scaled(self.scale())
+            .expect("preset scales are in (0, 1]")
+    }
+}
+
+impl fmt::Display for ScalePreset {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
     }
 }
 
@@ -202,7 +267,12 @@ impl Trace {
         mut sessions: Vec<SessionRecord>,
     ) -> Self {
         sessions.sort_by_key(|s| (s.start, s.user.0, s.content.0));
-        Self { config, catalogue, population, sessions }
+        Self {
+            config,
+            catalogue,
+            population,
+            sessions,
+        }
     }
 }
 
@@ -247,7 +317,10 @@ fn tier_of(rank: u32, catalogue_size: u32) -> usize {
 impl TraceGenerator {
     /// Creates a generator.
     pub fn new(config: TraceConfig, seed: u64) -> Self {
-        Self { config, seeds: SeedDerive::new(seed) }
+        Self {
+            config,
+            seeds: SeedDerive::new(seed),
+        }
     }
 
     /// Generates the trace.
@@ -267,9 +340,12 @@ impl TraceGenerator {
             &mut self.seeds.stream("catalogue"),
         )
         .expect("validated config");
-        let population =
-            Population::generate(cfg.users, &cfg.registry, &mut self.seeds.stream("population"))
-                .expect("validated config");
+        let population = Population::generate(
+            cfg.users,
+            &cfg.registry,
+            &mut self.seeds.stream("population"),
+        )
+        .expect("validated config");
 
         // Per-tier viewer samplers: weight = activity × taste affinity.
         let viewer_tables: Vec<Categorical> = (0..3)
@@ -291,8 +367,7 @@ impl TraceGenerator {
             Vec::with_capacity(cfg.sessions_target as usize + cfg.sessions_target as usize / 8);
 
         for item in catalogue.items() {
-            let expected_views =
-                catalogue.popularity_share(item.id) * cfg.sessions_target as f64;
+            let expected_views = catalogue.popularity_share(item.id) * cfg.sessions_target as f64;
             if expected_views <= 0.0 {
                 continue;
             }
@@ -328,7 +403,12 @@ impl TraceGenerator {
         }
 
         sessions.sort_by_key(|s| (s.start, s.user.0, s.content.0));
-        Ok(Trace { config: self.config.clone(), catalogue, population, sessions })
+        Ok(Trace {
+            config: self.config.clone(),
+            catalogue,
+            population,
+            sessions,
+        })
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -347,7 +427,9 @@ impl TraceGenerator {
     ) -> SessionRecord {
         let start = SimTime::from_day_hour(day, hour) + rng.gen_range(0..SECS_PER_HOUR);
         let viewer = UserId(viewer_tables[tier].sample(rng) as u32);
-        let profile = population.get(viewer).expect("sampler indexes the population");
+        let profile = population
+            .get(viewer)
+            .expect("sampler indexes the population");
         let device = DeviceClass::MIX[device_sampler.sample(rng)].0;
         let fraction = watch_dist.sample(rng).clamp(0.02, 1.0);
         let duration = ((f64::from(item_duration) * fraction) as u32).clamp(60, item_duration);
@@ -372,7 +454,9 @@ mod tests {
     }
 
     fn small_trace() -> Trace {
-        TraceGenerator::new(small_config(), 1234).generate().unwrap()
+        TraceGenerator::new(small_config(), 1234)
+            .generate()
+            .unwrap()
     }
 
     #[test]
@@ -436,7 +520,10 @@ mod tests {
     fn sessions_sorted_and_within_window() {
         let trace = small_trace();
         let horizon = trace.horizon_seconds();
-        assert!(trace.sessions().windows(2).all(|w| w[0].start <= w[1].start));
+        assert!(trace
+            .sessions()
+            .windows(2)
+            .all(|w| w[0].start <= w[1].start));
         for s in trace.sessions() {
             assert!(s.start.as_secs() < horizon);
             assert!(s.duration_secs >= 60);
@@ -476,9 +563,11 @@ mod tests {
         // 24-item catalogue the head/tail view ratio is ≈ 24^0.55 ≈ 5.7
         // in expectation (taste affinities flatten it somewhat).
         let head = views[0];
-        let tail: f64 =
-            views[(n as usize * 9 / 10)..].iter().map(|&v| f64::from(v)).sum::<f64>()
-                / (n as f64 / 10.0);
+        let tail: f64 = views[(n as usize * 9 / 10)..]
+            .iter()
+            .map(|&v| f64::from(v))
+            .sum::<f64>()
+            / (n as f64 / 10.0);
         assert!(
             f64::from(head) > 3.0 * tail,
             "head {head} vs mean tail {tail}"
@@ -531,7 +620,10 @@ mod tests {
             trace.population().clone(),
             shuffled,
         );
-        assert!(rebuilt.sessions().windows(2).all(|w| w[0].start <= w[1].start));
+        assert!(rebuilt
+            .sessions()
+            .windows(2)
+            .all(|w| w[0].start <= w[1].start));
         assert_eq!(rebuilt.sessions().len(), trace.sessions().len());
     }
 
@@ -539,5 +631,30 @@ mod tests {
     fn error_display() {
         let err = TraceConfig::london_sep2013().scaled(2.0).unwrap_err();
         assert!(err.to_string().contains("scale"));
+    }
+
+    #[test]
+    fn scale_presets_are_ordered_and_valid() {
+        let mut last = 0.0;
+        for preset in ScalePreset::ALL {
+            let s = preset.scale();
+            assert!(s > last && s <= 1.0, "{preset}: {s}");
+            last = s;
+            let cfg = preset.apply(TraceConfig::london_sep2013());
+            assert!(cfg.validate().is_ok());
+            assert!(!preset.name().is_empty());
+            assert_eq!(preset.to_string(), preset.name());
+        }
+        assert_eq!(
+            ScalePreset::Full.apply(TraceConfig::london_sep2013()).users,
+            3_600_000
+        );
+        // The benchmark reference scenario exceeds the 10 K-user bar.
+        assert!(
+            ScalePreset::Medium
+                .apply(TraceConfig::london_sep2013())
+                .users
+                >= 10_000
+        );
     }
 }

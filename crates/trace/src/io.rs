@@ -120,11 +120,15 @@ pub fn write_sessions<W: Write>(mut w: W, sessions: &[SessionRecord]) -> io::Res
 pub fn read_sessions<R: BufRead>(r: R) -> Result<Vec<SessionRecord>, ReadError> {
     let mut out = Vec::new();
     let mut lines = r.lines();
-    let header = lines
-        .next()
-        .ok_or_else(|| ReadError::Parse { line: 1, message: "empty input".into() })??;
+    let header = lines.next().ok_or_else(|| ReadError::Parse {
+        line: 1,
+        message: "empty input".into(),
+    })??;
     if header.trim() != HEADER {
-        return Err(ReadError::Parse { line: 1, message: format!("bad header `{header}`") });
+        return Err(ReadError::Parse {
+            line: 1,
+            message: format!("bad header `{header}`"),
+        });
     }
     for (i, line) in lines.enumerate() {
         let line = line?;
@@ -140,10 +144,13 @@ pub fn read_sessions<R: BufRead>(r: R) -> Result<Vec<SessionRecord>, ReadError> 
             });
         }
         let parse_u64 = |idx: usize, name: &str| -> Result<u64, ReadError> {
-            fields[idx].trim().parse::<u64>().map_err(|e| ReadError::Parse {
-                line: lineno,
-                message: format!("bad {name} `{}`: {e}", fields[idx]),
-            })
+            fields[idx]
+                .trim()
+                .parse::<u64>()
+                .map_err(|e| ReadError::Parse {
+                    line: lineno,
+                    message: format!("bad {name} `{}`: {e}", fields[idx]),
+                })
         };
         let device = device_from_token(fields[4].trim()).ok_or_else(|| ReadError::Parse {
             line: lineno,
@@ -180,7 +187,11 @@ mod tests {
 
     fn sample_sessions() -> Vec<SessionRecord> {
         let cfg = TraceConfig::london_sep2013().scaled(0.0002).unwrap();
-        TraceGenerator::new(cfg, 5).generate().unwrap().sessions().to_vec()
+        TraceGenerator::new(cfg, 5)
+            .generate()
+            .unwrap()
+            .sessions()
+            .to_vec()
     }
 
     #[test]

@@ -57,7 +57,7 @@ pub mod stats;
 pub mod time;
 
 pub use content::{Catalogue, ContentId, ContentItem};
-pub use generator::{Trace, TraceConfig, TraceError, TraceGenerator};
+pub use generator::{ScalePreset, Trace, TraceConfig, TraceError, TraceGenerator};
 pub use popularity::Popularity;
 pub use population::{Population, UserId};
 pub use session::SessionRecord;

@@ -44,10 +44,16 @@ impl LiveEvent {
     /// Returns [`TraceError`] naming the offending field.
     pub fn validate(&self) -> Result<(), TraceError> {
         if self.duration_secs == 0 {
-            return Err(TraceError::BadConfig { field: "duration_secs", value: 0.0 });
+            return Err(TraceError::BadConfig {
+                field: "duration_secs",
+                value: 0.0,
+            });
         }
         if self.viewers == 0 {
-            return Err(TraceError::BadConfig { field: "viewers", value: 0.0 });
+            return Err(TraceError::BadConfig {
+                field: "viewers",
+                value: 0.0,
+            });
         }
         if !self.join_jitter_secs.is_finite() || self.join_jitter_secs < 0.0 {
             return Err(TraceError::BadConfig {
@@ -85,14 +91,16 @@ pub fn live_event_trace(
         base.days,
         &mut seeds.stream("live-catalogue"),
     )
-    .ok_or(TraceError::BadConfig { field: "catalogue_size", value: 0.0 })?;
+    .ok_or(TraceError::BadConfig {
+        field: "catalogue_size",
+        value: 0.0,
+    })?;
 
     let device_sampler = DeviceClass::mix_sampler();
     let mut sessions = Vec::new();
     for (i, event) in events.iter().enumerate() {
         let mut rng = seeds.stream_indexed("live-event", i as u64);
-        let jitter = Normal::new(0.0, event.join_jitter_secs.max(1e-9))
-            .expect("validated jitter");
+        let jitter = Normal::new(0.0, event.join_jitter_secs.max(1e-9)).expect("validated jitter");
         let watch = LogNormal::with_mean(0.8, 0.4).expect("static watch params");
         let end = event.start + u64::from(event.duration_secs);
         for _ in 0..event.viewers {
@@ -120,7 +128,12 @@ pub fn live_event_trace(
             });
         }
     }
-    Ok(Trace::from_parts(base.clone(), catalogue, population, sessions))
+    Ok(Trace::from_parts(
+        base.clone(),
+        catalogue,
+        population,
+        sessions,
+    ))
 }
 
 #[cfg(test)]
@@ -161,8 +174,7 @@ mod tests {
     #[test]
     fn sessions_confined_to_broadcast() {
         let base = TraceConfig::london_sep2013().scaled(0.001).unwrap();
-        let trace =
-            live_event_trace(&base, population(5_000), &[event(2_000)], 1).unwrap();
+        let trace = live_event_trace(&base, population(5_000), &[event(2_000)], 1).unwrap();
         assert_eq!(trace.sessions().len(), 2_000);
         let ev = event(2_000);
         let end = ev.start + u64::from(ev.duration_secs);
@@ -176,14 +188,24 @@ mod tests {
     #[test]
     fn concurrency_peaks_during_event() {
         let base = TraceConfig::london_sep2013().scaled(0.001).unwrap();
-        let trace =
-            live_event_trace(&base, population(5_000), &[event(3_000)], 7).unwrap();
+        let trace = live_event_trace(&base, population(5_000), &[event(3_000)], 7).unwrap();
         let ev = event(3_000);
         let mid = ev.start + u64::from(ev.duration_secs) / 3;
-        let live = trace.sessions().iter().filter(|s| s.is_active_at(mid)).count();
+        let live = trace
+            .sessions()
+            .iter()
+            .filter(|s| s.is_active_at(mid))
+            .count();
         assert!(live > 1_000, "mid-event concurrency {live}");
         let after = ev.start + u64::from(ev.duration_secs) + 3600;
-        assert_eq!(trace.sessions().iter().filter(|s| s.is_active_at(after)).count(), 0);
+        assert_eq!(
+            trace
+                .sessions()
+                .iter()
+                .filter(|s| s.is_active_at(after))
+                .count(),
+            0
+        );
     }
 
     #[test]
@@ -192,8 +214,7 @@ mod tests {
         let mut second = event(500);
         second.content = ContentId(1);
         second.start = SimTime::from_day_hour(1, 20);
-        let trace = live_event_trace(&base, population(5_000), &[event(500), second], 3)
-            .unwrap();
+        let trace = live_event_trace(&base, population(5_000), &[event(500), second], 3).unwrap();
         assert_eq!(trace.sessions().len(), 1_000);
         let items: std::collections::HashSet<_> =
             trace.sessions().iter().map(|s| s.content).collect();

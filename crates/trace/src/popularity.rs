@@ -43,7 +43,11 @@ pub enum Popularity {
 impl Popularity {
     /// The calibrated catch-up-TV default (see module docs).
     pub fn catchup_tv() -> Self {
-        Popularity::BrokenZipf { head_exponent: 0.4, tail_exponent: 1.1, break_fraction: 0.0125 }
+        Popularity::BrokenZipf {
+            head_exponent: 0.4,
+            tail_exponent: 1.1,
+            break_fraction: 0.0125,
+        }
     }
 
     /// Validates the parameters.
@@ -56,12 +60,18 @@ impl Popularity {
             if v.is_finite() && v > 0.0 {
                 Ok(())
             } else {
-                Err(format!("popularity parameter `{name}` must be positive, got {v}"))
+                Err(format!(
+                    "popularity parameter `{name}` must be positive, got {v}"
+                ))
             }
         };
         match *self {
             Popularity::Zipf { exponent } => pos("exponent", exponent),
-            Popularity::BrokenZipf { head_exponent, tail_exponent, break_fraction } => {
+            Popularity::BrokenZipf {
+                head_exponent,
+                tail_exponent,
+                break_fraction,
+            } => {
                 pos("head_exponent", head_exponent)?;
                 pos("tail_exponent", tail_exponent)?;
                 pos("break_fraction", break_fraction)?;
@@ -87,7 +97,11 @@ impl Popularity {
         let rank = f64::from(k) + 1.0;
         match *self {
             Popularity::Zipf { exponent } => rank.powf(-exponent),
-            Popularity::BrokenZipf { head_exponent, tail_exponent, break_fraction } => {
+            Popularity::BrokenZipf {
+                head_exponent,
+                tail_exponent,
+                break_fraction,
+            } => {
                 let break_rank = (f64::from(n) * break_fraction).max(1.0);
                 if rank <= break_rank {
                     rank.powf(-head_exponent)
@@ -177,10 +191,14 @@ mod tests {
         assert!(views(0) > 100_000.0, "top item {}", views(0));
         assert!(views(0) < 250_000.0, "top item {}", views(0));
         // Some rank lands near 10 K ("Question Time") within the first ~1 K.
-        let medium = (0..1_500).find(|&k| views(k) < 10_500.0).expect("medium rank");
+        let medium = (0..1_500)
+            .find(|&k| views(k) < 10_500.0)
+            .expect("medium rank");
         assert!(views(medium) > 7_000.0, "rank {medium}: {}", views(medium));
         // Some deeper rank lands near 1 K ("What's to Eat").
-        let unpop = (0..10_000).find(|&k| views(k) < 1_050.0).expect("unpopular rank");
+        let unpop = (0..10_000)
+            .find(|&k| views(k) < 1_050.0)
+            .expect("unpopular rank");
         assert!(views(unpop) > 700.0, "rank {unpop}: {}", views(unpop));
         // The head (top 2 %) carries a large share of all traffic — the
         // property a single Zipf(0.55) lacks and Figs. 4/6 need.

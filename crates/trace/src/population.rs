@@ -39,8 +39,7 @@ impl fmt::Display for HouseholdId {
 
 /// Household size distribution: mean ≈ 2.2 users per household, matching the
 /// users-per-IP ratio of Table I.
-const HOUSEHOLD_SIZES: [(u32, f64); 5] =
-    [(1, 0.30), (2, 0.35), (3, 0.20), (4, 0.10), (5, 0.05)];
+const HOUSEHOLD_SIZES: [(u32, f64); 5] = [(1, 0.30), (2, 0.35), (3, 0.20), (4, 0.10), (5, 0.05)];
 
 /// One user: who they are, where they connect from, how active they are and
 /// what they like.
@@ -222,7 +221,11 @@ mod tests {
         acts.sort_by(|a, b| b.partial_cmp(a).unwrap());
         let top_decile: f64 = acts[..p.len() / 10].iter().sum();
         let total: f64 = acts.iter().sum();
-        assert!(top_decile / total > 0.3, "top-decile share {}", top_decile / total);
+        assert!(
+            top_decile / total > 0.3,
+            "top-decile share {}",
+            top_decile / total
+        );
     }
 
     #[test]

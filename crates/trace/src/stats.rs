@@ -96,7 +96,10 @@ impl Table1 {
     ///
     /// Panics if `scale` is not in `(0, 1]`.
     pub fn from_trace(label: impl Into<String>, trace: &Trace, scale: f64) -> Self {
-        assert!(scale > 0.0 && scale <= 1.0, "scale must be in (0, 1], got {scale}");
+        assert!(
+            scale > 0.0 && scale <= 1.0,
+            "scale must be in (0, 1], got {scale}"
+        );
         let measured = TraceStats::measure(trace);
         Self {
             label: label.into(),
@@ -194,7 +197,11 @@ mod tests {
         // Paper: 23.5M sessions / 3.3M users ≈ 7.1.
         let t = trace(0.002, 11);
         let s = TraceStats::measure(&t);
-        assert!((5.0..9.5).contains(&s.sessions_per_user), "got {}", s.sessions_per_user);
+        assert!(
+            (5.0..9.5).contains(&s.sessions_per_user),
+            "got {}",
+            s.sessions_per_user
+        );
     }
 
     #[test]

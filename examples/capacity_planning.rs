@@ -46,7 +46,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!(
         "{}",
-        ascii::table(&["model", "target savings", "capacity c", "monthly views needed"], &rows)
+        ascii::table(
+            &[
+                "model",
+                "target savings",
+                "capacity c",
+                "monthly views needed"
+            ],
+            &rows
+        )
     );
 
     // Q2: when does the average participating user go carbon neutral?
@@ -64,7 +72,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             rows.push(vec![params.name().to_string(), format!("{ratio}"), answer]);
         }
     }
-    println!("{}", ascii::table(&["model", "q/β", "carbon-neutral capacity"], &rows));
+    println!(
+        "{}",
+        ascii::table(&["model", "q/β", "carbon-neutral capacity"], &rows)
+    );
 
     // Q3: how do the five London ISPs differ at equal content popularity?
     println!("Q3. Savings at capacity 10 across the registry (topology effect only):\n");

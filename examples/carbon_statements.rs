@@ -16,15 +16,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let report = exp.report();
 
     // A few individual statements, most-active users first.
-    let mut active: Vec<(u32, &consume_local::sim::UserTraffic)> =
-        report.active_users().collect();
+    let mut active: Vec<(u32, &consume_local::sim::UserTraffic)> = report.active_users().collect();
     active.sort_by_key(|(_, t)| std::cmp::Reverse(t.watched_bytes));
 
     let params = EnergyParams::baliga();
     println!("sample statements under the {} model:", params.name());
     let mut rows = Vec::new();
-    let picks: Vec<usize> =
-        vec![0, active.len() / 4, active.len() / 2, active.len() * 3 / 4, active.len() - 1];
+    let picks: Vec<usize> = vec![
+        0,
+        active.len() / 4,
+        active.len() / 2,
+        active.len() * 3 / 4,
+        active.len() - 1,
+    ];
     for idx in picks {
         let (user, traffic) = active[idx];
         let Some(st) = CarbonStatement::new(traffic.watched_bytes, traffic.uploaded_bytes, &params)
@@ -44,7 +48,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "{}",
         ascii::table(
-            &["user", "watched", "uploaded", "footprint", "credit", "CCT", "status"],
+            &[
+                "user",
+                "watched",
+                "uploaded",
+                "footprint",
+                "credit",
+                "CCT",
+                "status"
+            ],
             &rows
         )
     );
@@ -65,7 +77,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let b = &f6.series[1].1;
     println!(
         "{}",
-        Chart::new(64, 12).y_range(0.0, 1.0).series('v', v).series('b', b).render()
+        Chart::new(64, 12)
+            .y_range(0.0, 1.0)
+            .series('v', v)
+            .series('b', b)
+            .render()
     );
 
     println!(

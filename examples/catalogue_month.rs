@@ -12,26 +12,43 @@ use consume_local::figures::{fig3, fig4, tables};
 use consume_local::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let scale: f64 = std::env::var("CL_SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(0.01);
+    let scale: f64 = std::env::var("CL_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.01);
     println!("== one month of catch-up TV at scale {scale} ==\n");
 
     let exp = Experiment::builder().scale(scale).seed(7).build()?;
     let report = exp.report();
-    report.check_conservation().map_err(|e| format!("conservation: {e}"))?;
+    report
+        .check_conservation()
+        .map_err(|e| format!("conservation: {e}"))?;
 
     // Table I.
     let table1 = tables::table1("Sep 2013", exp.trace(), scale);
-    println!("{}", table1.render(consume_local::trace::stats::PAPER_SEP2013));
+    println!(
+        "{}",
+        table1.render(consume_local::trace::stats::PAPER_SEP2013)
+    );
 
     // Fig. 3: distributions over the catalogue's swarms.
     let f3 = fig3(report);
     println!("CCDF of per-swarm capacity ({} swarms, log x):", f3.swarms);
     println!(
         "{}",
-        Chart::new(60, 10).log_x().y_range(0.0, 1.0).series('o', &f3.capacity_ccdf).render()
+        Chart::new(60, 10)
+            .log_x()
+            .y_range(0.0, 1.0)
+            .series('o', &f3.capacity_ccdf)
+            .render()
     );
     for (model, median) in &f3.median_savings {
-        let top = f3.top1pct_savings.iter().find(|(m, _)| m == model).unwrap().1;
+        let top = f3
+            .top1pct_savings
+            .iter()
+            .find(|(m, _)| m == model)
+            .unwrap()
+            .1;
         println!(
             "{model:?}: median per-swarm savings {:.1}%   top-1% swarms {:.1}%",
             median * 100.0,
@@ -60,7 +77,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!(
         "{}",
-        ascii::table(&["ISP", "model", "sim monthly mean", "theory monthly mean"], &rows)
+        ascii::table(
+            &["ISP", "model", "sim monthly mean", "theory monthly mean"],
+            &rows
+        )
     );
 
     // A chart of the biggest ISP's daily series under Valancius.
@@ -73,7 +93,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("ISP-1, Valancius: daily savings (s = sim, t = theory):");
         println!(
             "{}",
-            Chart::new(62, 12).series('t', &theory).series('s', &sim).render()
+            Chart::new(62, 12)
+                .series('t', &theory)
+                .series('s', &sim)
+                .render()
         );
     }
 

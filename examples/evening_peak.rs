@@ -42,8 +42,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             hourly[((day - bday) * 24 + s.start.hour_of_day()) as usize] += 1;
         }
     }
-    let series: Vec<(f64, f64)> =
-        hourly.iter().enumerate().map(|(h, &n)| (h as f64, f64::from(n))).collect();
+    let series: Vec<(f64, f64)> = hourly
+        .iter()
+        .enumerate()
+        .map(|(h, &n)| (h as f64, f64::from(n)))
+        .collect();
     println!("\nsessions per hour, broadcast day and day after (x = hour):");
     println!("{}", Chart::new(64, 10).series('#', &series).render());
 
@@ -51,20 +54,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let opts = Fig2Options::default();
     let panels = fig2(&trace, &SimConfig::default(), &opts);
 
-    for tier in [PopularityTier::Popular, PopularityTier::Medium, PopularityTier::Unpopular] {
+    for tier in [
+        PopularityTier::Popular,
+        PopularityTier::Medium,
+        PopularityTier::Unpopular,
+    ] {
         println!("--- {} ---", tier.label());
         let mut rows = Vec::new();
         for panel in panels.iter().filter(|p| p.tier == tier) {
             for ratio in &opts.ratios {
-                let dots: Vec<_> =
-                    panel.dots.iter().filter(|d| (d.ratio - ratio).abs() < 1e-9).collect();
+                let dots: Vec<_> = panel
+                    .dots
+                    .iter()
+                    .filter(|d| (d.ratio - ratio).abs() < 1e-9)
+                    .collect();
                 if dots.is_empty() {
                     continue;
                 }
-                let mean =
-                    |f: fn(&&consume_local::figures::Fig2Dot) -> f64| -> f64 {
-                        dots.iter().map(&f).sum::<f64>() / dots.len() as f64
-                    };
+                let mean = |f: fn(&&consume_local::figures::Fig2Dot) -> f64| -> f64 {
+                    dots.iter().map(&f).sum::<f64>() / dots.len() as f64
+                };
                 rows.push(vec![
                     format!("{:?}", panel.model),
                     format!("{ratio}"),
@@ -78,7 +87,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!(
             "{}",
             ascii::table(
-                &["model", "q/β", "swarms", "mean capacity", "sim savings", "theory savings"],
+                &[
+                    "model",
+                    "q/β",
+                    "swarms",
+                    "mean capacity",
+                    "sim savings",
+                    "theory savings"
+                ],
                 &rows
             )
         );

@@ -42,7 +42,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!(
             "{:<10} carbon-neutral offload share G* = {}   CCT at G=1: {:+.0}%",
             params.name(),
-            g_star.map(|g| format!("{g:.3}")).unwrap_or_else(|| "unreachable".into()),
+            g_star
+                .map(|g| format!("{g:.3}"))
+                .unwrap_or_else(|| "unreachable".into()),
             credits.asymptotic_cct() * 100.0
         );
     }
@@ -54,7 +56,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nRunning a 1/1000-scale September-2013 London experiment...");
     let exp = Experiment::builder().scale(0.001).seed(42).build()?;
     let report = exp.report();
-    report.check_conservation().map_err(|e| format!("conservation: {e}"))?;
+    report
+        .check_conservation()
+        .map_err(|e| format!("conservation: {e}"))?;
 
     println!(
         "  sessions: {}   swarms: {}   demand: {:.1} GB",

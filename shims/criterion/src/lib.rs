@@ -40,7 +40,10 @@ impl Criterion {
     where
         F: FnMut(&mut Bencher),
     {
-        let mut b = Bencher { iters: self.sample_size as u64, total_nanos: 0.0 };
+        let mut b = Bencher {
+            iters: self.sample_size as u64,
+            total_nanos: 0.0,
+        };
         f(&mut b);
         report(&id.into(), &b);
         self
@@ -49,7 +52,11 @@ impl Criterion {
     /// Opens a named group of benchmarks sharing configuration.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
         let sample_size = self.sample_size;
-        BenchmarkGroup { _criterion: self, name: name.into(), sample_size }
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size,
+        }
     }
 }
 
@@ -97,7 +104,10 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher),
     {
         let full = format!("{}/{}", self.name, id.into());
-        let mut b = Bencher { iters: self.sample_size as u64, total_nanos: 0.0 };
+        let mut b = Bencher {
+            iters: self.sample_size as u64,
+            total_nanos: 0.0,
+        };
         f(&mut b);
         report(&full, &b);
         self
@@ -118,7 +128,10 @@ fn report(id: &str, b: &Bencher) {
     } else {
         (per_iter, "ns")
     };
-    println!("bench {id:<48} {value:>10.3} {unit}/iter ({} iters)", b.iters);
+    println!(
+        "bench {id:<48} {value:>10.3} {unit}/iter ({} iters)",
+        b.iters
+    );
 }
 
 /// Declares a benchmark group function, in either the positional or the
@@ -168,7 +181,8 @@ mod tests {
         let mut group_runs = 0usize;
         {
             let mut g = c.benchmark_group("g");
-            g.sample_size(2).bench_function("inner", |b| b.iter(|| group_runs += 1));
+            g.sample_size(2)
+                .bench_function("inner", |b| b.iter(|| group_runs += 1));
             g.finish();
         }
         assert_eq!(group_runs, 2);

@@ -17,7 +17,10 @@ use rand::{Rng, SeedableRng};
 /// Number of random cases each `proptest!` test runs (`PROPTEST_CASES`
 /// overrides; default 256).
 pub fn cases() -> usize {
-    std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(256)
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(256)
 }
 
 /// Deterministic per-test RNG, seeded from the test's name.
@@ -177,7 +180,10 @@ pub mod collection {
     impl From<std::ops::Range<usize>> for SizeRange {
         fn from(r: std::ops::Range<usize>) -> Self {
             assert!(r.start < r.end, "empty vec size range");
-            Self { lo: r.start, hi: r.end - 1 }
+            Self {
+                lo: r.start,
+                hi: r.end - 1,
+            }
         }
     }
 
@@ -192,7 +198,10 @@ pub mod collection {
     /// Generates `Vec`s whose length falls in `size` and whose elements come
     /// from `element`.
     pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-        VecStrategy { element, size: size.into() }
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
     }
 
     /// Strategy returned by [`vec`].

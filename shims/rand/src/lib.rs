@@ -60,7 +60,10 @@ pub trait Rng: RngCore {
     /// Panics unless `0.0 <= p <= 1.0` (as the real `rand` does), so invalid
     /// probabilities surface instead of silently skewing draws.
     fn gen_bool(&mut self, p: f64) -> bool {
-        assert!((0.0..=1.0).contains(&p), "gen_bool: p = {p} is outside [0.0, 1.0]");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "gen_bool: p = {p} is outside [0.0, 1.0]"
+        );
         f64::sample_standard(self) < p
     }
 }
@@ -200,7 +203,11 @@ fn prev_down<T: Float>(hi: T, lo: T) -> T {
 /// toolchain than this workspace's pinned `rust-version`, so the bit-step is
 /// hand-rolled).
 trait Float:
-    Copy + PartialOrd + std::ops::Add<Output = Self> + std::ops::Sub<Output = Self> + std::ops::Mul<Output = Self>
+    Copy
+    + PartialOrd
+    + std::ops::Add<Output = Self>
+    + std::ops::Sub<Output = Self>
+    + std::ops::Mul<Output = Self>
 {
     fn next_toward_neg_infinity(self) -> Self;
     fn is_finite(self) -> bool;
@@ -306,7 +313,9 @@ pub mod rngs {
                 z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
                 z ^ (z >> 31)
             };
-            Self { s: [next(), next(), next(), next()] }
+            Self {
+                s: [next(), next(), next(), next()],
+            }
         }
     }
 
@@ -398,7 +407,10 @@ mod tests {
         let mut sorted = v.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..100).collect::<Vec<_>>());
-        assert_ne!(v, sorted, "a 100-element shuffle virtually never fixes all points");
+        assert_ne!(
+            v, sorted,
+            "a 100-element shuffle virtually never fixes all points"
+        );
     }
 
     #[test]
@@ -431,7 +443,10 @@ mod tests {
             }
         }
         // Roughly half the mass on each side of zero.
-        assert!((4_000..=6_000).contains(&below_zero), "below zero: {below_zero}");
+        assert!(
+            (4_000..=6_000).contains(&below_zero),
+            "below zero: {below_zero}"
+        );
     }
 
     #[test]

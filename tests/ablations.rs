@@ -42,16 +42,22 @@ fn random_matching_wastes_locality_not_volume() {
     random.matcher = MatcherKind::Random;
     let random_report = exp.resimulate(random).unwrap();
     // Same transfer volume...
-    assert_eq!(random_report.total.peer_bytes(), exp.report().total.peer_bytes());
+    assert_eq!(
+        random_report.total.peer_bytes(),
+        exp.report().total.peer_bytes()
+    );
     // ...but less of it local, so no more energy saved.
     assert!(
-        random_report.total.peer_bytes_by_layer[0]
-            <= exp.report().total.peer_bytes_by_layer[0]
+        random_report.total.peer_bytes_by_layer[0] <= exp.report().total.peer_bytes_by_layer[0]
     );
     for params in EnergyParams::published() {
         let hier = exp.report().total_savings(&params).unwrap();
         let rand = random_report.total_savings(&params).unwrap();
-        assert!(rand <= hier + 1e-12, "{}: random {rand} vs hierarchical {hier}", params.name());
+        assert!(
+            rand <= hier + 1e-12,
+            "{}: random {rand} vs hierarchical {hier}",
+            params.name()
+        );
     }
 }
 

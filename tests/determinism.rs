@@ -1,0 +1,112 @@
+//! Determinism suite: the simulation engine and the sweep runner must
+//! produce bit-identical results regardless of how many worker threads the
+//! work is sharded across, and identical sweep JSON across repeated runs
+//! with a fixed seed.
+
+use consume_local::prelude::*;
+use consume_local::sweep::{SweepConfig, SweepGrid, SweepRunner};
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+fn shared_trace() -> Trace {
+    TraceGenerator::new(TraceConfig::london_sep2013().scaled(0.0005).unwrap(), 99)
+        .generate()
+        .unwrap()
+}
+
+#[test]
+fn simulator_reports_bit_identical_across_thread_counts() {
+    let trace = shared_trace();
+    for matcher in [MatcherKind::Hierarchical, MatcherKind::Random] {
+        let reference = Simulator::new(SimConfig {
+            threads: THREAD_COUNTS[0],
+            matcher,
+            ..Default::default()
+        })
+        .run(&trace);
+        reference.check_conservation().unwrap();
+        assert!(reference.total.demand_bytes > 0);
+        for threads in &THREAD_COUNTS[1..] {
+            let report = Simulator::new(SimConfig {
+                threads: *threads,
+                matcher,
+                ..Default::default()
+            })
+            .run(&trace);
+            assert_eq!(
+                reference, report,
+                "{matcher:?} report must not depend on thread count {threads}"
+            );
+        }
+    }
+}
+
+#[test]
+fn sweep_runner_identical_across_worker_counts() {
+    let run_with = |workers: usize| {
+        SweepRunner::new(SweepConfig {
+            grid: SweepGrid::ci_quick(),
+            seed: 77,
+            workers,
+            sim_threads: 1,
+        })
+        .unwrap()
+        .run()
+    };
+    let reference = run_with(THREAD_COUNTS[0]);
+    let reference_json = reference.to_json_deterministic().render();
+    for &workers in &THREAD_COUNTS[1..] {
+        let report = run_with(workers);
+        // Whole outcomes match except wall-times, which are measurements.
+        for (a, b) in reference.outcomes.iter().zip(&report.outcomes) {
+            assert_eq!(a.scenario, b.scenario);
+            assert_eq!(a.demand_bytes, b.demand_bytes);
+            assert_eq!(a.peer_bytes_by_layer, b.peer_bytes_by_layer);
+            assert_eq!(a.server_bytes, b.server_bytes);
+            assert_eq!(a.savings_valancius, b.savings_valancius);
+            assert_eq!(a.savings_baliga, b.savings_baliga);
+        }
+        assert_eq!(
+            reference_json,
+            report.to_json_deterministic().render(),
+            "sweep JSON must not depend on worker count {workers}"
+        );
+    }
+}
+
+#[test]
+fn sweep_json_byte_identical_across_runs_with_fixed_seed() {
+    let run = || {
+        SweepRunner::new(SweepConfig {
+            grid: SweepGrid::ci_quick(),
+            seed: 2018,
+            workers: 4,
+            sim_threads: 2,
+        })
+        .unwrap()
+        .run()
+        .to_json_deterministic()
+        .render()
+    };
+    let first = run();
+    let second = run();
+    assert_eq!(first, second);
+    assert!(first.contains("consume-local/sweep-v1"));
+}
+
+#[test]
+fn sim_threads_inside_sweep_do_not_change_results() {
+    let run_with = |sim_threads: usize| {
+        SweepRunner::new(SweepConfig {
+            grid: SweepGrid::paper_point(),
+            seed: 5,
+            workers: 2,
+            sim_threads,
+        })
+        .unwrap()
+        .run()
+        .to_json_deterministic()
+        .render()
+    };
+    assert_eq!(run_with(1), run_with(8));
+}

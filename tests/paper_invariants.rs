@@ -14,7 +14,10 @@ fn valancius_always_saves_more_than_baliga() {
     // (7×150 nJ/bit network path), so peer assistance saves more under them
     // — the consistent gap between the paper's figure rows.
     let exp = experiment();
-    let v = exp.report().total_savings(&EnergyParams::valancius()).unwrap();
+    let v = exp
+        .report()
+        .total_savings(&EnergyParams::valancius())
+        .unwrap();
     let b = exp.report().total_savings(&EnergyParams::baliga()).unwrap();
     assert!(v > b, "Valancius {v} vs Baliga {b}");
     // And per ISP as well.
@@ -38,7 +41,12 @@ fn larger_isps_save_more() {
         let ledger = exp.report().isp_ledger(Some(IspId(isp)));
         ledger.savings(&EnergyParams::valancius()).unwrap_or(0.0)
     };
-    assert!(share_of(0) > share_of(4), "ISP-1 {} vs ISP-5 {}", share_of(0), share_of(4));
+    assert!(
+        share_of(0) > share_of(4),
+        "ISP-1 {} vs ISP-5 {}",
+        share_of(0),
+        share_of(4)
+    );
 }
 
 #[test]

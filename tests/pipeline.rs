@@ -4,7 +4,11 @@
 use consume_local::prelude::*;
 
 fn experiment(scale: f64, seed: u64) -> Experiment {
-    Experiment::builder().scale(scale).seed(seed).build().expect("valid experiment")
+    Experiment::builder()
+        .scale(scale)
+        .seed(seed)
+        .build()
+        .expect("valid experiment")
 }
 
 #[test]
@@ -22,7 +26,9 @@ fn full_pipeline_is_deterministic() {
 fn conservation_holds_at_scale() {
     let exp = experiment(0.002, 3);
     let report = exp.report();
-    report.check_conservation().expect("bytes conserve end-to-end");
+    report
+        .check_conservation()
+        .expect("bytes conserve end-to-end");
     // Ledger totals equal the sum of per-swarm ledgers.
     let mut demand = 0u64;
     let mut server = 0u64;
@@ -61,14 +67,17 @@ fn energy_accounting_is_order_independent() {
 
 #[test]
 fn thread_count_does_not_change_results() {
-    let trace = TraceGenerator::new(
-        TraceConfig::london_sep2013().scaled(0.001).unwrap(),
-        21,
-    )
-    .generate()
-    .unwrap();
-    let one = SimConfig { threads: 1, ..Default::default() };
-    let many = SimConfig { threads: 8, ..Default::default() };
+    let trace = TraceGenerator::new(TraceConfig::london_sep2013().scaled(0.001).unwrap(), 21)
+        .generate()
+        .unwrap();
+    let one = SimConfig {
+        threads: 1,
+        ..Default::default()
+    };
+    let many = SimConfig {
+        threads: 8,
+        ..Default::default()
+    };
     let r1 = Simulator::new(one).run(&trace);
     let r8 = Simulator::new(many).run(&trace);
     assert_eq!(r1, r8);
@@ -84,7 +93,10 @@ fn users_in_report_match_population() {
         has_sessions[s.user.0 as usize] = true;
     }
     for (uid, traffic) in exp.report().active_users() {
-        assert!(has_sessions[uid as usize], "user {uid} has traffic but no sessions");
+        assert!(
+            has_sessions[uid as usize],
+            "user {uid} has traffic but no sessions"
+        );
         assert!(traffic.watched_bytes > 0);
     }
 }

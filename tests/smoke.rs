@@ -23,11 +23,16 @@ fn experiment_runs_end_to_end_at_tiny_scale() {
         (80..=140).contains(&users),
         "expected ~108 users at scale {SMOKE_SCALE}, got {users}"
     );
-    assert!(!exp.trace().sessions().is_empty(), "smoke trace must contain sessions");
+    assert!(
+        !exp.trace().sessions().is_empty(),
+        "smoke trace must contain sessions"
+    );
 
     // The simulation accounted every byte.
     let report = exp.report();
-    report.check_conservation().expect("bytes conserve at smoke scale");
+    report
+        .check_conservation()
+        .expect("bytes conserve at smoke scale");
     assert!(report.total.demand_bytes > 0);
 
     // Both published energy models price the run to a sane savings share.
@@ -43,7 +48,9 @@ fn experiment_runs_end_to_end_at_tiny_scale() {
     // Per-user carbon statements cover exactly the active population.
     let params = EnergyParams::valancius();
     let credits = CreditReport::from_traffic(
-        report.active_users().map(|(_, t)| (t.watched_bytes, t.uploaded_bytes)),
+        report
+            .active_users()
+            .map(|(_, t)| (t.watched_bytes, t.uploaded_bytes)),
         &params,
     );
     assert_eq!(credits.users(), report.active_users().count() as u64);
@@ -55,8 +62,16 @@ fn experiment_runs_end_to_end_at_tiny_scale() {
 
 #[test]
 fn smoke_experiment_is_deterministic_and_reconfigurable() {
-    let a = Experiment::builder().scale(SMOKE_SCALE).seed(5).build().unwrap();
-    let b = Experiment::builder().scale(SMOKE_SCALE).seed(5).build().unwrap();
+    let a = Experiment::builder()
+        .scale(SMOKE_SCALE)
+        .seed(5)
+        .build()
+        .unwrap();
+    let b = Experiment::builder()
+        .scale(SMOKE_SCALE)
+        .seed(5)
+        .build()
+        .unwrap();
     assert_eq!(a.report(), b.report(), "same seed, same world, same report");
 
     // Re-simulating the same trace with a halved upload ratio never offloads
@@ -64,6 +79,7 @@ fn smoke_experiment_is_deterministic_and_reconfigurable() {
     let half = a
         .resimulate(SimConfig::with_ratio(0.5))
         .expect("resimulation with a valid config succeeds");
-    half.check_conservation().expect("resimulated bytes conserve");
+    half.check_conservation()
+        .expect("resimulated bytes conserve");
     assert!(half.total.offload_share() <= a.report().total.offload_share() + 1e-12);
 }

@@ -18,7 +18,10 @@ fn exemplar_trace(seed: u64) -> Trace {
 #[test]
 fn simulation_dots_track_theory_curves() {
     let trace = exemplar_trace(77);
-    let opts = Fig2Options { ratios: vec![0.4, 1.0], curve_points: 8 };
+    let opts = Fig2Options {
+        ratios: vec![0.4, 1.0],
+        curve_points: 8,
+    };
     let panels = fig2(&trace, &SimConfig::default(), &opts);
     assert_eq!(panels.len(), 6);
     for panel in &panels {
@@ -28,12 +31,14 @@ fn simulation_dots_track_theory_curves() {
         // Demand-weighted agreement: swarms with meaningful capacity agree
         // within a few points of a percent (the paper's "generally in good
         // agreement").
-        let significant: Vec<_> =
-            panel.dots.iter().filter(|d| d.capacity > 0.5).collect();
+        let significant: Vec<_> = panel.dots.iter().filter(|d| d.capacity > 0.5).collect();
         if significant.is_empty() {
             continue;
         }
-        let gap = significant.iter().map(|d| (d.sim - d.theory).abs()).sum::<f64>()
+        let gap = significant
+            .iter()
+            .map(|d| (d.sim - d.theory).abs())
+            .sum::<f64>()
             / significant.len() as f64;
         assert!(
             gap < 0.05,
@@ -48,7 +53,10 @@ fn simulation_dots_track_theory_curves() {
 #[test]
 fn savings_scale_with_popularity_tier() {
     let trace = exemplar_trace(5);
-    let opts = Fig2Options { ratios: vec![1.0], curve_points: 4 };
+    let opts = Fig2Options {
+        ratios: vec![1.0],
+        curve_points: 4,
+    };
     let panels = fig2(&trace, &SimConfig::default(), &opts);
     let mean_sim = |tier: PopularityTier| -> f64 {
         let p = panels
@@ -84,7 +92,10 @@ fn upload_ratio_sweep_scales_savings_linearly_at_low_capacity() {
     // Eq. 12 is linear in ρ for fixed capacity; simulated savings across the
     // ratio sweep must preserve that proportionality approximately.
     let trace = exemplar_trace(13);
-    let opts = Fig2Options { ratios: vec![0.2, 0.4, 0.8], curve_points: 4 };
+    let opts = Fig2Options {
+        ratios: vec![0.2, 0.4, 0.8],
+        curve_points: 4,
+    };
     let panels = fig2(&trace, &SimConfig::default(), &opts);
     let panel = panels
         .iter()
@@ -94,24 +105,34 @@ fn upload_ratio_sweep_scales_savings_linearly_at_low_capacity() {
         })
         .unwrap();
     let mean_for = |ratio: f64| -> f64 {
-        let dots: Vec<_> =
-            panel.dots.iter().filter(|d| (d.ratio - ratio).abs() < 1e-9).collect();
+        let dots: Vec<_> = panel
+            .dots
+            .iter()
+            .filter(|d| (d.ratio - ratio).abs() < 1e-9)
+            .collect();
         dots.iter().map(|d| d.sim * d.capacity).sum::<f64>()
             / dots.iter().map(|d| d.capacity).sum::<f64>().max(1e-12)
     };
     let s02 = mean_for(0.2);
     let s04 = mean_for(0.4);
     let s08 = mean_for(0.8);
-    assert!((s04 / s02 - 2.0).abs() < 0.25, "0.4/0.2 ratio: {}", s04 / s02);
-    assert!((s08 / s04 - 2.0).abs() < 0.25, "0.8/0.4 ratio: {}", s08 / s04);
+    assert!(
+        (s04 / s02 - 2.0).abs() < 0.25,
+        "0.4/0.2 ratio: {}",
+        s04 / s02
+    );
+    assert!(
+        (s08 / s04 - 2.0).abs() < 0.25,
+        "0.8/0.4 ratio: {}",
+        s08 / s04
+    );
 }
 
 #[test]
 fn fig4_theory_matches_simulation_on_full_catalogue() {
     let exp = Experiment::builder().scale(0.002).seed(31).build().unwrap();
     let registry = exp.trace().config().registry.clone();
-    let series =
-        consume_local::figures::fig4(exp.report(), &registry, &[IspId(0), IspId(4)]);
+    let series = consume_local::figures::fig4(exp.report(), &registry, &[IspId(0), IspId(4)]);
     for s in &series {
         let theory: std::collections::HashMap<u32, f64> = s.theory.iter().copied().collect();
         let mut gaps = Vec::new();

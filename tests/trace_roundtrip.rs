@@ -7,12 +7,9 @@ use consume_local::trace::io;
 
 #[test]
 fn csv_roundtrip_preserves_simulation() {
-    let trace = TraceGenerator::new(
-        TraceConfig::london_sep2013().scaled(0.0005).unwrap(),
-        55,
-    )
-    .generate()
-    .unwrap();
+    let trace = TraceGenerator::new(TraceConfig::london_sep2013().scaled(0.0005).unwrap(), 55)
+        .generate()
+        .unwrap();
 
     let mut csv = Vec::new();
     io::write_sessions(&mut csv, trace.sessions()).unwrap();
@@ -34,12 +31,9 @@ fn csv_roundtrip_preserves_simulation() {
 fn csv_is_line_stable() {
     // The export format is a documented interchange schema: header plus one
     // line per session, no trailing surprises.
-    let trace = TraceGenerator::new(
-        TraceConfig::london_sep2013().scaled(0.0002).unwrap(),
-        4,
-    )
-    .generate()
-    .unwrap();
+    let trace = TraceGenerator::new(TraceConfig::london_sep2013().scaled(0.0002).unwrap(), 4)
+        .generate()
+        .unwrap();
     let mut csv = Vec::new();
     io::write_sessions(&mut csv, trace.sessions()).unwrap();
     let text = String::from_utf8(csv).unwrap();
@@ -54,11 +48,18 @@ fn corrupted_csv_is_rejected_with_line_numbers() {
     let good = format!("{}\n1,2,3,90,mobile,0,1,2\n", io::HEADER);
     assert_eq!(io::read_sessions(good.as_bytes()).unwrap().len(), 1);
 
-    let bad_device = format!("{}\n1,2,3,90,mobile,0,1,2\n1,2,3,90,fax,0,1,2\n", io::HEADER);
-    let err = io::read_sessions(bad_device.as_bytes()).unwrap_err().to_string();
+    let bad_device = format!(
+        "{}\n1,2,3,90,mobile,0,1,2\n1,2,3,90,fax,0,1,2\n",
+        io::HEADER
+    );
+    let err = io::read_sessions(bad_device.as_bytes())
+        .unwrap_err()
+        .to_string();
     assert!(err.contains("line 3"), "{err}");
 
     let bad_fields = format!("{}\n1,2,3\n", io::HEADER);
-    let err = io::read_sessions(bad_fields.as_bytes()).unwrap_err().to_string();
+    let err = io::read_sessions(bad_fields.as_bytes())
+        .unwrap_err()
+        .to_string();
     assert!(err.contains("expected 8 fields"), "{err}");
 }
