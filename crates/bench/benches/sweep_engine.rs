@@ -126,9 +126,11 @@ fn write_bench_record() {
         .field("engine_hot_path", engine_hot_path())
         .field("sweep", sweep_results(quick));
     let path = consume_local_bench::workspace_root().join("BENCH_2.json");
+    // Hard-fail on a write error so CI never uploads (or gates against) a
+    // stale record that silently kept the committed bytes.
     match consume_local::export::write_text(&path, &(doc.render() + "\n")) {
         Ok(()) => println!("  [json] {}", path.display()),
-        Err(e) => eprintln!("  [json] failed to write {}: {e}", path.display()),
+        Err(e) => panic!("failed to write {}: {e}", path.display()),
     }
 }
 

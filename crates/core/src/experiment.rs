@@ -51,6 +51,7 @@ pub struct ExperimentBuilder {
     scale: f64,
     seed: u64,
     sim: SimConfig,
+    trace_workers: usize,
 }
 
 impl Default for ExperimentBuilder {
@@ -60,6 +61,7 @@ impl Default for ExperimentBuilder {
             scale: 0.002,
             seed: 42,
             sim: SimConfig::default(),
+            trace_workers: 1,
         }
     }
 }
@@ -95,6 +97,14 @@ impl ExperimentBuilder {
         self
     }
 
+    /// Fans trace generation across up to `workers` threads (default 1).
+    /// The generated trace — and therefore the whole experiment — is
+    /// byte-identical for any worker count.
+    pub fn trace_workers(mut self, workers: usize) -> Self {
+        self.trace_workers = workers;
+        self
+    }
+
     /// Generates the trace and runs the simulation.
     ///
     /// # Errors
@@ -103,7 +113,9 @@ impl ExperimentBuilder {
     pub fn build(self) -> Result<Experiment, ExperimentError> {
         let simulator = Simulator::try_new(self.sim.clone())?;
         let config = self.base.scaled(self.scale)?;
-        let trace = TraceGenerator::new(config, self.seed).generate()?;
+        let trace = TraceGenerator::new(config, self.seed)
+            .workers(self.trace_workers)
+            .generate()?;
         let report = simulator.run(&trace);
         Ok(Experiment {
             scale: self.scale,
@@ -217,5 +229,18 @@ mod tests {
         let a = Experiment::builder().scale(0.0002).seed(9).build().unwrap();
         let b = Experiment::builder().scale(0.0002).seed(9).build().unwrap();
         assert_eq!(a.report(), b.report());
+    }
+
+    #[test]
+    fn trace_workers_do_not_change_the_experiment() {
+        let serial = Experiment::builder().scale(0.0003).seed(5).build().unwrap();
+        let parallel = Experiment::builder()
+            .scale(0.0003)
+            .seed(5)
+            .trace_workers(4)
+            .build()
+            .unwrap();
+        assert_eq!(serial.trace().sessions(), parallel.trace().sessions());
+        assert_eq!(serial.report(), parallel.report());
     }
 }

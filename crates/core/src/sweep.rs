@@ -10,9 +10,10 @@
 //! 1. [`SweepGrid`] declares the axes (workload scale preset × ISP topology
 //!    × matcher × swarm policy × Δτ × upload ratio);
 //! 2. [`SweepRunner`] expands the grid into [`Scenario`]s, generates each
-//!    distinct trace **once** (scenarios share traces across sim-config
-//!    variations), and fans scenarios out across threads with the same
-//!    slot-ordered work stealing the sim engine uses — results are
+//!    distinct trace **once** (in parallel, see
+//!    [`SweepConfig::trace_workers`]), columnarises it **once** into a
+//!    shared [`SessionStore`], and fans scenarios out across threads with
+//!    the same slot-ordered work stealing the sim engine uses — results are
 //!    deterministic for any worker count;
 //! 3. [`SweepReport`] carries one [`ScenarioOutcome`] per grid point and
 //!    renders to JSON (schema `consume-local/sweep-v1`) for `BENCH_*.json`
@@ -35,6 +36,7 @@
 //! ```
 
 use std::fmt;
+use std::sync::Arc;
 use std::time::Instant;
 
 use consume_local_analytics::sweep::{ScenarioSample, SweepSummary};
@@ -43,7 +45,7 @@ use consume_local_sim::par::parallel_map;
 use consume_local_sim::{SimConfig, SimConfigError, Simulator, UploadModel};
 use consume_local_swarm::{MatcherKind, SwarmPolicy};
 use consume_local_topology::IspRegistry;
-use consume_local_trace::{ScalePreset, Trace, TraceConfig, TraceGenerator};
+use consume_local_trace::{ScalePreset, SessionStore, TraceConfig, TraceGenerator};
 
 use crate::export::json::JsonValue;
 
@@ -271,11 +273,16 @@ pub struct SweepConfig {
     pub grid: SweepGrid,
     /// Master seed: feeds trace generation and matcher randomness.
     pub seed: u64,
-    /// Worker threads fanning scenarios (and trace generation) out.
+    /// Worker threads fanning scenarios out.
     pub workers: usize,
     /// Threads inside each scenario's simulator (default 1: the sweep
     /// parallelises across scenarios, not within them).
     pub sim_threads: usize,
+    /// Worker threads inside each trace generation (`None`: same as
+    /// `workers`). Distinct traces are generated one after another, each
+    /// fanning its per-item synthesis across this many threads — the
+    /// generated bytes are identical for any value.
+    pub trace_workers: Option<usize>,
 }
 
 impl Default for SweepConfig {
@@ -285,6 +292,7 @@ impl Default for SweepConfig {
             seed: 42,
             workers: SimConfig::default_threads(),
             sim_threads: 1,
+            trace_workers: None,
         }
     }
 }
@@ -404,6 +412,25 @@ impl ScenarioOutcome {
     }
 }
 
+/// Timings of one shared trace build: generation plus columnarisation into
+/// the [`SessionStore`] every scenario of that `(preset, topology)` replays.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceBuild {
+    /// Workload scale preset of the trace.
+    pub preset: ScalePreset,
+    /// ISP topology preset of the trace.
+    pub topology: TopologyPreset,
+    /// Sessions generated.
+    pub sessions: u64,
+    /// Users in the generated population.
+    pub users: u64,
+    /// Wall-clock trace generation time in milliseconds (at
+    /// [`SweepConfig::trace_workers`] threads).
+    pub generate_ms: f64,
+    /// Wall-clock [`SessionStore`] build time in milliseconds.
+    pub columnarize_ms: f64,
+}
+
 /// The full result of one sweep.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SweepReport {
@@ -412,6 +439,11 @@ pub struct SweepReport {
     /// Worker threads the sweep fanned out across (the concurrency context
     /// of every `wall_ms`; recorded in the timing JSON).
     pub workers: usize,
+    /// Worker threads each trace generation fanned out across.
+    pub trace_workers: usize,
+    /// One build record per distinct `(preset, topology)` trace, in first-
+    /// use order.
+    pub trace_builds: Vec<TraceBuild>,
     /// One outcome per scenario, in grid expansion order.
     pub outcomes: Vec<ScenarioOutcome>,
 }
@@ -457,13 +489,48 @@ impl SweepReport {
         self.json_impl(false)
     }
 
+    /// Total wall-clock per phase: generate / columnarize (once per shared
+    /// trace) and simulate (summed over scenarios, concurrency context
+    /// [`SweepReport::workers`]).
+    pub fn phase_wall_ms(&self) -> (f64, f64, f64) {
+        let generate = self.trace_builds.iter().map(|b| b.generate_ms).sum();
+        let columnarize = self.trace_builds.iter().map(|b| b.columnarize_ms).sum();
+        let simulate = self.outcomes.iter().map(|o| o.wall_ms).sum();
+        (generate, columnarize, simulate)
+    }
+
     fn json_impl(&self, with_timings: bool) -> JsonValue {
         let mut doc = JsonValue::object()
             .field("schema", "consume-local/sweep-v1")
             .field("seed", self.seed)
             .field("scenarios", self.outcomes.len());
         if with_timings {
-            doc = doc.field("workers", self.workers);
+            let (generate, columnarize, simulate) = self.phase_wall_ms();
+            doc = doc
+                .field("workers", self.workers)
+                .field("trace_workers", self.trace_workers)
+                .field(
+                    "phase_wall_ms",
+                    JsonValue::object()
+                        .field("generate", generate)
+                        .field("columnarize", columnarize)
+                        .field("simulate", simulate),
+                )
+                .field(
+                    "trace_builds",
+                    self.trace_builds
+                        .iter()
+                        .map(|b| {
+                            JsonValue::object()
+                                .field("preset", b.preset.name())
+                                .field("topology", b.topology.name())
+                                .field("sessions", b.sessions)
+                                .field("users", b.users)
+                                .field("generate_ms", b.generate_ms)
+                                .field("columnarize_ms", b.columnarize_ms)
+                        })
+                        .collect::<Vec<_>>(),
+                );
         }
         let (samples, measured_indices) = self.measured();
         if let Some(summary) = SweepSummary::of(&samples) {
@@ -527,7 +594,7 @@ impl SweepRunner {
         if config.grid.is_empty() {
             return Err(SweepError::EmptyGrid);
         }
-        if config.workers == 0 || config.sim_threads == 0 {
+        if config.workers == 0 || config.sim_threads == 0 || config.trace_workers == Some(0) {
             return Err(SweepError::ZeroWorkers);
         }
         let scenarios = config.grid.scenarios();
@@ -549,13 +616,21 @@ impl SweepRunner {
 
     /// Runs every scenario and returns the report.
     ///
-    /// Distinct `(preset, topology)` traces are generated once and shared;
-    /// both the generation and the scenario simulations fan out across
-    /// `workers` threads with slot-ordered work stealing, so the report is
-    /// identical for any worker count.
+    /// Distinct `(preset, topology)` traces are generated **and
+    /// columnarised once**: each generation fans its per-item synthesis
+    /// across [`SweepConfig::trace_workers`] threads, the resulting
+    /// [`SessionStore`] is shared (`Arc`) by every scenario replaying that
+    /// trace, and scenarios then fan out across `workers` threads with
+    /// slot-ordered work stealing — the report is identical for any worker
+    /// count on either axis.
     pub fn run(&self) -> SweepReport {
-        // 1. One trace per distinct (preset, topology), generated in
-        //    parallel.
+        // 1. One trace per distinct (preset, topology), generated once and
+        //    columnarised once, with per-phase wall times recorded. Distinct
+        //    traces build concurrently across `workers` threads AND each
+        //    generation fans its per-item synthesis across `trace_workers`
+        //    threads — single-trace grids get the inner parallelism,
+        //    many-trace grids the outer. Like every scenario `wall_ms`, the
+        //    recorded build times are throughput-context measurements.
         let mut trace_keys: Vec<(ScalePreset, TopologyPreset)> = Vec::new();
         for s in &self.scenarios {
             if !trace_keys.contains(&(s.preset, s.topology)) {
@@ -563,37 +638,56 @@ impl SweepRunner {
             }
         }
         let seed = self.config.seed;
-        let traces: Vec<Trace> = parallel_map(trace_keys.len(), self.config.workers, |i| {
-            let (preset, topology) = trace_keys[i];
-            let scenario = self
-                .scenarios
-                .iter()
-                .find(|s| (s.preset, s.topology) == (preset, topology))
-                .expect("key came from the scenario list");
-            TraceGenerator::new(scenario.trace_config(), seed)
-                .generate()
-                .expect("preset trace configs are valid")
-        });
+        let trace_workers = self.config.trace_workers.unwrap_or(self.config.workers);
+        let built: Vec<(TraceBuild, Arc<SessionStore>)> =
+            parallel_map(trace_keys.len(), self.config.workers, |i| {
+                let (preset, topology) = trace_keys[i];
+                let scenario = self
+                    .scenarios
+                    .iter()
+                    .find(|s| (s.preset, s.topology) == (preset, topology))
+                    .expect("key came from the scenario list");
+                let start = Instant::now();
+                let trace = TraceGenerator::new(scenario.trace_config(), seed)
+                    .workers(trace_workers)
+                    .generate()
+                    .expect("preset trace configs are valid");
+                let generate_ms = start.elapsed().as_secs_f64() * 1e3;
+                let start = Instant::now();
+                let store = Arc::new(SessionStore::from_trace(&trace));
+                let columnarize_ms = start.elapsed().as_secs_f64() * 1e3;
+                let build = TraceBuild {
+                    preset,
+                    topology,
+                    sessions: store.len() as u64,
+                    users: store.population_len() as u64,
+                    generate_ms,
+                    columnarize_ms,
+                };
+                (build, store)
+            });
+        let (trace_builds, stores): (Vec<TraceBuild>, Vec<Arc<SessionStore>>) =
+            built.into_iter().unzip();
 
-        // 2. Simulate every scenario against its shared trace.
+        // 2. Simulate every scenario against its shared columnar store.
         let sim_threads = self.config.sim_threads;
         let outcomes = parallel_map(self.scenarios.len(), self.config.workers, |i| {
             let scenario = self.scenarios[i];
             let key = (scenario.preset, scenario.topology);
-            let trace_idx = trace_keys
+            let store_idx = trace_keys
                 .iter()
                 .position(|&k| k == key)
                 .expect("trace generated per key");
-            let trace = &traces[trace_idx];
+            let store = &stores[store_idx];
             let sim = Simulator::try_new(scenario.sim_config(seed, sim_threads))
                 .expect("validated in SweepRunner::new");
             let start = Instant::now();
-            let report = sim.run(trace);
+            let report = sim.run_store(store);
             let wall_ms = start.elapsed().as_secs_f64() * 1e3;
             ScenarioOutcome {
                 scenario,
-                users: trace.population().len() as u64,
-                sessions: trace.sessions().len() as u64,
+                users: store.population_len() as u64,
+                sessions: store.len() as u64,
                 swarms: report.swarms.len() as u64,
                 demand_bytes: report.total.demand_bytes,
                 server_bytes: report.total.server_bytes,
@@ -610,6 +704,8 @@ impl SweepRunner {
         SweepReport {
             seed,
             workers: self.config.workers,
+            trace_workers,
+            trace_builds,
             outcomes,
         }
     }
@@ -625,6 +721,7 @@ mod tests {
             seed: 11,
             workers,
             sim_threads: 1,
+            trace_workers: None,
         }
     }
 
@@ -719,6 +816,42 @@ mod tests {
         let det = report.to_json_deterministic().render();
         assert!(!det.contains("wall_ms"));
         assert!(!det.contains("workers"));
+    }
+
+    #[test]
+    fn trace_builds_and_phase_timings_surface_in_json() {
+        let mut config = quick_config(2);
+        config.trace_workers = Some(2);
+        let report = SweepRunner::new(config).unwrap().run();
+        // One shared build for the single (preset, topology) of ci_quick.
+        assert_eq!(report.trace_builds.len(), 1);
+        let build = &report.trace_builds[0];
+        assert_eq!(build.preset, ScalePreset::Smoke);
+        assert_eq!(build.sessions, report.outcomes[0].sessions);
+        assert_eq!(build.users, report.outcomes[0].users);
+        assert!(build.generate_ms >= 0.0 && build.columnarize_ms >= 0.0);
+        let (generate, columnarize, simulate) = report.phase_wall_ms();
+        assert_eq!(generate, build.generate_ms);
+        assert_eq!(columnarize, build.columnarize_ms);
+        assert!(simulate > 0.0);
+        let json = report.to_json().render();
+        assert!(json.contains("\"phase_wall_ms\":{\"generate\":"));
+        assert!(json.contains("\"trace_builds\":[{\"preset\":\"smoke\""));
+        assert!(json.contains("\"trace_workers\":2"));
+        let det = report.to_json_deterministic().render();
+        assert!(!det.contains("phase_wall_ms"));
+        assert!(!det.contains("trace_builds"));
+        assert!(!det.contains("trace_workers"));
+    }
+
+    #[test]
+    fn zero_trace_workers_rejected() {
+        let mut config = quick_config(2);
+        config.trace_workers = Some(0);
+        assert_eq!(
+            SweepRunner::new(config).unwrap_err(),
+            SweepError::ZeroWorkers
+        );
     }
 
     #[test]

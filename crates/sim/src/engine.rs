@@ -6,10 +6,17 @@
 //! std-scoped worker threads; results are merged in deterministic key
 //! order and the random matcher is seeded per swarm, so the report is
 //! bit-identical regardless of thread count.
+//!
+//! The engine replays the **columnar** [`SessionStore`]: grouping reads the
+//! content/ISP/bitrate columns, each sub-swarm drives the store's sliding
+//! active-window cursor over the start-sorted columns, and only the columns
+//! a pass touches move through the cache. [`Simulator::run`] columnarises a
+//! row-record [`Trace`] on the fly; [`Simulator::run_store`] replays a
+//! prebuilt (e.g. sweep-shared) store without that conversion.
 
 use consume_local_swarm::matching::MatchOutcome;
 use consume_local_swarm::{Peer, SwarmKey};
-use consume_local_trace::{SimTime, Trace};
+use consume_local_trace::{ContentId, SessionStore, SimTime, Trace};
 
 use crate::config::{SimConfig, SimConfigError};
 use crate::ledger::ByteLedger;
@@ -53,15 +60,31 @@ impl Simulator {
     }
 
     /// Runs the simulation over a trace and returns the full report.
+    ///
+    /// Columnarises the trace and delegates to [`Simulator::run_store`]; a
+    /// caller replaying the same trace under many configurations (the sweep
+    /// runner) should build the [`SessionStore`] once and share it instead.
     pub fn run(&self, trace: &Trace) -> SimReport {
+        self.run_store(&SessionStore::from_trace(trace))
+    }
+
+    /// Runs the simulation over a prebuilt columnar session store.
+    pub fn run_store(&self, store: &SessionStore) -> SimReport {
         // 1. Group sessions into sub-swarms with one stable sort instead of
         //    a `HashMap<SwarmKey, Vec<u32>>` rebuild: ties keep the trace's
-        //    start order, and swarms come out already key-ordered.
-        let sessions = trace.sessions();
-        let mut keyed_sessions: Vec<(SwarmKey, u32)> = sessions
-            .iter()
-            .enumerate()
-            .map(|(i, s)| (self.config.policy.key_for(s), i as u32))
+        //    start order, and swarms come out already key-ordered. Keys are
+        //    assembled straight from the content/ISP/device columns.
+        let content = store.content();
+        let isp = store.isp();
+        let mut keyed_sessions: Vec<(SwarmKey, u32)> = (0..store.len())
+            .map(|i| {
+                let key = self.config.policy.key_parts(
+                    ContentId(content[i]),
+                    isp[i],
+                    store.bitrate_class(i),
+                );
+                (key, i as u32)
+            })
             .collect();
         keyed_sessions.sort_by_key(|&(key, _)| key);
         let indices: Vec<u32> = keyed_sessions.iter().map(|&(_, i)| i).collect();
@@ -82,15 +105,15 @@ impl Simulator {
         let n = keyed.len();
         let outputs = crate::par::parallel_map(n, self.config.threads, |i| {
             let (key, range) = &keyed[i];
-            self.simulate_swarm(*key, &indices[range.clone()], trace)
+            self.simulate_swarm(*key, &indices[range.clone()], store)
         });
 
         // 3. Merge deterministically in key order. Day × ISP cells are
         //    collected flat and merged with one sort — no hash map rebuild.
-        let horizon = trace.horizon_seconds();
+        let horizon = store.horizon_secs();
         let total_windows = horizon / self.config.window_secs;
         let mut swarms = Vec::with_capacity(n);
-        let mut users = vec![UserTraffic::default(); trace.population().len()];
+        let mut users = vec![UserTraffic::default(); store.population_len()];
         let mut daily_cells: Vec<(u32, Option<consume_local_topology::IspId>, ByteLedger)> =
             Vec::new();
         let mut total = ByteLedger::new();
@@ -143,9 +166,16 @@ impl Simulator {
     }
 
     /// Simulates one sub-swarm over its sessions (already start-ordered).
-    fn simulate_swarm(&self, key: SwarmKey, indices: &[u32], trace: &Trace) -> SwarmOutput {
+    fn simulate_swarm(&self, key: SwarmKey, indices: &[u32], store: &SessionStore) -> SwarmOutput {
         let dt = self.config.window_secs;
-        let sessions = trace.sessions();
+        // Hot columns as local slices: one pointer load each at admission
+        // time instead of a walk through the store on every field.
+        let starts_col = store.start_secs();
+        let durations_col = store.duration_secs();
+        let users_col = store.user();
+        let devices_col = store.device();
+        let isps_col = store.isp();
+        let locations_col = store.location();
         let mut matcher = self
             .config
             .matcher
@@ -156,17 +186,14 @@ impl Simulator {
         // Dense user slots: traffic accumulates in a flat vector indexed by
         // the user's rank among this swarm's (sorted, distinct) users, not in
         // a per-window-updated `HashMap<u32, _>`.
-        let mut swarm_users: Vec<u32> = indices
-            .iter()
-            .map(|&i| sessions[i as usize].user.0)
-            .collect();
+        let mut swarm_users: Vec<u32> = indices.iter().map(|&i| users_col[i as usize]).collect();
         swarm_users.sort_unstable();
         swarm_users.dedup();
         let mut user_acc: Vec<(u64, u64)> = vec![(0, 0); swarm_users.len()];
 
         // Representative ratio for the report (uniform within bitrate-split
         // swarms; a demand-weighted mix otherwise).
-        let first_bitrate = sessions[indices[0] as usize].bitrate_bps();
+        let first_bitrate = devices_col[indices[0] as usize].bitrate_bps();
         out.upload_ratio = self.config.upload.ratio_for(first_bitrate).min(1.0);
 
         let preload_f = self.config.preload_fraction;
@@ -176,10 +203,12 @@ impl Simulator {
             .is_some_and(|c| key.content.0 < c.top_items);
 
         let mut active: Vec<ActiveSession> = Vec::new();
-        let mut i = 0usize;
+        // The store's sliding cursor admits each session exactly once as the
+        // window boundary crosses its start.
+        let mut cursor = store.cursor(indices);
         // First window boundary at which the earliest session is active.
-        let mut t = SimTime(align_up(sessions[indices[0] as usize].start.as_secs(), dt));
-        let horizon = SimTime(trace.horizon_seconds());
+        let mut t = SimTime(align_up(starts_col[indices[0] as usize], dt));
+        let horizon = SimTime(store.horizon_secs());
 
         // Scratch buffers reused across windows.
         let mut peers: Vec<Peer> = Vec::new();
@@ -189,40 +218,39 @@ impl Simulator {
 
         while t < horizon {
             active.retain(|a| a.end > t);
-            while i < indices.len() {
-                let s = &sessions[indices[i] as usize];
-                if s.start > t {
-                    break;
-                }
-                if s.end() > t {
+            cursor.admit_until(t.as_secs(), |i| {
+                let end = SimTime(starts_col[i] + u64::from(durations_col[i]));
+                if end > t {
                     // Per-session window quantities are fixed for the whole
                     // session (bitrate and Δτ do not change), so they are
                     // computed once here instead of once per window. A
                     // preloaded fraction of every session's bytes bypasses
                     // the swarm (§VI preloading extension; 0 by default).
-                    let full_demand = u64::from(s.bitrate_bps()) * dt / 8;
+                    let bitrate = devices_col[i].bitrate_bps();
+                    let user = users_col[i];
+                    let full_demand = u64::from(bitrate) * dt / 8;
                     let preload = (full_demand as f64 * preload_f) as u64;
                     let demand = full_demand - preload;
                     // Non-participating users never upload (NetSession-style
                     // partial participation); their own peer-receipt cap is
                     // based on the swarm's typical uplink, not their zero
                     // one.
-                    let nominal_budget = self.config.upload.budget_bytes(s.bitrate_bps(), dt);
-                    let budget = if participates(s.user.0, self.config.participation_rate) {
+                    let nominal_budget = self.config.upload.budget_bytes(bitrate, dt);
+                    let budget = if participates(user, self.config.participation_rate) {
                         nominal_budget
                     } else {
                         0
                     };
                     let user_slot = swarm_users
-                        .binary_search(&s.user.0)
+                        .binary_search(&user)
                         .expect("swarm_users indexes every session user")
                         as u32;
                     active.push(ActiveSession {
-                        end: s.end(),
+                        end,
                         user_slot,
                         peer: Peer {
-                            isp: s.isp,
-                            location: s.location,
+                            isp: isps_col[i],
+                            location: locations_col[i],
                         },
                         full_demand,
                         demand,
@@ -231,16 +259,14 @@ impl Simulator {
                         budget,
                     });
                 }
-                i += 1;
-            }
+            });
             if active.is_empty() {
-                if i >= indices.len() {
+                let Some(next_start) = cursor.next_start_secs() else {
                     break;
-                }
+                };
                 // Jump to the first window boundary at which the next
                 // session is active (align *up*: a boundary before its start
                 // would never pick it up and loop forever).
-                let next_start = sessions[indices[i] as usize].start.as_secs();
                 t = SimTime(align_up(next_start, dt).max(t.as_secs() + dt));
                 continue;
             }
@@ -494,6 +520,24 @@ mod tests {
         assert!(report.total.demand_bytes > 0);
         let s = report.total_savings(&EnergyParams::valancius()).unwrap();
         assert!((0.0..1.0).contains(&s), "savings {s}");
+    }
+
+    #[test]
+    fn run_store_matches_run() {
+        let trace = tiny_trace();
+        let store = SessionStore::from_trace(&trace);
+        for matcher in [MatcherKind::Hierarchical, MatcherKind::Random] {
+            let cfg = SimConfig {
+                matcher,
+                ..Default::default()
+            };
+            let sim = Simulator::new(cfg);
+            assert_eq!(
+                sim.run(&trace),
+                sim.run_store(&store),
+                "{matcher:?}: prebuilt store must replay identically"
+            );
+        }
     }
 
     #[test]

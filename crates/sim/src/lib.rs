@@ -14,7 +14,9 @@
 //! * [`ledger`] — byte ledgers and their energy/savings evaluation;
 //! * [`engine`] — the discrete time-step engine, sequential or parallel
 //!   (thread-sharded across sub-swarms, deterministic regardless of
-//!   thread count);
+//!   thread count), replaying the columnar
+//!   [`SessionStore`](consume_local_trace::SessionStore) — prebuild it with
+//!   [`Simulator::run_store`] when many configurations share one trace;
 //! * [`report`] — per-swarm, per-day×ISP, per-user and total results,
 //!   including theory-vs-simulation comparison points (Fig. 2 dots).
 //!

@@ -1,61 +1,22 @@
-//! Slot-ordered parallel mapping over an index range.
+//! Slot-ordered parallel mapping (re-export).
 //!
-//! The one concurrency idiom the workspace uses: fan `0..n` out across
-//! scoped worker threads with an atomic work-stealing cursor, and place each
-//! result at its *index-ordered* slot, never at its completion-ordered one —
-//! which is what makes the simulation engine and the sweep runner
-//! deterministic for any worker count.
+//! The implementation moved down the crate graph to
+//! [`consume_local_stats::par`] so the trace generator can fan per-item
+//! session synthesis across the same primitive the engine and the sweep
+//! runner use; this module keeps the historical `consume_local_sim::par`
+//! path working.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-
-use parking_lot::Mutex;
-
-/// Maps `0..n` through `f` across at most `workers` scoped threads.
-///
-/// Output order is by index. `workers` is clamped to `n` (and at least one
-/// thread runs even for `n == 0`, trivially exiting).
-///
-/// # Panics
-///
-/// Propagates a panic from `f` once the thread scope unwinds.
-pub fn parallel_map<T: Send, F: Fn(usize) -> T + Sync>(n: usize, workers: usize, f: F) -> Vec<T> {
-    let slots: Mutex<Vec<Option<T>>> = Mutex::new((0..n).map(|_| None).collect());
-    let next = AtomicUsize::new(0);
-    let workers = workers.max(1).min(n.max(1));
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let out = f(i);
-                slots.lock()[i] = Some(out);
-            });
-        }
-    });
-    slots
-        .into_inner()
-        .into_iter()
-        .map(|s| s.expect("every index mapped"))
-        .collect()
-}
+pub use consume_local_stats::par::parallel_map;
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
-    fn preserves_index_order_for_any_worker_count() {
-        let expected: Vec<usize> = (0..257).map(|i| i * i).collect();
-        for workers in [1, 2, 8, 500] {
-            assert_eq!(parallel_map(257, workers, |i| i * i), expected);
+    fn reexport_is_the_shared_primitive() {
+        let expected: Vec<usize> = (0..64).map(|i| i + 1).collect();
+        for workers in [1, 3, 16] {
+            assert_eq!(parallel_map(64, workers, |i| i + 1), expected);
         }
-    }
-
-    #[test]
-    fn empty_and_singleton() {
-        assert_eq!(parallel_map(0, 4, |i| i), Vec::<usize>::new());
-        assert_eq!(parallel_map(1, 4, |i| i + 10), vec![10]);
     }
 }

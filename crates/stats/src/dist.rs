@@ -82,10 +82,11 @@ fn open_unit<R: Rng + ?Sized>(rng: &mut R) -> f64 {
 
 /// Poisson distribution with mean `lambda`.
 ///
-/// Sampling uses Knuth's product method for small means and, for large means,
-/// a split into `Poisson(k · 32) + Poisson(rest)` chunks so the product never
-/// underflows. The cost is `O(lambda)` which is fine for the window-level
-/// means (≲ 10⁴) this workspace uses.
+/// Sampling uses Knuth's product method for small means (`O(lambda)`, never
+/// underflows below the chunk bound) and Hörmann's exact PTRS
+/// transformed-rejection sampler for large means (`O(1)`, ≈ 94 % first-try
+/// acceptance) — the trace generator draws day-level arrival counts with
+/// means in the thousands.
 ///
 /// # Example
 ///
@@ -136,6 +137,36 @@ impl Poisson {
         k
     }
 
+    /// Hörmann's PTRS transformed-rejection sampler: exact Poisson variates
+    /// in `O(1)` for `lambda ≳ 10` (≈ 94 % first-try acceptance, two uniform
+    /// draws and no transcendentals on the fast path). The trace generator's
+    /// day-level arrival counts reach means in the thousands, where the
+    /// `O(lambda)` product method pays one RNG draw per expected event.
+    fn sample_ptrs<R: Rng + ?Sized>(lambda: f64, rng: &mut R) -> u64 {
+        debug_assert!(lambda > Self::CHUNK);
+        let b = 0.931 + 2.53 * lambda.sqrt();
+        let a = -0.059 + 0.024_83 * b;
+        let inv_alpha = 1.1239 + 1.1328 / (b - 3.4);
+        let v_r = 0.9277 - 3.6224 / (b - 2.0);
+        let log_lambda = lambda.ln();
+        loop {
+            let u = rng.gen::<f64>() - 0.5;
+            let v = open_unit(rng);
+            let us = 0.5 - u.abs();
+            let k = ((2.0 * a / us + b) * u + lambda + 0.43).floor();
+            if us >= 0.07 && v <= v_r {
+                return k as u64;
+            }
+            if k < 0.0 || (us < 0.013 && v > us) {
+                continue;
+            }
+            let accept = (v * inv_alpha / (a / (us * us) + b)).ln();
+            if accept <= k * log_lambda - lambda - ln_factorial(k as u64) {
+                return k as u64;
+            }
+        }
+    }
+
     /// Probability mass function `P(X = k)`.
     ///
     /// Computed in log space, so it is accurate for large `k` and `lambda`.
@@ -154,14 +185,10 @@ impl Distribution for Poisson {
     type Value = f64;
 
     fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
-        let mut remaining = self.lambda;
-        let mut total = 0u64;
-        while remaining > Self::CHUNK {
-            total += Self::sample_chunk(Self::CHUNK, rng);
-            remaining -= Self::CHUNK;
+        if self.lambda > Self::CHUNK {
+            return Self::sample_ptrs(self.lambda, rng) as f64;
         }
-        total += Self::sample_chunk(remaining, rng);
-        total as f64
+        Self::sample_chunk(self.lambda, rng) as f64
     }
 }
 
@@ -371,6 +398,81 @@ impl Normal {
             }
         }
     }
+
+    /// The quantile function `Φ⁻¹` scaled to this distribution: the value
+    /// below which a fraction `p` of the mass lies.
+    ///
+    /// Evaluated with Acklam's rational approximation (relative error
+    /// ≲ 1.2 × 10⁻⁹). Returns `-∞` at `p = 0` and `+∞` at `p = 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is NaN or outside `[0, 1]`.
+    pub fn quantile(&self, p: f64) -> f64 {
+        self.mean + self.std_dev * standard_normal_quantile(p)
+    }
+}
+
+/// The standard normal quantile `Φ⁻¹(p)` (Acklam's approximation).
+///
+/// # Panics
+///
+/// Panics if `p` is NaN or outside `[0, 1]`.
+pub fn standard_normal_quantile(p: f64) -> f64 {
+    assert!(
+        (0.0..=1.0).contains(&p),
+        "quantile needs p in [0, 1], got {p}"
+    );
+    if p == 0.0 {
+        return f64::NEG_INFINITY;
+    }
+    if p == 1.0 {
+        return f64::INFINITY;
+    }
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.38357751867269e+02,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    const P_LOW: f64 = 0.02425;
+    let tail = |q: f64| {
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    };
+    if p < P_LOW {
+        tail((-2.0 * p.ln()).sqrt())
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        -tail((-2.0 * (1.0 - p).ln()).sqrt())
+    }
 }
 
 impl Distribution for Normal {
@@ -432,6 +534,21 @@ impl LogNormal {
     pub fn mean(&self) -> f64 {
         (self.mu() + self.sigma() * self.sigma() / 2.0).exp()
     }
+
+    /// The quantile function `exp(mu + sigma · Φ⁻¹(p))`.
+    ///
+    /// Returns `0` at `p = 0` and `+∞` at `p = 1`; the natural input to a
+    /// [`TabulatedQuantile`] when millions of draws are needed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is NaN or outside `[0, 1]`.
+    pub fn quantile(&self, p: f64) -> f64 {
+        if p == 0.0 {
+            return 0.0;
+        }
+        self.normal.quantile(p).exp()
+    }
 }
 
 impl Distribution for LogNormal {
@@ -439,6 +556,87 @@ impl Distribution for LogNormal {
 
     fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
         self.normal.sample(rng).exp()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tabulated quantile (inverse-transform sampling from a precomputed table)
+// ---------------------------------------------------------------------------
+
+/// Inverse-transform sampler over a precomputed quantile table.
+///
+/// Trades a one-off `O(resolution)` table build for `O(1)` samples with a
+/// **single** uniform draw and no transcendental functions — the
+/// trace generator draws one watched-fraction per session, millions per
+/// full-scale trace, and the exact log-normal sampler (polar normal + `exp`)
+/// dominates that loop. Sampling linearly interpolates between table knots,
+/// so the result is an approximation whose CDF error is bounded by the knot
+/// spacing `1/resolution`; the extreme tails are squashed to the
+/// `0.5/resolution` and `1 − 0.5/resolution` quantiles.
+///
+/// # Example
+///
+/// ```
+/// use consume_local_stats::dist::{Distribution, LogNormal, TabulatedQuantile};
+/// # use rand::SeedableRng;
+/// let exact = LogNormal::with_mean(0.72, 0.5).unwrap();
+/// let fast = TabulatedQuantile::from_quantile(1024, |p| exact.quantile(p)).unwrap();
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+/// let mean: f64 = (0..20_000).map(|_| fast.sample(&mut rng)).sum::<f64>() / 20_000.0;
+/// assert!((mean / 0.72 - 1.0).abs() < 0.05);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TabulatedQuantile {
+    /// `resolution + 1` knots: `table[k] ≈ Q(k / resolution)`.
+    table: Vec<f64>,
+}
+
+impl TabulatedQuantile {
+    /// Tabulates `quantile` at `resolution + 1` evenly spaced probabilities.
+    ///
+    /// The endpoint knots are evaluated at `0.5/resolution` and
+    /// `1 − 0.5/resolution` so distributions with infinite support stay
+    /// finite in the table.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistError::NotPositive`] when `resolution` is zero and
+    /// [`DistError::BadWeights`] when the tabulated values are non-finite or
+    /// decreasing (not a quantile function).
+    pub fn from_quantile(
+        resolution: usize,
+        quantile: impl Fn(f64) -> f64,
+    ) -> Result<Self, DistError> {
+        if resolution == 0 {
+            return Err(DistError::NotPositive {
+                param: "resolution",
+                value: 0.0,
+            });
+        }
+        let k = resolution as f64;
+        let table: Vec<f64> = (0..=resolution)
+            .map(|i| quantile((i as f64 / k).clamp(0.5 / k, 1.0 - 0.5 / k)))
+            .collect();
+        if table.iter().any(|v| !v.is_finite()) || table.windows(2).any(|w| w[0] > w[1]) {
+            return Err(DistError::BadWeights);
+        }
+        Ok(Self { table })
+    }
+
+    /// The number of interpolation intervals in the table.
+    pub fn resolution(&self) -> usize {
+        self.table.len() - 1
+    }
+}
+
+impl Distribution for TabulatedQuantile {
+    type Value = f64;
+
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let pos = rng.gen::<f64>() * self.resolution() as f64;
+        let i = (pos as usize).min(self.resolution() - 1);
+        let frac = pos - i as f64;
+        self.table[i] + (self.table[i + 1] - self.table[i]) * frac
     }
 }
 
@@ -581,6 +779,28 @@ impl Categorical {
     }
 }
 
+impl Categorical {
+    /// Alias-method sample from a **single** `u64` draw: the high 32 bits
+    /// pick the bucket (multiply-shift range reduction), the low 32 bits form
+    /// the acceptance fraction.
+    ///
+    /// Halves the RNG traffic of [`Distribution::sample`] in tight loops
+    /// (the trace generator takes three categorical draws per session). The
+    /// bucket choice carries a range-reduction bias below `n / 2³²` and the
+    /// fraction has 32-bit granularity — both far beyond the statistical
+    /// resolution of any table in this workspace.
+    pub fn sample_fast<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let x = rng.gen::<u64>();
+        let i = ((self.prob.len() as u64 * (x >> 32)) >> 32) as usize;
+        let frac = (x & 0xffff_ffff) as f64 / (1u64 << 32) as f64;
+        if frac < self.prob[i] {
+            i
+        } else {
+            self.alias[i]
+        }
+    }
+}
+
 impl Distribution for Categorical {
     type Value = usize;
 
@@ -626,6 +846,34 @@ mod tests {
             assert!(
                 (var - lambda).abs() < 0.15 * lambda + 0.05,
                 "var {var} vs {lambda}"
+            );
+        }
+    }
+
+    #[test]
+    fn poisson_ptrs_tracks_the_pmf() {
+        // lambda above the chunk bound exercises the PTRS path; the
+        // empirical frequencies must match the exact pmf bin by bin.
+        let lambda = 120.0;
+        let p = Poisson::new(lambda).unwrap();
+        let mut r = rng("ptrs");
+        let n = 60_000usize;
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..n {
+            let k = p.sample(&mut r) as u64;
+            *counts.entry(k).or_insert(0u32) += 1;
+            assert!(
+                (k as f64 - lambda).abs() < 10.0 * lambda.sqrt(),
+                "sample {k} implausibly far from the mean"
+            );
+        }
+        for k in [90u64, 110, 120, 130, 150] {
+            let freq = f64::from(counts.get(&k).copied().unwrap_or(0)) / n as f64;
+            let expect = p.pmf(k);
+            let tol = 4.0 * (expect / n as f64).sqrt() + 2e-4;
+            assert!(
+                (freq - expect).abs() < tol,
+                "k={k}: freq {freq} vs pmf {expect}"
             );
         }
     }
@@ -778,5 +1026,88 @@ mod tests {
         assert!(e.to_string().contains("lambda"));
         let e = Categorical::new(&[]).unwrap_err();
         assert!(e.to_string().contains("weights"));
+    }
+
+    #[test]
+    fn normal_quantile_matches_known_values() {
+        // Φ⁻¹ reference values (Abramowitz & Stegun).
+        assert!((standard_normal_quantile(0.5)).abs() < 1e-9);
+        assert!((standard_normal_quantile(0.975) - 1.959_963_985).abs() < 1e-6);
+        assert!((standard_normal_quantile(0.025) + 1.959_963_985).abs() < 1e-6);
+        assert!((standard_normal_quantile(0.999) - 3.090_232_306).abs() < 1e-6);
+        assert!((standard_normal_quantile(1e-6) + 4.753_424_309).abs() < 1e-5);
+        assert_eq!(standard_normal_quantile(0.0), f64::NEG_INFINITY);
+        assert_eq!(standard_normal_quantile(1.0), f64::INFINITY);
+        let n = Normal::new(10.0, 2.0).unwrap();
+        assert!((n.quantile(0.975) - (10.0 + 2.0 * 1.959_963_985)).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile needs p in [0, 1]")]
+    fn normal_quantile_rejects_out_of_range() {
+        let _ = standard_normal_quantile(1.5);
+    }
+
+    #[test]
+    fn lognormal_quantile_inverts_the_median_and_tails() {
+        let d = LogNormal::new(0.3, 0.5).unwrap();
+        assert!((d.quantile(0.5) - 0.3f64.exp()).abs() < 1e-9);
+        assert_eq!(d.quantile(0.0), 0.0);
+        assert_eq!(d.quantile(1.0), f64::INFINITY);
+        // Quantiles are the monotone inverse of the CDF: increasing in p.
+        assert!(d.quantile(0.2) < d.quantile(0.4));
+    }
+
+    #[test]
+    fn tabulated_quantile_tracks_the_exact_sampler() {
+        let exact = LogNormal::with_mean(0.72, 0.5).unwrap();
+        let fast = TabulatedQuantile::from_quantile(2048, |p| exact.quantile(p)).unwrap();
+        assert_eq!(fast.resolution(), 2048);
+        let mut r = rng("tabulated");
+        let n = 40_000;
+        let (mut sum_fast, mut sum_exact) = (0.0, 0.0);
+        for _ in 0..n {
+            sum_fast += fast.sample(&mut r).clamp(0.02, 1.0);
+            sum_exact += exact.sample(&mut r).clamp(0.02, 1.0);
+        }
+        let (m_fast, m_exact) = (sum_fast / n as f64, sum_exact / n as f64);
+        assert!(
+            (m_fast / m_exact - 1.0).abs() < 0.02,
+            "tabulated mean {m_fast} vs exact {m_exact}"
+        );
+    }
+
+    #[test]
+    fn tabulated_quantile_rejects_degenerate_tables() {
+        assert!(TabulatedQuantile::from_quantile(0, |p| p).is_err());
+        assert!(TabulatedQuantile::from_quantile(8, |_| f64::NAN).is_err());
+        // A decreasing "quantile" is not a quantile.
+        assert!(TabulatedQuantile::from_quantile(8, |p| -p).is_err());
+        // The open-support endpoints stay finite via the half-knot clamp.
+        let std_normal = TabulatedQuantile::from_quantile(64, standard_normal_quantile).unwrap();
+        let mut r = rng("tabnorm");
+        for _ in 0..1000 {
+            assert!(std_normal.sample(&mut r).is_finite());
+        }
+    }
+
+    #[test]
+    fn categorical_sample_fast_matches_weights() {
+        let weights = [0.5, 0.0, 0.3, 0.2];
+        let c = Categorical::new(&weights).unwrap();
+        let mut r = rng("catfast");
+        let n = 80_000;
+        let mut counts = [0u32; 4];
+        for _ in 0..n {
+            counts[c.sample_fast(&mut r)] += 1;
+        }
+        assert_eq!(counts[1], 0, "zero-weight category must never be drawn");
+        for (i, &w) in weights.iter().enumerate() {
+            let freq = f64::from(counts[i]) / f64::from(n);
+            assert!(
+                (freq - w).abs() < 0.01,
+                "category {i}: freq {freq} vs weight {w}"
+            );
+        }
     }
 }

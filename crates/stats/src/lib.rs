@@ -15,6 +15,8 @@
 //! * [`grid`] — linear and logarithmic sweep grids for parameter sweeps.
 //! * [`rng`] — a deterministic seed-derivation helper so that independent
 //!   simulation components get independent, reproducible RNG streams.
+//! * [`par`] — the slot-ordered `parallel_map` every parallel layer of the
+//!   workspace (trace generation, the sim engine, sweeps) fans out with.
 //!
 //! # Example
 //!
@@ -39,6 +41,7 @@ pub mod dist;
 pub mod edf;
 pub mod grid;
 pub mod histogram;
+pub mod par;
 pub mod rng;
 pub mod summary;
 

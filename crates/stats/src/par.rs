@@ -1,0 +1,95 @@
+//! Slot-ordered parallel mapping over an index range.
+//!
+//! The one concurrency idiom the workspace uses: fan `0..n` out across
+//! scoped worker threads with an atomic work-stealing cursor, and place each
+//! result at its *index-ordered* slot, never at its completion-ordered one —
+//! which is what makes the trace generator, the simulation engine and the
+//! sweep runner deterministic for any worker count.
+//!
+//! The primitive lives here, at the bottom of the crate graph, so every
+//! layer above (`trace`, `sim`, `core`) can share it;
+//! `consume_local_sim::par` re-exports it under its historical path.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Maps `0..n` through `f` across at most `workers` scoped threads.
+///
+/// Output order is by index. `workers` is clamped to `n` (and at least one
+/// thread runs even for `n == 0`, trivially exiting).
+///
+/// Workers buffer `(index, result)` pairs locally and hand the buffers back
+/// through their join handles — no shared lock anywhere, so the primitive
+/// scales down to fine-grained tasks (the trace generator pushes thousands
+/// of small per-item syntheses through it) as well as the engine's coarse
+/// per-swarm shards.
+///
+/// # Panics
+///
+/// Propagates a panic from `f` once the worker's buffer is joined.
+pub fn parallel_map<T: Send, F: Fn(usize) -> T + Sync>(n: usize, workers: usize, f: F) -> Vec<T> {
+    let next = AtomicUsize::new(0);
+    let workers = workers.max(1).min(n.max(1));
+    let buffers: Vec<Vec<(usize, T)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, f(i)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join()
+                    .unwrap_or_else(|payload| std::panic::resume_unwind(payload))
+            })
+            .collect()
+    });
+    let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    for (i, value) in buffers.into_iter().flatten() {
+        slots[i] = Some(value);
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every index mapped"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_index_order_for_any_worker_count() {
+        let expected: Vec<usize> = (0..257).map(|i| i * i).collect();
+        for workers in [1, 2, 8, 500] {
+            assert_eq!(parallel_map(257, workers, |i| i * i), expected);
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert_eq!(parallel_map(0, 4, |i| i), Vec::<usize>::new());
+        assert_eq!(parallel_map(1, 4, |i| i + 10), vec![10]);
+    }
+
+    #[test]
+    fn results_land_at_index_slots_not_completion_order() {
+        // Make early indices finish last: slot order must still hold.
+        let out = parallel_map(16, 4, |i| {
+            if i < 4 {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+            i * 3
+        });
+        assert_eq!(out, (0..16).map(|i| i * 3).collect::<Vec<_>>());
+    }
+}

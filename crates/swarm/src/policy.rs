@@ -63,10 +63,18 @@ impl SwarmPolicy {
 
     /// The sub-swarm key for a session under this policy.
     pub fn key_for(&self, session: &SessionRecord) -> SwarmKey {
+        self.key_parts(session.content, session.isp, session.bitrate_class())
+    }
+
+    /// The sub-swarm key from raw session fields — the columnar
+    /// [`SessionStore`](consume_local_trace::SessionStore) feeds the
+    /// engine's grouping pass straight from its content/ISP/bitrate columns
+    /// without reassembling row records.
+    pub fn key_parts(&self, content: ContentId, isp: IspId, bitrate: BitrateClass) -> SwarmKey {
         SwarmKey {
-            content: session.content,
-            isp: self.split_by_isp.then_some(session.isp),
-            bitrate: self.split_by_bitrate.then_some(session.bitrate_class()),
+            content,
+            isp: self.split_by_isp.then_some(isp),
+            bitrate: self.split_by_bitrate.then_some(bitrate),
         }
     }
 }
@@ -153,6 +161,25 @@ mod tests {
                 bitrate: None
             }
         );
+    }
+
+    #[test]
+    fn key_parts_matches_key_for() {
+        for policy in [
+            SwarmPolicy::paper_default(),
+            SwarmPolicy::cross_isp(),
+            SwarmPolicy::mixed_bitrate(),
+            SwarmPolicy::content_only(),
+        ] {
+            for (isp, device) in [(0u8, DeviceClass::Desktop), (3, DeviceClass::Mobile)] {
+                let s = session(isp, device);
+                assert_eq!(
+                    policy.key_for(&s),
+                    policy.key_parts(s.content, s.isp, s.bitrate_class()),
+                    "{policy:?}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -119,6 +119,39 @@ pub fn age_decay_weights(broadcast_day: i32, days: u32) -> Option<Vec<f64>> {
     Some(weights)
 }
 
+/// Normalised per-day view shares: day weights × weekend boost, rescaled to
+/// sum to 1 over the window.
+///
+/// This is the day-level factor of [`window_share`] — hour-of-day weights
+/// factor out of the non-homogeneous Poisson rate, so
+/// `window_share(w, profile, d, h) == boosted_day_shares(w)[d] * profile.weight(h)`.
+/// The generator precomputes this once per item instead of re-summing the
+/// boost-weighted normaliser for every `(day, hour)` window.
+///
+/// Returns an empty vector when the weights sum to zero.
+pub fn boosted_day_shares(day_weights: &[f64]) -> Vec<f64> {
+    let mut shares: Vec<f64> = day_weights
+        .iter()
+        .enumerate()
+        .map(|(d, w)| {
+            let boost = if crate::time::SimTime::from_day_hour(d as u32, 0).is_weekend() {
+                WEEKEND_BOOST
+            } else {
+                1.0
+            };
+            w * boost
+        })
+        .collect();
+    let total: f64 = shares.iter().sum();
+    if total <= 0.0 {
+        return Vec::new();
+    }
+    for s in &mut shares {
+        *s /= total;
+    }
+    shares
+}
+
 /// Combines day weights, the diurnal profile and the weekend boost into the
 /// expected share of an item's monthly views falling in `(day, hour)`.
 ///
@@ -224,6 +257,26 @@ mod tests {
             }
         }
         assert!((total - 1.0).abs() < 1e-9, "total {total}");
+    }
+
+    #[test]
+    fn boosted_day_shares_factorise_window_share() {
+        let day_w = age_decay_weights(4, 30).unwrap();
+        let profile = DiurnalProfile::default();
+        let shares = boosted_day_shares(&day_w);
+        assert_eq!(shares.len(), 30);
+        assert!((shares.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        for d in 0..30 {
+            for h in [0, 9, 20] {
+                let expected = window_share(&day_w, &profile, d, h);
+                let got = shares[d as usize] * profile.weight(h);
+                assert!(
+                    (got - expected).abs() < 1e-15,
+                    "day {d} hour {h}: {got} vs {expected}"
+                );
+            }
+        }
+        assert!(boosted_day_shares(&[0.0, 0.0]).is_empty());
     }
 
     #[test]

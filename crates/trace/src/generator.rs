@@ -6,12 +6,13 @@ use std::fmt;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
-use consume_local_stats::dist::{Categorical, Distribution, LogNormal, Poisson};
+use consume_local_stats::dist::{Categorical, Distribution, LogNormal, Poisson, TabulatedQuantile};
+use consume_local_stats::par::parallel_map;
 use consume_local_stats::rng::SeedDerive;
 use consume_local_topology::IspRegistry;
 
-use crate::arrival::{age_decay_weights, window_share, DiurnalProfile};
-use crate::content::{Catalogue, ContentId};
+use crate::arrival::{age_decay_weights, boosted_day_shares, DiurnalProfile};
+use crate::content::{Catalogue, ContentItem};
 use crate::device::DeviceClass;
 use crate::popularity::Popularity;
 use crate::population::{Population, UserId};
@@ -266,7 +267,7 @@ impl Trace {
         population: Population,
         mut sessions: Vec<SessionRecord>,
     ) -> Self {
-        sessions.sort_by_key(|s| (s.start, s.user.0, s.content.0));
+        sort_sessions(&mut sessions);
         Self {
             config,
             catalogue,
@@ -276,15 +277,117 @@ impl Trace {
     }
 }
 
+/// Canonical trace order: `(start, user, content)`, compared as one packed
+/// 128-bit key so the hot sort does a single integer comparison per element.
+///
+/// `sort_unstable` is deterministic for a given input sequence, so the
+/// parallel generator (which concatenates per-item results in catalogue
+/// order, independent of worker count) produces byte-identical traces for
+/// any worker count.
+pub(crate) fn sort_sessions(sessions: &mut [SessionRecord]) {
+    sessions.sort_unstable_by_key(session_sort_key);
+}
+
+fn session_sort_key(s: &SessionRecord) -> u128 {
+    (u128::from(s.start.as_secs()) << 64) | (u128::from(s.user.0) << 32) | u128::from(s.content.0)
+}
+
+/// Merges per-item session batches into canonical [`sort_sessions`] order
+/// with one exact-size allocation: a counting pass sizes per-start-hour
+/// buckets, a placement pass scatters the records hour-major (stable within
+/// a bucket, so the layout is independent of worker count), and each bucket
+/// then sorts independently. Sorting ~720 L1-resident hour slices beats one
+/// global sort of the scrambled concatenation — the start column only
+/// interleaves *within* an hour, never across hours.
+fn merge_sorted(per_item: &[Vec<SessionRecord>]) -> Vec<SessionRecord> {
+    let total: usize = per_item.iter().map(Vec::len).sum();
+    let Some(&fill) = per_item.iter().find_map(|batch| batch.first()) else {
+        return Vec::new();
+    };
+    let bucket_of = |s: &SessionRecord| (s.start.as_secs() / SECS_PER_HOUR) as usize;
+    let buckets = 1 + per_item
+        .iter()
+        .flatten()
+        .map(bucket_of)
+        .max()
+        .expect("total > 0");
+
+    let mut cursors = vec![0usize; buckets];
+    for batch in per_item {
+        for s in batch {
+            cursors[bucket_of(s)] += 1;
+        }
+    }
+    let mut offsets = Vec::with_capacity(buckets + 1);
+    let mut acc = 0usize;
+    offsets.push(0);
+    for c in &mut cursors {
+        let count = *c;
+        *c = acc; // cursor now points at the bucket's first slot
+        acc += count;
+        offsets.push(acc);
+    }
+    debug_assert_eq!(acc, total);
+
+    // Exact post-count reservation: per-item counts are known, so the merge
+    // allocates once instead of over-reserving up front (`fill` is
+    // overwritten in every slot).
+    let mut sessions = vec![fill; total];
+    for batch in per_item {
+        for s in batch {
+            let cursor = &mut cursors[bucket_of(s)];
+            sessions[*cursor] = *s;
+            *cursor += 1;
+        }
+    }
+    // Hour buckets are L1-resident (~7 KB at medium scale), so sorting
+    // compact 16-byte `(key, index)` pairs and gathering once moves less
+    // memory than swapping 40-byte records through a comparison sort. The
+    // 59-bit key (22-bit start seconds, 22-bit user, 15-bit content) covers
+    // every London preset; larger custom worlds take the plain record sort.
+    let compact = sessions
+        .iter()
+        .all(|s| s.start.as_secs() < (1 << 22) && s.user.0 < (1 << 22) && s.content.0 < (1 << 15));
+    let mut keys: Vec<(u64, u32)> = Vec::new();
+    let mut scratch: Vec<SessionRecord> = Vec::new();
+    for w in offsets.windows(2) {
+        let slice = &mut sessions[w[0]..w[1]];
+        if slice.len() < 2 {
+            continue;
+        }
+        if !compact {
+            slice.sort_unstable_by_key(session_sort_key);
+            continue;
+        }
+        keys.clear();
+        keys.extend(slice.iter().enumerate().map(|(i, s)| {
+            let key =
+                (s.start.as_secs() << 37) | (u64::from(s.user.0) << 15) | u64::from(s.content.0);
+            (key, i as u32)
+        }));
+        keys.sort_unstable();
+        scratch.clear();
+        scratch.extend(keys.iter().map(|&(_, i)| slice[i as usize]));
+        slice.copy_from_slice(&scratch);
+    }
+    sessions
+}
+
 /// The generator: a [`TraceConfig`] plus a master seed.
 ///
 /// Generation is deterministic in the seed, and every component draws from
 /// its own derived stream, so e.g. enlarging the catalogue does not perturb
-/// the population.
+/// the population. Per-content-item session synthesis additionally owns an
+/// *indexed* stream (`stream_indexed("arrivals", item)`), which is what lets
+/// [`TraceGenerator::workers`] fan items across threads while keeping the
+/// generated trace **byte-identical** to the serial one: per-item results
+/// depend only on the item's own stream, and the merge concatenates them in
+/// catalogue order before the canonical global sort.
 #[derive(Debug, Clone)]
 pub struct TraceGenerator {
     config: TraceConfig,
     seeds: SeedDerive,
+    workers: usize,
 }
 
 /// Affinity of a user with mainstreamness `m` for each popularity tier
@@ -314,13 +417,43 @@ fn tier_of(rank: u32, catalogue_size: u32) -> usize {
     }
 }
 
+/// The shared, read-only sampling context of one `generate()` call: built
+/// once, then borrowed by every per-item synthesis task.
+struct Samplers {
+    /// Per-tier viewer samplers: weight = activity × taste affinity.
+    viewer_tables: Vec<Categorical>,
+    device_sampler: Categorical,
+    /// Hour-of-day sampler over the diurnal profile (the hour factor of the
+    /// non-homogeneous Poisson rate, identical for every item and day).
+    hour_sampler: Categorical,
+    /// Tabulated watched-fraction quantiles: one uniform draw per session
+    /// instead of a polar-method normal plus `exp`.
+    watch_table: TabulatedQuantile,
+}
+
 impl TraceGenerator {
-    /// Creates a generator.
+    /// Interpolation intervals in the watched-fraction quantile table; CDF
+    /// error is bounded by `1/RESOLUTION`, far below the generator's
+    /// statistical tolerances.
+    const WATCH_TABLE_RESOLUTION: usize = 2048;
+
+    /// Creates a (serial) generator; see [`TraceGenerator::workers`] for the
+    /// parallel fan-out.
     pub fn new(config: TraceConfig, seed: u64) -> Self {
         Self {
             config,
             seeds: SeedDerive::new(seed),
+            workers: 1,
         }
+    }
+
+    /// Fans per-item session synthesis across up to `workers` threads
+    /// (clamped to at least one). The generated trace is byte-identical for
+    /// every worker count — each item draws from its own indexed RNG stream
+    /// and results merge in catalogue order.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
     }
 
     /// Generates the trace.
@@ -347,7 +480,6 @@ impl TraceGenerator {
         )
         .expect("validated config");
 
-        // Per-tier viewer samplers: weight = activity × taste affinity.
         let viewer_tables: Vec<Categorical> = (0..3)
             .map(|tier| {
                 let weights: Vec<f64> = population
@@ -358,51 +490,28 @@ impl TraceGenerator {
                 Categorical::new(&weights).expect("population activity weights are positive")
             })
             .collect();
-
-        let device_sampler = DeviceClass::mix_sampler();
         let watch_dist = LogNormal::with_mean(cfg.mean_watch_fraction, cfg.watch_sigma)
             .expect("validated config");
+        let samplers = Samplers {
+            viewer_tables,
+            device_sampler: DeviceClass::mix_sampler(),
+            hour_sampler: Categorical::new(cfg.diurnal.weights())
+                .expect("diurnal weights are normalised"),
+            watch_table: TabulatedQuantile::from_quantile(Self::WATCH_TABLE_RESOLUTION, |p| {
+                watch_dist.quantile(p)
+            })
+            .expect("log-normal quantiles are monotone"),
+        };
 
-        let mut sessions: Vec<SessionRecord> =
-            Vec::with_capacity(cfg.sessions_target as usize + cfg.sessions_target as usize / 8);
-
-        for item in catalogue.items() {
-            let expected_views = catalogue.popularity_share(item.id) * cfg.sessions_target as f64;
-            if expected_views <= 0.0 {
-                continue;
-            }
-            let Some(day_weights) = age_decay_weights(item.broadcast_day, cfg.days) else {
-                continue;
-            };
-            let mut rng = self.seeds.stream_indexed("arrivals", u64::from(item.id.0));
-            let tier = tier_of(item.id.0, cfg.catalogue_size);
-            for day in 0..cfg.days {
-                for hour in 0..24 {
-                    let share = window_share(&day_weights, &cfg.diurnal, day, hour);
-                    let lambda = expected_views * share;
-                    if lambda <= 0.0 {
-                        continue;
-                    }
-                    let n = Poisson::new(lambda).expect("lambda > 0").sample(&mut rng) as u64;
-                    for _ in 0..n {
-                        sessions.push(self.make_session(
-                            item.id,
-                            item.duration_secs,
-                            day,
-                            hour,
-                            tier,
-                            &viewer_tables,
-                            &device_sampler,
-                            &watch_dist,
-                            &population,
-                            &mut rng,
-                        ));
-                    }
-                }
-            }
-        }
-
-        sessions.sort_by_key(|s| (s.start, s.user.0, s.content.0));
+        // Fan per-item synthesis out across workers. Each item's sessions
+        // are a pure function of the item and its own RNG stream, so the
+        // per-item vectors are identical for any worker count; slot-ordered
+        // placement keeps the merge in catalogue order.
+        let items = catalogue.items();
+        let per_item: Vec<Vec<SessionRecord>> = parallel_map(items.len(), self.workers, |i| {
+            self.synthesise_item(&items[i], &catalogue, &population, &samplers)
+        });
+        let sessions = merge_sorted(&per_item);
         Ok(Trace {
             config: self.config.clone(),
             catalogue,
@@ -411,31 +520,75 @@ impl TraceGenerator {
         })
     }
 
+    /// Synthesises every session of one content item from the item's own
+    /// RNG stream.
+    ///
+    /// Arrival sampling is day-level: the non-homogeneous Poisson rate
+    /// factorises into `expected_views × day_share × hour_weight`, so one
+    /// `Poisson(expected_views × day_share)` draw fixes the day's session
+    /// count and each session then draws its hour from the (shared) diurnal
+    /// sampler. This hoists the `Poisson` construction out of the old
+    /// 24-iteration hour loop and skips a day's synthesis entirely when its
+    /// count comes up zero — the old per-(day, hour) loop paid an `exp` and
+    /// an RNG draw for every tiny-but-positive window rate.
+    fn synthesise_item(
+        &self,
+        item: &ContentItem,
+        catalogue: &Catalogue,
+        population: &Population,
+        samplers: &Samplers,
+    ) -> Vec<SessionRecord> {
+        let cfg = &self.config;
+        let expected_views = catalogue.popularity_share(item.id) * cfg.sessions_target as f64;
+        if expected_views <= 0.0 {
+            return Vec::new();
+        }
+        let Some(day_weights) = age_decay_weights(item.broadcast_day, cfg.days) else {
+            return Vec::new();
+        };
+        let day_shares = boosted_day_shares(&day_weights);
+        let mut rng = self.seeds.stream_indexed("arrivals", u64::from(item.id.0));
+        let tier = tier_of(item.id.0, cfg.catalogue_size);
+        let mut out = Vec::with_capacity(expected_views.ceil() as usize + 4);
+        for (day, share) in day_shares.iter().enumerate() {
+            let lambda = expected_views * share;
+            if lambda <= 0.0 {
+                continue;
+            }
+            let n = Poisson::new(lambda).expect("lambda > 0").sample(&mut rng) as u64;
+            for _ in 0..n {
+                let hour = samplers.hour_sampler.sample_fast(&mut rng) as u32;
+                out.push(
+                    self.make_session(item, day as u32, hour, tier, samplers, population, &mut rng),
+                );
+            }
+        }
+        out
+    }
+
     #[allow(clippy::too_many_arguments)]
     fn make_session<R: Rng + ?Sized>(
         &self,
-        content: ContentId,
-        item_duration: u32,
+        item: &ContentItem,
         day: u32,
         hour: u32,
         tier: usize,
-        viewer_tables: &[Categorical],
-        device_sampler: &Categorical,
-        watch_dist: &LogNormal,
+        samplers: &Samplers,
         population: &Population,
         rng: &mut R,
     ) -> SessionRecord {
         let start = SimTime::from_day_hour(day, hour) + rng.gen_range(0..SECS_PER_HOUR);
-        let viewer = UserId(viewer_tables[tier].sample(rng) as u32);
+        let viewer = UserId(samplers.viewer_tables[tier].sample_fast(rng) as u32);
         let profile = population
             .get(viewer)
             .expect("sampler indexes the population");
-        let device = DeviceClass::MIX[device_sampler.sample(rng)].0;
-        let fraction = watch_dist.sample(rng).clamp(0.02, 1.0);
+        let device = DeviceClass::MIX[samplers.device_sampler.sample_fast(rng)].0;
+        let fraction = samplers.watch_table.sample(rng).clamp(0.02, 1.0);
+        let item_duration = item.duration_secs;
         let duration = ((f64::from(item_duration) * fraction) as u32).clamp(60, item_duration);
         SessionRecord {
             user: viewer,
-            content,
+            content: item.id,
             start,
             duration_secs: duration,
             device,

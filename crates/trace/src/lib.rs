@@ -20,7 +20,11 @@
 //! * a **diurnal/weekly arrival profile** with the evening prime-time peak
 //!   ([`arrival`]);
 //! * the [`generator`] that combines them into a time-sorted stream of
-//!   [`SessionRecord`]s, deterministically from a seed;
+//!   [`SessionRecord`]s, deterministically from a seed — and, via
+//!   [`TraceGenerator::workers`](generator::TraceGenerator::workers), fans
+//!   per-item synthesis across threads with byte-identical output;
+//! * a columnar [`store`] ([`SessionStore`]) the simulation engine replays
+//!   instead of row records, shared across sweep scenarios;
 //! * [`stats`] to regenerate Table I from any generated trace, and [`io`]
 //!   for a simple CSV round-trip format.
 //!
@@ -54,6 +58,7 @@ pub mod popularity;
 pub mod population;
 pub mod session;
 pub mod stats;
+pub mod store;
 pub mod time;
 
 pub use content::{Catalogue, ContentId, ContentItem};
@@ -62,4 +67,5 @@ pub use popularity::Popularity;
 pub use population::{Population, UserId};
 pub use session::SessionRecord;
 pub use stats::{Table1, TraceStats};
+pub use store::{SessionStore, StoreCursor};
 pub use time::SimTime;

@@ -1,0 +1,165 @@
+//! Benchmark-regression guard for the perf trajectory records.
+//!
+//! Compares a freshly regenerated `BENCH_*.json` against the committed
+//! baseline copy and exits non-zero when any matching wall-time regressed
+//! beyond the tolerance — CI's `bench-quick` job runs this after rewriting
+//! `BENCH_3.json` in quick mode.
+//!
+//! ```text
+//! cargo run --release --example bench_guard -- \
+//!     baseline=/tmp/BENCH_3.baseline.json fresh=BENCH_3.json max-regress=0.25
+//! ```
+//!
+//! The committed baseline and the fresh run usually come from different
+//! machines (developer workstation vs CI runner), so raw wall-time ratios
+//! conflate machine speed with code regressions. The guard therefore
+//! normalises by the **minimum** fresh/baseline ratio across all compared
+//! entries, floored at 1 — the least-regressed entry estimates the pure
+//! machine-speed difference, and only entries regressing more than
+//! `max-regress` *beyond that factor* fail the gate (a uniform slowdown
+//! passes; one path regressing relative to the others does not, and an
+//! improvement in one section never flags the rest). Pass `no-normalize=1`
+//! for a strict same-machine absolute comparison.
+//!
+//! Wall-times are matched by path: section names, then the
+//! `workers`/`threads` label of a `runs[]` entry (stable under reordering),
+//! falling back to the array index for unlabeled arrays. Values below 2 ms
+//! are skipped (timer noise dominates), as are fields missing from either
+//! file (layout changes should not hard-fail history comparisons).
+
+use consume_local::export::json::JsonValue;
+
+/// Recursively collects `(path, wall_ms)` pairs. Array entries are labelled
+/// by their `workers`/`threads` field when present (so reordering runs never
+/// mismatches), by array position otherwise.
+fn collect_walls(
+    value: &JsonValue,
+    path: &str,
+    index_label: Option<usize>,
+    out: &mut Vec<(String, f64)>,
+) {
+    match value {
+        JsonValue::Obj(fields) => {
+            let label = ["workers", "threads"]
+                .iter()
+                .find_map(|k| value.get(k).and_then(JsonValue::as_f64))
+                .map(|l| format!("{l}"))
+                .or(index_label.map(|i| format!("i{i}")));
+            for (name, child) in fields {
+                if name == "wall_ms" {
+                    if let Some(ms) = child.as_f64() {
+                        let key = match &label {
+                            Some(l) => format!("{path}@{l}"),
+                            None => format!("{path}/wall_ms"),
+                        };
+                        out.push((key, ms));
+                    }
+                } else {
+                    collect_walls(child, &format!("{path}/{name}"), None, out);
+                }
+            }
+        }
+        JsonValue::Arr(items) => {
+            for (i, item) in items.iter().enumerate() {
+                collect_walls(item, path, Some(i), out);
+            }
+        }
+        _ => {}
+    }
+}
+
+fn arg(args: &[String], key: &str) -> Option<String> {
+    args.iter()
+        .find_map(|a| a.strip_prefix(&format!("{key}=")).map(str::to_string))
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let baseline_path = arg(&args, "baseline").ok_or("missing baseline=<path>")?;
+    let fresh_path = arg(&args, "fresh").ok_or("missing fresh=<path>")?;
+    let max_regress: f64 = arg(&args, "max-regress")
+        .as_deref()
+        .unwrap_or("0.25")
+        .parse()?;
+    let normalize = arg(&args, "no-normalize").is_none();
+    const MIN_COMPARABLE_MS: f64 = 2.0;
+
+    let baseline = JsonValue::parse(&std::fs::read_to_string(&baseline_path)?)
+        .map_err(|e| format!("{baseline_path}: {e}"))?;
+    let fresh = JsonValue::parse(&std::fs::read_to_string(&fresh_path)?)
+        .map_err(|e| format!("{fresh_path}: {e}"))?;
+
+    let mut baseline_walls = Vec::new();
+    collect_walls(&baseline, "", None, &mut baseline_walls);
+    let mut fresh_walls = Vec::new();
+    collect_walls(&fresh, "", None, &mut fresh_walls);
+
+    // Pair up the comparable entries.
+    let mut pairs: Vec<(&String, f64)> = Vec::new();
+    for (path, base_ms) in &baseline_walls {
+        let Some((_, fresh_ms)) = fresh_walls.iter().find(|(p, _)| p == path) else {
+            println!("skip {path}: absent from {fresh_path}");
+            continue;
+        };
+        if *base_ms < MIN_COMPARABLE_MS {
+            println!("skip {path}: {base_ms:.2} ms baseline is below the noise floor");
+            continue;
+        }
+        pairs.push((path, fresh_ms / base_ms));
+    }
+    if pairs.is_empty() {
+        return Err("no comparable wall-times found — wrong file pair?".into());
+    }
+
+    // The machine-speed factor: the least-regressed entry, floored at 1 —
+    // a uniformly *slower* machine relaxes the gate, but a genuine
+    // improvement in one section (ratio < 1) must never make unchanged
+    // sections look relatively regressed. With a single comparable entry
+    // there is nothing to normalise against.
+    let machine_factor = if normalize && pairs.len() > 1 {
+        pairs
+            .iter()
+            .map(|&(_, r)| r)
+            .fold(f64::INFINITY, f64::min)
+            .max(1.0)
+    } else {
+        1.0
+    };
+    if machine_factor != 1.0 {
+        println!("machine-speed factor (min ratio): {machine_factor:.2}×");
+    }
+
+    let mut regressions = Vec::new();
+    for &(path, ratio) in &pairs {
+        let relative = ratio / machine_factor;
+        let verdict = if relative > 1.0 + max_regress {
+            regressions.push(format!(
+                "{path}: {ratio:.2}× vs the {machine_factor:.2}× machine factor (+{:.0}% relative)",
+                (relative - 1.0) * 100.0
+            ));
+            "REGRESSED"
+        } else {
+            "ok"
+        };
+        println!("{verdict:>9} {path}: {ratio:.2}× ({relative:.2}× relative)");
+    }
+
+    if !regressions.is_empty() {
+        eprintln!(
+            "\n{} of {} wall-times regressed more than {:.0}% relative to the machine factor:",
+            regressions.len(),
+            pairs.len(),
+            max_regress * 100.0
+        );
+        for r in &regressions {
+            eprintln!("  {r}");
+        }
+        std::process::exit(1);
+    }
+    println!(
+        "all {} wall-times within {:.0}%",
+        pairs.len(),
+        max_regress * 100.0
+    );
+    Ok(())
+}

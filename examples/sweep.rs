@@ -6,7 +6,8 @@
 //!
 //! ```text
 //! cargo run --release --example sweep -- \
-//!     grid=ablations preset=small seed=42 workers=8 out=target/sweep.json
+//!     grid=ablations preset=small seed=42 workers=8 trace-workers=8 \
+//!     out=target/sweep.json
 //! ```
 //!
 //! Arguments (all optional, `key=value`):
@@ -14,6 +15,8 @@
 //! * `preset`  — scale for `ablations`: `smoke`, `small`, `medium`, `large`;
 //! * `seed`    — master seed (default 42);
 //! * `workers` — sweep worker threads (default: available cores, max 16);
+//! * `trace-workers` — threads inside each trace generation (default:
+//!   same as `workers`; the trace bytes are identical either way);
 //! * `out`     — JSON output path (default `target/sweep.json`).
 
 use consume_local::sweep::{SweepConfig, SweepGrid, SweepRunner};
@@ -50,6 +53,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     if let Some(workers) = arg(&args, "workers") {
         config.workers = workers.parse()?;
     }
+    if let Some(trace_workers) = arg(&args, "trace-workers") {
+        config.trace_workers = Some(trace_workers.parse()?);
+    }
     let out_path = arg(&args, "out").unwrap_or_else(|| "target/sweep.json".into());
 
     let runner = SweepRunner::new(config)?;
@@ -82,6 +88,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             report.outcomes[summary.best_savings_index].scenario.id()
         );
     }
+    let (generate, columnarize, simulate) = report.phase_wall_ms();
+    println!(
+        "phases: generate {generate:.0} ms ({} trace{} at {} workers) + columnarize \
+         {columnarize:.0} ms + simulate {simulate:.0} ms",
+        report.trace_builds.len(),
+        if report.trace_builds.len() == 1 {
+            ""
+        } else {
+            "s"
+        },
+        report.trace_workers
+    );
 
     consume_local::export::write_text(&out_path, &report.to_json().render())?;
     println!("wrote {out_path}");

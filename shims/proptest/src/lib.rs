@@ -143,6 +143,8 @@ impl_tuple_strategy! {
     (A, B, C, D)
     (A, B, C, D, E)
     (A, B, C, D, E, F)
+    (A, B, C, D, E, F, G)
+    (A, B, C, D, E, F, G, H)
 }
 
 /// A strategy that always yields clones of one value (proptest's `Just`).

@@ -1,10 +1,11 @@
-//! Determinism suite: the simulation engine and the sweep runner must
-//! produce bit-identical results regardless of how many worker threads the
-//! work is sharded across, and identical sweep JSON across repeated runs
-//! with a fixed seed.
+//! Determinism suite: the trace generator, the simulation engine and the
+//! sweep runner must produce bit-identical results regardless of how many
+//! worker threads the work is sharded across, and identical sweep JSON
+//! across repeated runs with a fixed seed.
 
 use consume_local::prelude::*;
 use consume_local::sweep::{SweepConfig, SweepGrid, SweepRunner};
+use consume_local::trace::SessionStore;
 
 const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
 
@@ -12,6 +13,36 @@ fn shared_trace() -> Trace {
     TraceGenerator::new(TraceConfig::london_sep2013().scaled(0.0005).unwrap(), 99)
         .generate()
         .unwrap()
+}
+
+#[test]
+fn parallel_trace_generation_bit_identical_to_serial() {
+    let config = TraceConfig::london_sep2013().scaled(0.0005).unwrap();
+    let reference = TraceGenerator::new(config.clone(), 99).generate().unwrap();
+    assert!(!reference.sessions().is_empty());
+    for &workers in &THREAD_COUNTS[1..] {
+        let parallel = TraceGenerator::new(config.clone(), 99)
+            .workers(workers)
+            .generate()
+            .unwrap();
+        assert_eq!(
+            reference.sessions(),
+            parallel.sessions(),
+            "trace must not depend on {workers} generation workers"
+        );
+        assert_eq!(reference.catalogue(), parallel.catalogue());
+        assert_eq!(reference.population(), parallel.population());
+    }
+}
+
+#[test]
+fn engine_on_shared_store_matches_per_run_columnarisation() {
+    let trace = shared_trace();
+    let store = SessionStore::from_trace(&trace);
+    let sim = Simulator::new(SimConfig::default());
+    let from_trace = sim.run(&trace);
+    let from_store = sim.run_store(&store);
+    assert_eq!(from_trace, from_store);
 }
 
 #[test]
@@ -49,6 +80,7 @@ fn sweep_runner_identical_across_worker_counts() {
             seed: 77,
             workers,
             sim_threads: 1,
+            trace_workers: Some(workers),
         })
         .unwrap()
         .run()
@@ -82,6 +114,7 @@ fn sweep_json_byte_identical_across_runs_with_fixed_seed() {
             seed: 2018,
             workers: 4,
             sim_threads: 2,
+            trace_workers: None,
         })
         .unwrap()
         .run()
@@ -102,6 +135,7 @@ fn sim_threads_inside_sweep_do_not_change_results() {
             seed: 5,
             workers: 2,
             sim_threads,
+            trace_workers: None,
         })
         .unwrap()
         .run()
