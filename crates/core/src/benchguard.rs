@@ -1,0 +1,337 @@
+//! Benchmark-regression comparison over `BENCH_*.json` perf records.
+//!
+//! The logic behind the `bench_guard` example, exposed as a library so the
+//! comparison semantics are unit-testable on synthetic records: collect the
+//! `wall_ms` entries of two records, pair them by path, and flag entries
+//! whose fresh/baseline ratio regresses beyond a tolerance.
+//!
+//! Two comparison modes cover CI's two baseline sources:
+//!
+//! * [`Normalisation::MachineFactor`] — for comparing against a **committed
+//!   record from a different machine** (developer workstation vs CI
+//!   runner). Raw ratios conflate machine speed with code regressions, so
+//!   the gate normalises by the *minimum* fresh/baseline ratio across all
+//!   compared entries, floored at 1: the least-regressed entry estimates
+//!   the machine-speed difference, a uniform slowdown passes, and one path
+//!   regressing relative to the others does not. The weakness (the reason
+//!   run-over-run exists): a runner with a different *shape* — e.g. fewer
+//!   cores slowing only the high-`workers` runs — moves entries by
+//!   different honest factors and can still false-positive.
+//! * [`Normalisation::None`] — strict absolute ratios, for **run-over-run**
+//!   comparison against the previous CI run's artifact (same runner class)
+//!   or any same-machine pair. This is the robust default whenever a
+//!   previous-run artifact is available.
+//!
+//! Wall-times are matched by path: section names, then the
+//! `workers`/`threads` label of a `runs[]` entry (stable under reordering),
+//! falling back to the array index for unlabeled arrays. Entries below the
+//! noise floor and entries missing from either record are skipped (layout
+//! changes must not hard-fail history comparisons).
+
+use std::fmt;
+
+use crate::export::json::JsonValue;
+
+/// Baseline wall-times below this are dominated by timer noise and skipped.
+pub const MIN_COMPARABLE_MS: f64 = 2.0;
+
+/// How to correct for the two records' machines (see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Normalisation {
+    /// Divide ratios by the minimum fresh/baseline ratio (floored at 1):
+    /// cross-machine mode for committed developer-machine baselines.
+    MachineFactor,
+    /// Compare absolute ratios: run-over-run / same-machine mode.
+    None,
+}
+
+/// One compared wall-time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PairVerdict {
+    /// The entry's path in both records (e.g. `/engine_on_store@8`).
+    pub path: String,
+    /// Raw fresh/baseline wall-time ratio.
+    pub ratio: f64,
+    /// The ratio after machine-factor normalisation (equals `ratio` under
+    /// [`Normalisation::None`]).
+    pub relative: f64,
+    /// Whether `relative` exceeds the tolerance.
+    pub regressed: bool,
+}
+
+/// The outcome of comparing two records.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Comparison {
+    /// Per-entry verdicts, in baseline-record order.
+    pub pairs: Vec<PairVerdict>,
+    /// The machine-speed divisor applied (1 under [`Normalisation::None`],
+    /// with a single comparable pair, or when nothing regressed less).
+    pub machine_factor: f64,
+    /// Paths skipped with the reason (absent from fresh, below noise floor).
+    pub skipped: Vec<String>,
+}
+
+impl Comparison {
+    /// The regressed entries.
+    pub fn regressions(&self) -> Vec<&PairVerdict> {
+        self.pairs.iter().filter(|p| p.regressed).collect()
+    }
+}
+
+/// Comparison failure: nothing to compare.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NoComparableEntries;
+
+impl fmt::Display for NoComparableEntries {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "no comparable wall-times found — wrong file pair?")
+    }
+}
+
+impl std::error::Error for NoComparableEntries {}
+
+/// Recursively collects `(path, wall_ms)` pairs from a perf record. Array
+/// entries are labelled by their `workers`/`threads` field when present (so
+/// reordering runs never mismatches), by array position otherwise.
+pub fn collect_walls(value: &JsonValue) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    walk(value, "", None, &mut out);
+    out
+}
+
+fn walk(value: &JsonValue, path: &str, index_label: Option<usize>, out: &mut Vec<(String, f64)>) {
+    match value {
+        JsonValue::Obj(fields) => {
+            let label = ["workers", "threads"]
+                .iter()
+                .find_map(|k| value.get(k).and_then(JsonValue::as_f64))
+                .map(|l| format!("{l}"))
+                .or(index_label.map(|i| format!("i{i}")));
+            for (name, child) in fields {
+                if name == "wall_ms" {
+                    if let Some(ms) = child.as_f64() {
+                        let key = match &label {
+                            Some(l) => format!("{path}@{l}"),
+                            None => format!("{path}/wall_ms"),
+                        };
+                        out.push((key, ms));
+                    }
+                } else {
+                    walk(child, &format!("{path}/{name}"), None, out);
+                }
+            }
+        }
+        JsonValue::Arr(items) => {
+            for (i, item) in items.iter().enumerate() {
+                walk(item, path, Some(i), out);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Compares two perf records: pairs wall-times by path, applies the chosen
+/// normalisation, and flags entries whose relative ratio exceeds
+/// `1 + max_regress`.
+///
+/// # Errors
+///
+/// Returns [`NoComparableEntries`] when no wall-time exists in both records
+/// above the noise floor — comparing disjoint or empty records should fail
+/// the gate loudly, not pass it silently.
+pub fn compare(
+    baseline: &JsonValue,
+    fresh: &JsonValue,
+    max_regress: f64,
+    normalisation: Normalisation,
+) -> Result<Comparison, NoComparableEntries> {
+    let baseline_walls = collect_walls(baseline);
+    let fresh_walls = collect_walls(fresh);
+
+    let mut skipped = Vec::new();
+    let mut ratios: Vec<(String, f64)> = Vec::new();
+    for (path, base_ms) in baseline_walls {
+        let Some((_, fresh_ms)) = fresh_walls.iter().find(|(p, _)| *p == path) else {
+            skipped.push(format!("{path}: absent from the fresh record"));
+            continue;
+        };
+        if base_ms < MIN_COMPARABLE_MS {
+            skipped.push(format!(
+                "{path}: {base_ms:.2} ms baseline is below the noise floor"
+            ));
+            continue;
+        }
+        ratios.push((path, fresh_ms / base_ms));
+    }
+    if ratios.is_empty() {
+        return Err(NoComparableEntries);
+    }
+
+    // The machine-speed factor: the least-regressed entry, floored at 1 — a
+    // uniformly *slower* machine relaxes the gate, but a genuine improvement
+    // in one section (ratio < 1) must never make unchanged sections look
+    // relatively regressed. With a single comparable entry there is nothing
+    // to normalise against.
+    let machine_factor = match normalisation {
+        Normalisation::MachineFactor if ratios.len() > 1 => ratios
+            .iter()
+            .map(|&(_, r)| r)
+            .fold(f64::INFINITY, f64::min)
+            .max(1.0),
+        _ => 1.0,
+    };
+
+    let pairs = ratios
+        .into_iter()
+        .map(|(path, ratio)| {
+            let relative = ratio / machine_factor;
+            PairVerdict {
+                path,
+                ratio,
+                relative,
+                regressed: relative > 1.0 + max_regress,
+            }
+        })
+        .collect();
+    Ok(Comparison {
+        pairs,
+        machine_factor,
+        skipped,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(entries: &[(&str, f64)]) -> JsonValue {
+        // Synthetic record: {"<section>": {"runs": [{"workers": w, "wall_ms": ms}]}}
+        // built from "section@workers" labels, plus plain "section" scalars.
+        let mut doc = JsonValue::object();
+        let mut sections: Vec<(&str, Vec<(f64, f64)>)> = Vec::new();
+        for &(label, ms) in entries {
+            if let Some((section, w)) = label.split_once('@') {
+                let w: f64 = w.parse().unwrap();
+                match sections.iter_mut().find(|(s, _)| *s == section) {
+                    Some((_, runs)) => runs.push((w, ms)),
+                    None => sections.push((section, vec![(w, ms)])),
+                }
+            } else {
+                doc = doc.field(label, JsonValue::object().field("wall_ms", ms));
+            }
+        }
+        for (section, runs) in sections {
+            let runs: Vec<JsonValue> = runs
+                .into_iter()
+                .map(|(w, ms)| JsonValue::object().field("workers", w).field("wall_ms", ms))
+                .collect();
+            doc = doc.field(section, JsonValue::object().field("runs", runs));
+        }
+        doc
+    }
+
+    #[test]
+    fn collects_labelled_and_scalar_walls() {
+        let doc = record(&[("merge@1", 4.0), ("merge@8", 2.0), ("columnarize", 1.5)]);
+        let walls = collect_walls(&doc);
+        assert!(walls.contains(&("/merge/runs@1".into(), 4.0)));
+        assert!(walls.contains(&("/merge/runs@8".into(), 2.0)));
+        assert!(walls.contains(&("/columnarize/wall_ms".into(), 1.5)));
+    }
+
+    #[test]
+    fn labels_make_pairing_order_independent() {
+        let a = record(&[("m@1", 10.0), ("m@8", 4.0)]);
+        let b = record(&[("m@8", 4.0), ("m@1", 10.0)]);
+        let cmp = compare(&a, &b, 0.25, Normalisation::None).unwrap();
+        assert_eq!(cmp.regressions().len(), 0);
+        assert!(cmp.pairs.iter().all(|p| (p.ratio - 1.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn strict_mode_flags_any_regressing_entry() {
+        let base = record(&[("a@1", 100.0), ("b@1", 100.0)]);
+        let fresh = record(&[("a@1", 100.0), ("b@1", 130.0)]);
+        let cmp = compare(&base, &fresh, 0.25, Normalisation::None).unwrap();
+        assert_eq!(cmp.machine_factor, 1.0);
+        let regs = cmp.regressions();
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].path, "/b/runs@1");
+    }
+
+    #[test]
+    fn strict_mode_catches_the_uniform_slowdown_machine_factor_forgives() {
+        // A 40 % across-the-board slowdown: cross-machine mode attributes it
+        // to the machine; run-over-run mode (same runner class) flags it.
+        let base = record(&[("a@1", 100.0), ("b@1", 200.0)]);
+        let fresh = record(&[("a@1", 140.0), ("b@1", 280.0)]);
+        let strict = compare(&base, &fresh, 0.25, Normalisation::None).unwrap();
+        assert_eq!(strict.regressions().len(), 2);
+        let lenient = compare(&base, &fresh, 0.25, Normalisation::MachineFactor).unwrap();
+        assert_eq!(lenient.regressions().len(), 0);
+        assert!((lenient.machine_factor - 1.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn machine_factor_still_flags_relative_regressions() {
+        // Machine is 1.2× slower overall, but one entry regressed 2× on top.
+        let base = record(&[("a@1", 100.0), ("b@1", 100.0)]);
+        let fresh = record(&[("a@1", 120.0), ("b@1", 240.0)]);
+        let cmp = compare(&base, &fresh, 0.25, Normalisation::MachineFactor).unwrap();
+        assert!((cmp.machine_factor - 1.2).abs() < 1e-12);
+        let regs = cmp.regressions();
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].path, "/b/runs@1");
+        assert!((regs[0].relative - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn improvements_never_relax_the_gate_below_one() {
+        // One section got 3× faster: the floor-at-1 keeps the other
+        // section's honest 30 % regression visible in machine-factor mode.
+        let base = record(&[("fast@1", 300.0), ("slow@1", 100.0)]);
+        let fresh = record(&[("fast@1", 100.0), ("slow@1", 130.0)]);
+        let cmp = compare(&base, &fresh, 0.25, Normalisation::MachineFactor).unwrap();
+        assert_eq!(cmp.machine_factor, 1.0);
+        assert_eq!(cmp.regressions().len(), 1);
+    }
+
+    #[test]
+    fn noise_floor_and_missing_entries_skip_not_fail() {
+        let base = record(&[("tiny@1", 0.5), ("gone@1", 50.0), ("kept@1", 50.0)]);
+        let fresh = record(&[("tiny@1", 400.0), ("kept@1", 50.0)]);
+        let cmp = compare(&base, &fresh, 0.25, Normalisation::None).unwrap();
+        assert_eq!(cmp.pairs.len(), 1);
+        assert_eq!(cmp.skipped.len(), 2);
+        assert_eq!(cmp.regressions().len(), 0);
+    }
+
+    #[test]
+    fn single_entry_machine_factor_is_identity() {
+        let base = record(&[("only@1", 100.0)]);
+        let fresh = record(&[("only@1", 90.0)]);
+        let cmp = compare(&base, &fresh, 0.25, Normalisation::MachineFactor).unwrap();
+        assert_eq!(cmp.machine_factor, 1.0);
+        assert!(!cmp.pairs[0].regressed);
+    }
+
+    #[test]
+    fn disjoint_records_error() {
+        let base = record(&[("a@1", 100.0)]);
+        let fresh = record(&[("b@1", 100.0)]);
+        assert_eq!(
+            compare(&base, &fresh, 0.25, Normalisation::None),
+            Err(NoComparableEntries)
+        );
+        assert!(NoComparableEntries.to_string().contains("no comparable"));
+    }
+
+    #[test]
+    fn tolerance_boundary_is_exclusive() {
+        let base = record(&[("a@1", 100.0), ("b@1", 100.0)]);
+        let fresh = record(&[("a@1", 125.0), ("b@1", 125.1)]);
+        let cmp = compare(&base, &fresh, 0.25, Normalisation::None).unwrap();
+        assert!(!cmp.pairs[0].regressed, "exactly 25% passes");
+        assert!(cmp.pairs[1].regressed, "beyond 25% fails");
+    }
+}

@@ -47,6 +47,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod ascii;
+pub mod benchguard;
 pub mod experiment;
 pub mod export;
 pub mod figures;

@@ -70,6 +70,26 @@ impl Simulator {
 
     /// Runs the simulation over a prebuilt columnar session store.
     pub fn run_store(&self, store: &SessionStore) -> SimReport {
+        self.run_store_with(store, Self::simulate_swarm)
+    }
+
+    /// The reference row-based engine: identical pipeline, but the per-swarm
+    /// window loop materialises [`ActiveSession`] rows instead of driving
+    /// the columnar [`ActiveSet`]. Kept only as the oracle the SoA fast path
+    /// is property-tested against.
+    #[cfg(test)]
+    fn run_store_rows(&self, store: &SessionStore) -> SimReport {
+        self.run_store_with(store, Self::simulate_swarm_rows)
+    }
+
+    /// The engine pipeline around a pluggable per-swarm simulation:
+    /// grouping, the parallel per-swarm fan-out and the deterministic merge
+    /// are identical for the production SoA path and the test-only row path.
+    fn run_store_with(
+        &self,
+        store: &SessionStore,
+        simulate: impl Fn(&Self, SwarmKey, &[u32], &SessionStore) -> SwarmOutput + Sync,
+    ) -> SimReport {
         // 1. Group sessions into sub-swarms with one stable sort instead of
         //    a `HashMap<SwarmKey, Vec<u32>>` rebuild: ties keep the trace's
         //    start order, and swarms come out already key-ordered. Keys are
@@ -105,7 +125,7 @@ impl Simulator {
         let n = keyed.len();
         let outputs = crate::par::parallel_map(n, self.config.threads, |i| {
             let (key, range) = &keyed[i];
-            self.simulate_swarm(*key, &indices[range.clone()], store)
+            simulate(self, *key, &indices[range.clone()], store)
         });
 
         // 3. Merge deterministically in key order. Day × ISP cells are
@@ -166,6 +186,15 @@ impl Simulator {
     }
 
     /// Simulates one sub-swarm over its sessions (already start-ordered).
+    ///
+    /// The active set is fully columnar ([`ActiveSet`]): its peer/need/budget
+    /// columns feed [`Matcher::match_window_into`] as slices directly, so a
+    /// steady-state window performs **zero** allocation and zero copying of
+    /// window inputs — the per-window work is the matcher itself, the user
+    /// accumulation and the ledger. Membership-dependent totals (demand,
+    /// preload, the CDN-ineligible remainder) are cached between membership
+    /// changes, and the retire scan is skipped entirely while every active
+    /// session's end lies beyond the boundary (`min_end` tracking).
     fn simulate_swarm(&self, key: SwarmKey, indices: &[u32], store: &SessionStore) -> SwarmOutput {
         let dt = self.config.window_secs;
         // Hot columns as local slices: one pointer load each at admission
@@ -202,7 +231,7 @@ impl Simulator {
             .edge_cache
             .is_some_and(|c| key.content.0 < c.top_items);
 
-        let mut active: Vec<ActiveSession> = Vec::new();
+        let mut active = ActiveSet::default();
         // The store's sliding cursor admits each session exactly once as the
         // window boundary crosses its start.
         let mut cursor = store.cursor(indices);
@@ -210,17 +239,21 @@ impl Simulator {
         let mut t = SimTime(align_up(starts_col[indices[0] as usize], dt));
         let horizon = SimTime(store.horizon_secs());
 
-        // Scratch buffers reused across windows.
-        let mut peers: Vec<Peer> = Vec::new();
-        let mut needs: Vec<u64> = Vec::new();
-        let mut budgets: Vec<u64> = Vec::new();
         let mut outcome = MatchOutcome::default();
+        // Membership-dependent window totals, recomputed only when the
+        // active set changes (integer sums in index order, so they equal a
+        // fresh per-window recomputation exactly).
+        let mut sums_stale = true;
+        let mut preload_total = 0u64;
+        let mut swarm_demand = 0u64;
+        let mut ineligible = 0u64;
 
         while t < horizon {
-            active.retain(|a| a.end > t);
+            sums_stale |= active.retire_ended(t.as_secs());
+            let len_before_admit = active.len();
             cursor.admit_until(t.as_secs(), |i| {
-                let end = SimTime(starts_col[i] + u64::from(durations_col[i]));
-                if end > t {
+                let end = starts_col[i] + u64::from(durations_col[i]);
+                if end > t.as_secs() {
                     // Per-session window quantities are fixed for the whole
                     // session (bitrate and Δτ do not change), so they are
                     // computed once here instead of once per window. A
@@ -245,21 +278,22 @@ impl Simulator {
                         .binary_search(&user)
                         .expect("swarm_users indexes every session user")
                         as u32;
-                    active.push(ActiveSession {
+                    active.push(
                         end,
                         user_slot,
-                        peer: Peer {
+                        Peer {
                             isp: isps_col[i],
                             location: locations_col[i],
                         },
                         full_demand,
                         demand,
                         preload,
-                        need: demand.min(nominal_budget),
+                        demand.min(nominal_budget),
                         budget,
-                    });
+                    );
                 }
             });
+            sums_stale |= active.len() != len_before_admit;
             if active.is_empty() {
                 let Some(next_start) = cursor.next_start_secs() else {
                     break;
@@ -271,25 +305,85 @@ impl Simulator {
                 continue;
             }
 
-            // Build the window inputs. Peer 0 (earliest joiner, since
-            // `active` preserves arrival order) is the fresh fetcher. The
-            // CDN-side "ineligible" remainder carries the fetcher's full
-            // in-swarm demand plus every peer's demand − need.
-            peers.clear();
-            needs.clear();
-            budgets.clear();
-            let mut preload_total = 0u64;
-            let mut swarm_demand = 0u64;
-            let mut ineligible = 0u64;
-            for (k, a) in active.iter().enumerate() {
-                preload_total += a.preload;
-                swarm_demand += a.demand;
-                ineligible += if k == 0 { a.demand } else { a.demand - a.need };
-                peers.push(a.peer);
-                needs.push(a.need);
-                budgets.push(a.budget);
+            // Solo fast path. A lone peer is its windows' fetcher, so until
+            // the next membership event (its own end, the next admission or
+            // the horizon) every window is identical and transfers nothing:
+            // account the whole run in closed form — per-day ledger chunks,
+            // one watched-bytes bump — and advance the matcher's
+            // window-indexed state in bulk. Solo windows dominate tail
+            // swarms (> 80 % of all windows at the medium preset), which is
+            // what makes this jump, not the per-window micro-costs, the
+            // engine's biggest lever.
+            if active.len() == 1 {
+                let mut upper = active.ends[0].min(horizon.as_secs());
+                if let Some(next_start) = cursor.next_start_secs() {
+                    // The joiner lands on the first boundary at or after its
+                    // start; batch only the windows strictly before it.
+                    upper = upper.min(align_up(next_start, dt));
+                }
+                let k = (upper - t.as_secs()).div_ceil(dt);
+                debug_assert!(k >= 1, "the current window is always batchable");
+                matcher.note_solo_windows(k);
+
+                let full_demand = active.full_demands[0];
+                let demand = active.demands[0];
+                let preload = active.preloads[0];
+                user_acc[active.user_slots[0] as usize].0 += full_demand * k;
+
+                // Chunk the run by the day each window starts in (windows
+                // straddling midnight belong to their start's day, exactly
+                // as the per-window path assigns them).
+                let spd = consume_local_trace::time::SECS_PER_DAY;
+                let mut tw = t.as_secs();
+                let mut remaining = k;
+                while remaining > 0 {
+                    let day = (tw / spd) as u32;
+                    let day_end = (u64::from(day) + 1) * spd;
+                    let in_day = ((day_end - tw).div_ceil(dt)).min(remaining);
+                    let mut chunk_ledger = ByteLedger {
+                        demand_bytes: full_demand * in_day,
+                        server_bytes: if cached { 0 } else { demand * in_day },
+                        peer_bytes_by_layer: [0; 3],
+                        cache_bytes: if cached { full_demand * in_day } else { 0 },
+                        preload_bytes: if cached { 0 } else { preload * in_day },
+                        active_windows: in_day,
+                        peer_windows: in_day,
+                    };
+                    debug_assert!(chunk_ledger.is_conserved(), "solo chunk must conserve");
+                    out.ledger.merge(&chunk_ledger);
+                    match out.daily.last_mut() {
+                        Some((d, ledger)) if *d == day => ledger.merge(&chunk_ledger),
+                        _ => out.daily.push((day, std::mem::take(&mut chunk_ledger))),
+                    }
+                    tw += in_day * dt;
+                    remaining -= in_day;
+                }
+                t = SimTime(t.as_secs() + k * dt);
+                continue;
             }
-            matcher.match_window_into(&peers, &needs, &budgets, 0, &mut outcome);
+
+            // Peer 0 (earliest joiner — the columns preserve arrival order)
+            // is the fresh fetcher. The CDN-side "ineligible" remainder
+            // carries the fetcher's full in-swarm demand plus every peer's
+            // demand − need. An unchanged membership also means an unchanged
+            // peer sequence, which the matcher turns into a reused locality
+            // grouping (no per-window sort in stable windows).
+            let peers_unchanged = !sums_stale;
+            if sums_stale {
+                preload_total = active.preloads.iter().sum();
+                swarm_demand = active.demands.iter().sum();
+                let tail_needs: u64 = active.needs[1..].iter().sum();
+                ineligible = swarm_demand - tail_needs;
+                sums_stale = false;
+            }
+            matcher.match_window_into_hinted(
+                &active.peers,
+                &active.needs,
+                &active.budgets,
+                0,
+                peers_unchanged,
+                &mut outcome,
+            );
 
             // Account the window. The CDN-side fallback carries the
             // ineligible remainder and the matcher's residual unmet needs;
@@ -319,10 +413,15 @@ impl Simulator {
             }
             debug_assert!(window_ledger.is_conserved(), "window bytes must conserve");
 
-            for (k, a) in active.iter().enumerate() {
-                let acc = &mut user_acc[a.user_slot as usize];
+            for (k, (&slot, &full_demand)) in active
+                .user_slots
+                .iter()
+                .zip(&active.full_demands)
+                .enumerate()
+            {
+                let acc = &mut user_acc[slot as usize];
                 // Users watch their full demand (preloaded bytes included).
-                acc.0 += a.full_demand;
+                acc.0 += full_demand;
                 acc.1 += outcome.per_peer[k].uploaded;
             }
 
@@ -349,6 +448,122 @@ impl Simulator {
             .map(|(u, (w, up))| (u, w, up))
             .collect();
         out
+    }
+}
+
+/// The columnar active set of one sub-swarm: parallel per-session columns in
+/// arrival order, with the `peers`/`needs`/`budgets` columns shaped exactly
+/// as [`Matcher::match_window_into`] consumes them. Pushes append to every
+/// column; retiring compacts all columns in lockstep (order-preserving, like
+/// `Vec::retain`), and `min_end` lets a window skip the retire scan when no
+/// active session can have ended yet.
+#[derive(Debug)]
+struct ActiveSet {
+    /// Session end times in seconds.
+    ends: Vec<u64>,
+    /// Rank of each session's user among the swarm's sorted distinct users.
+    user_slots: Vec<u32>,
+    /// Matcher input: peer identities.
+    peers: Vec<Peer>,
+    /// Full per-window demand `β·Δτ/8` in bytes, preload included.
+    full_demands: Vec<u64>,
+    /// In-swarm per-window demand (full demand minus the preloaded part).
+    demands: Vec<u64>,
+    /// Per-window bytes served by predictive preloading.
+    preloads: Vec<u64>,
+    /// Matcher input: peer-receivable caps `min(demand, q·Δτ/8)`.
+    needs: Vec<u64>,
+    /// Matcher input: per-window upload budgets (0 for non-participants).
+    budgets: Vec<u64>,
+    /// Smallest entry of `ends` (`u64::MAX` when empty): windows with
+    /// `t < min_end` cannot retire anything and skip the scan.
+    min_end: u64,
+}
+
+impl Default for ActiveSet {
+    fn default() -> Self {
+        Self {
+            ends: Vec::new(),
+            user_slots: Vec::new(),
+            peers: Vec::new(),
+            full_demands: Vec::new(),
+            demands: Vec::new(),
+            preloads: Vec::new(),
+            needs: Vec::new(),
+            budgets: Vec::new(),
+            min_end: u64::MAX,
+        }
+    }
+}
+
+impl ActiveSet {
+    fn len(&self) -> usize {
+        self.ends.len()
+    }
+
+    fn is_empty(&self) -> bool {
+        self.ends.is_empty()
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn push(
+        &mut self,
+        end: u64,
+        user_slot: u32,
+        peer: Peer,
+        full_demand: u64,
+        demand: u64,
+        preload: u64,
+        need: u64,
+        budget: u64,
+    ) {
+        self.ends.push(end);
+        self.user_slots.push(user_slot);
+        self.peers.push(peer);
+        self.full_demands.push(full_demand);
+        self.demands.push(demand);
+        self.preloads.push(preload);
+        self.needs.push(need);
+        self.budgets.push(budget);
+        self.min_end = self.min_end.min(end);
+    }
+
+    /// Drops every session with `end <= t`, preserving arrival order —
+    /// exactly `retain(|a| a.end > t)` over the row shape. Returns whether
+    /// the set changed; the no-op case is decided by one `min_end` compare.
+    fn retire_ended(&mut self, t: u64) -> bool {
+        if self.min_end > t {
+            return false;
+        }
+        let mut w = 0usize;
+        let mut min_end = u64::MAX;
+        for r in 0..self.ends.len() {
+            let end = self.ends[r];
+            if end > t {
+                if w != r {
+                    self.ends[w] = end;
+                    self.user_slots[w] = self.user_slots[r];
+                    self.peers[w] = self.peers[r];
+                    self.full_demands[w] = self.full_demands[r];
+                    self.demands[w] = self.demands[r];
+                    self.preloads[w] = self.preloads[r];
+                    self.needs[w] = self.needs[r];
+                    self.budgets[w] = self.budgets[r];
+                }
+                min_end = min_end.min(end);
+                w += 1;
+            }
+        }
+        self.ends.truncate(w);
+        self.user_slots.truncate(w);
+        self.peers.truncate(w);
+        self.full_demands.truncate(w);
+        self.demands.truncate(w);
+        self.preloads.truncate(w);
+        self.needs.truncate(w);
+        self.budgets.truncate(w);
+        self.min_end = min_end;
+        true
     }
 }
 
@@ -408,6 +623,12 @@ struct SwarmOutput {
 
 /// One active session with its per-window quantities precomputed at join
 /// time (they are constant for the session's lifetime).
+///
+/// Test-only: the production window loop keeps these quantities as the
+/// parallel columns of [`ActiveSet`]; this row shape survives solely for the
+/// reference path ([`Simulator::run_store_rows`]) the SoA loop is
+/// property-tested against.
+#[cfg(test)]
 #[derive(Debug, Clone, Copy)]
 struct ActiveSession {
     end: SimTime,
@@ -424,6 +645,163 @@ struct ActiveSession {
     need: u64,
     /// Per-window upload budget (0 for non-participants).
     budget: u64,
+}
+
+#[cfg(test)]
+impl Simulator {
+    /// The pre-SoA row-based window loop, kept verbatim as the oracle for
+    /// property tests: materialises [`ActiveSession`] rows and rebuilds the
+    /// matcher's peer/need/budget inputs every window.
+    fn simulate_swarm_rows(
+        &self,
+        key: SwarmKey,
+        indices: &[u32],
+        store: &SessionStore,
+    ) -> SwarmOutput {
+        let dt = self.config.window_secs;
+        let starts_col = store.start_secs();
+        let durations_col = store.duration_secs();
+        let users_col = store.user();
+        let devices_col = store.device();
+        let isps_col = store.isp();
+        let locations_col = store.location();
+        let mut matcher = self
+            .config
+            .matcher
+            .build(swarm_seed(self.config.seed, &key));
+
+        let mut out = SwarmOutput::default();
+        let mut swarm_users: Vec<u32> = indices.iter().map(|&i| users_col[i as usize]).collect();
+        swarm_users.sort_unstable();
+        swarm_users.dedup();
+        let mut user_acc: Vec<(u64, u64)> = vec![(0, 0); swarm_users.len()];
+
+        let first_bitrate = devices_col[indices[0] as usize].bitrate_bps();
+        out.upload_ratio = self.config.upload.ratio_for(first_bitrate).min(1.0);
+
+        let preload_f = self.config.preload_fraction;
+        let cached = self
+            .config
+            .edge_cache
+            .is_some_and(|c| key.content.0 < c.top_items);
+
+        let mut active: Vec<ActiveSession> = Vec::new();
+        let mut cursor = store.cursor(indices);
+        let mut t = SimTime(align_up(starts_col[indices[0] as usize], dt));
+        let horizon = SimTime(store.horizon_secs());
+
+        let mut peers: Vec<Peer> = Vec::new();
+        let mut needs: Vec<u64> = Vec::new();
+        let mut budgets: Vec<u64> = Vec::new();
+        let mut outcome = MatchOutcome::default();
+
+        while t < horizon {
+            active.retain(|a| a.end > t);
+            cursor.admit_until(t.as_secs(), |i| {
+                let end = SimTime(starts_col[i] + u64::from(durations_col[i]));
+                if end > t {
+                    let bitrate = devices_col[i].bitrate_bps();
+                    let user = users_col[i];
+                    let full_demand = u64::from(bitrate) * dt / 8;
+                    let preload = (full_demand as f64 * preload_f) as u64;
+                    let demand = full_demand - preload;
+                    let nominal_budget = self.config.upload.budget_bytes(bitrate, dt);
+                    let budget = if participates(user, self.config.participation_rate) {
+                        nominal_budget
+                    } else {
+                        0
+                    };
+                    let user_slot = swarm_users
+                        .binary_search(&user)
+                        .expect("swarm_users indexes every session user")
+                        as u32;
+                    active.push(ActiveSession {
+                        end,
+                        user_slot,
+                        peer: Peer {
+                            isp: isps_col[i],
+                            location: locations_col[i],
+                        },
+                        full_demand,
+                        demand,
+                        preload,
+                        need: demand.min(nominal_budget),
+                        budget,
+                    });
+                }
+            });
+            if active.is_empty() {
+                let Some(next_start) = cursor.next_start_secs() else {
+                    break;
+                };
+                t = SimTime(align_up(next_start, dt).max(t.as_secs() + dt));
+                continue;
+            }
+
+            peers.clear();
+            needs.clear();
+            budgets.clear();
+            let mut preload_total = 0u64;
+            let mut swarm_demand = 0u64;
+            let mut ineligible = 0u64;
+            for (k, a) in active.iter().enumerate() {
+                preload_total += a.preload;
+                swarm_demand += a.demand;
+                ineligible += if k == 0 { a.demand } else { a.demand - a.need };
+                peers.push(a.peer);
+                needs.push(a.need);
+                budgets.push(a.budget);
+            }
+            matcher.match_window_into(&peers, &needs, &budgets, 0, &mut outcome);
+
+            let demand_total = swarm_demand + preload_total;
+            let fallback = ineligible + outcome.server_bytes;
+            let (server_total, cache_total, preload_srv, preload_cache) = if cached {
+                (0, fallback, 0, preload_total)
+            } else {
+                (fallback, 0, preload_total, 0)
+            };
+
+            let mut window_ledger = ByteLedger {
+                demand_bytes: demand_total,
+                server_bytes: server_total + preload_srv,
+                peer_bytes_by_layer: outcome.peer_bytes_by_layer,
+                cache_bytes: cache_total + preload_cache,
+                preload_bytes: 0,
+                active_windows: 1,
+                peer_windows: active.len() as u64,
+            };
+            if !cached {
+                window_ledger.server_bytes -= preload_srv;
+                window_ledger.preload_bytes = preload_srv;
+            }
+
+            for (k, a) in active.iter().enumerate() {
+                let acc = &mut user_acc[a.user_slot as usize];
+                acc.0 += a.full_demand;
+                acc.1 += outcome.per_peer[k].uploaded;
+            }
+
+            out.ledger.merge(&window_ledger);
+            let day = (t.as_secs() / consume_local_trace::time::SECS_PER_DAY) as u32;
+            match out.daily.last_mut() {
+                Some((d, ledger)) if *d == day => ledger.merge(&window_ledger),
+                _ => {
+                    out.daily.push((day, std::mem::take(&mut window_ledger)));
+                }
+            }
+
+            t = t + dt;
+        }
+
+        out.users = swarm_users
+            .into_iter()
+            .zip(user_acc)
+            .filter(|&(_, acc)| acc != (0, 0))
+            .map(|(u, (w, up))| (u, w, up))
+            .collect();
+        out
+    }
 }
 
 #[cfg(test)]
@@ -720,6 +1098,94 @@ mod tests {
             lo < mid && mid < hi,
             "offload must grow with participation: {lo} {mid} {hi}"
         );
+    }
+
+    #[test]
+    fn soa_active_set_matches_row_reference_on_generated_trace() {
+        // The columnar window loop against the retained row-based oracle on
+        // a real generated trace, across matchers and the config knobs that
+        // feed the active set (preload, participation, cache).
+        let trace = tiny_trace();
+        let store = SessionStore::from_trace(&trace);
+        let configs = [
+            SimConfig::default(),
+            SimConfig {
+                matcher: MatcherKind::Random,
+                ..Default::default()
+            },
+            SimConfig {
+                preload_fraction: 0.3,
+                participation_rate: 0.5,
+                edge_cache: Some(crate::config::EdgeCache { top_items: 2 }),
+                window_secs: 30,
+                ..Default::default()
+            },
+        ];
+        for cfg in configs {
+            let sim = Simulator::new(cfg);
+            assert_eq!(sim.run_store(&store), sim.run_store_rows(&store));
+        }
+    }
+
+    mod soa_properties {
+        use super::*;
+        use consume_local_topology::IspTopology;
+        use proptest::prelude::*;
+
+        /// Random session records over a tiny world: 40 users across 2
+        /// ISPs / 8 exchanges, 6 items, a 2-day horizon, devices drawn from
+        /// the real mix. Small enough that swarms overlap heavily, large
+        /// enough to exercise admit/retire churn and the idle-gap jump.
+        fn records_strategy() -> impl Strategy<Value = Vec<SessionRecord>> {
+            let record = (
+                0u32..40,         // user
+                0u32..6,          // content
+                0u64..2 * 86_400, // start
+                60u32..5_000,     // duration
+                0usize..5,        // device (MIX index)
+                0u8..2,           // isp
+                0u32..8,          // exchange
+            )
+                .prop_map(|(user, content, start, duration, device, isp, exchange)| {
+                    let topo = IspTopology::new(8, 2).unwrap();
+                    SessionRecord {
+                        user: UserId(user),
+                        content: ContentId(content),
+                        start: SimTime(start),
+                        duration_secs: duration,
+                        device: DeviceClass::MIX[device].0,
+                        isp: IspId(isp),
+                        location: topo.location_of(ExchangeId(exchange)),
+                    }
+                });
+            proptest::collection::vec(record, 1..60)
+        }
+
+        proptest! {
+            #[test]
+            fn prop_soa_and_row_paths_agree(
+                records in records_strategy(),
+                matcher_pick in 0u8..2,
+                window_secs in 5u64..600,
+                participation_pct in 30u64..=100,
+            ) {
+                let store = SessionStore::from_records(&records, 2 * 86_400, 40);
+                let cfg = SimConfig {
+                    matcher: if matcher_pick == 1 {
+                        MatcherKind::Random
+                    } else {
+                        MatcherKind::Hierarchical
+                    },
+                    window_secs,
+                    participation_rate: participation_pct as f64 / 100.0,
+                    ..Default::default()
+                };
+                let sim = Simulator::new(cfg);
+                let soa = sim.run_store(&store);
+                let rows = sim.run_store_rows(&store);
+                prop_assert_eq!(soa, rows);
+            }
+        }
     }
 
     #[test]

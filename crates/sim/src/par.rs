@@ -4,9 +4,11 @@
 //! [`consume_local_stats::par`] so the trace generator can fan per-item
 //! session synthesis across the same primitive the engine and the sweep
 //! runner use; this module keeps the historical `consume_local_sim::par`
-//! path working.
+//! path working. [`parallel_map_slices`] — the disjoint-slice variant the
+//! trace merge fans its hour buckets over — rides along for engine-side
+//! callers that shard one mutable buffer instead of an index range.
 
-pub use consume_local_stats::par::parallel_map;
+pub use consume_local_stats::par::{parallel_map, parallel_map_slices};
 
 #[cfg(test)]
 mod tests {
@@ -18,5 +20,16 @@ mod tests {
         for workers in [1, 3, 16] {
             assert_eq!(parallel_map(64, workers, |i| i + 1), expected);
         }
+    }
+
+    #[test]
+    fn slice_reexport_is_the_shared_primitive() {
+        let mut data: Vec<u32> = (0..32).collect();
+        let sums = parallel_map_slices(&mut data, &[0, 16, 32], 2, |_, chunk| {
+            chunk.iter_mut().for_each(|v| *v += 1);
+            chunk.iter().map(|&v| u64::from(v)).sum::<u64>()
+        });
+        assert_eq!(sums, vec![136, 392]);
+        assert_eq!(data, (1..=32).collect::<Vec<u32>>());
     }
 }

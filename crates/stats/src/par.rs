@@ -1,4 +1,5 @@
-//! Slot-ordered parallel mapping over an index range.
+//! Slot-ordered parallel mapping over an index range — and over disjoint
+//! mutable sub-slices of one buffer.
 //!
 //! The one concurrency idiom the workspace uses: fan `0..n` out across
 //! scoped worker threads with an atomic work-stealing cursor, and place each
@@ -6,11 +7,20 @@
 //! which is what makes the trace generator, the simulation engine and the
 //! sweep runner deterministic for any worker count.
 //!
-//! The primitive lives here, at the bottom of the crate graph, so every
-//! layer above (`trace`, `sim`, `core`) can share it;
-//! `consume_local_sim::par` re-exports it under its historical path.
+//! [`parallel_map`] covers read-only fan-out (each task produces a value);
+//! [`parallel_map_slices`] covers in-place fan-out: one shared buffer is
+//! split into caller-described non-overlapping chunks, and each worker
+//! mutates the chunks it steals through an exclusive `&mut [T]`. Both are
+//! `unsafe`-free (the crate forbids `unsafe_code`): the disjointness that
+//! slice-parallel libraries prove with raw pointers falls out of iterated
+//! `split_at_mut`.
+//!
+//! The primitives live here, at the bottom of the crate graph, so every
+//! layer above (`trace`, `sim`, `core`) can share them;
+//! `consume_local_sim::par` re-exports both under its historical path.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Maps `0..n` through `f` across at most `workers` scoped threads.
 ///
@@ -63,6 +73,118 @@ pub fn parallel_map<T: Send, F: Fn(usize) -> T + Sync>(n: usize, workers: usize,
         .collect()
 }
 
+/// Maps the disjoint chunks of `data` described by `offsets` through `f`
+/// across at most `workers` scoped threads, mutating each chunk in place.
+///
+/// Chunk `i` is `data[offsets[i]..offsets[i + 1]]`, so `offsets` must be
+/// ascending with its last entry at most `data.len()` — exactly the
+/// bucket-boundary arrays a counting sort produces. Chunks may be empty, and
+/// a non-zero first offset leaves a leading prefix (like a trailing suffix
+/// beyond the last offset) untouched.
+///
+/// Results come back chunk-ordered (slot `i` holds `f`'s value for chunk
+/// `i`), and because the chunks never overlap, the final state of `data` is
+/// the same for every worker count and schedule: deterministic parallel
+/// mutation without a single `unsafe` block. Workers steal chunk indices
+/// from an atomic cursor and take the matching `&mut [T]` out of a
+/// mutex-guarded slot vector — the lock is held only for the `take`, so it
+/// costs one uncontended lock per *chunk*, not per element; chunks should
+/// be coarse (the trace merge's hour buckets are thousands of records).
+///
+/// With one worker (or one chunk) no thread is spawned and `f` runs inline,
+/// so serial callers pay nothing for routing through the shared primitive.
+///
+/// # Panics
+///
+/// Panics if `offsets` is not ascending or overruns `data`, and propagates
+/// a panic from `f`.
+pub fn parallel_map_slices<T, R, F>(
+    data: &mut [T],
+    offsets: &[usize],
+    workers: usize,
+    f: F,
+) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, &mut [T]) -> R + Sync,
+{
+    assert!(
+        offsets.windows(2).all(|w| w[0] <= w[1]),
+        "chunk offsets must be ascending"
+    );
+    let n = offsets.len().saturating_sub(1);
+    if n == 0 {
+        return Vec::new();
+    }
+    assert!(
+        offsets[n] <= data.len(),
+        "chunk offsets overrun the buffer: {} > {}",
+        offsets[n],
+        data.len()
+    );
+    let workers = workers.max(1).min(n);
+    if workers == 1 {
+        return (0..n)
+            .map(|i| f(i, &mut data[offsets[i]..offsets[i + 1]]))
+            .collect();
+    }
+
+    // Carve the buffer into exclusive chunks up front; `split_at_mut` is the
+    // whole disjointness proof.
+    let mut chunks: Vec<Option<&mut [T]>> = Vec::with_capacity(n);
+    let mut rest: &mut [T] = data;
+    let mut consumed = 0usize;
+    for i in 0..n {
+        let tail = std::mem::take(&mut rest);
+        let (_, tail) = tail.split_at_mut(offsets[i] - consumed);
+        let (chunk, tail) = tail.split_at_mut(offsets[i + 1] - offsets[i]);
+        rest = tail;
+        consumed = offsets[i + 1];
+        chunks.push(Some(chunk));
+    }
+
+    let queue = Mutex::new(chunks);
+    let next = AtomicUsize::new(0);
+    let buffers: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        let chunk = queue
+                            .lock()
+                            .expect("a panicking worker propagates before poisoning matters")[i]
+                            .take()
+                            .expect("each chunk is stolen exactly once");
+                        local.push((i, f(i, chunk)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join()
+                    .unwrap_or_else(|payload| std::panic::resume_unwind(payload))
+            })
+            .collect()
+    });
+    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    for (i, value) in buffers.into_iter().flatten() {
+        slots[i] = Some(value);
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every chunk mapped"))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -91,5 +213,72 @@ mod tests {
             i * 3
         });
         assert_eq!(out, (0..16).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn slices_mutate_in_place_identically_for_any_worker_count() {
+        let offsets = [0usize, 3, 3, 10, 64, 100];
+        let reference: Vec<u64> = {
+            let mut data: Vec<u64> = (0..100).collect();
+            for w in offsets.windows(2) {
+                for (k, v) in data[w[0]..w[1]].iter_mut().enumerate() {
+                    *v = *v * 7 + k as u64;
+                }
+            }
+            data
+        };
+        for workers in [1, 2, 8, 500] {
+            let mut data: Vec<u64> = (0..100).collect();
+            let lens = parallel_map_slices(&mut data, &offsets, workers, |i, chunk| {
+                for (k, v) in chunk.iter_mut().enumerate() {
+                    *v = *v * 7 + k as u64;
+                }
+                (i, chunk.len())
+            });
+            assert_eq!(data, reference, "{workers} workers");
+            assert_eq!(
+                lens,
+                vec![(0, 3), (1, 0), (2, 7), (3, 54), (4, 36)],
+                "{workers} workers"
+            );
+        }
+    }
+
+    #[test]
+    fn slices_leave_uncovered_prefix_and_suffix_untouched() {
+        let mut data = [1u32; 12];
+        // Chunks cover only [2, 9): leading and trailing cells must survive.
+        let out = parallel_map_slices(&mut data, &[2, 5, 9], 4, |_, chunk| {
+            chunk.iter_mut().for_each(|v| *v = 0);
+            chunk.len()
+        });
+        assert_eq!(out, vec![3, 4]);
+        assert_eq!(data, [1, 1, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1]);
+    }
+
+    #[test]
+    fn slices_empty_and_degenerate_offsets() {
+        let mut data = [5u8; 4];
+        let none: Vec<()> = parallel_map_slices(&mut data, &[], 4, |_, _| ());
+        assert!(none.is_empty());
+        let one: Vec<usize> = parallel_map_slices(&mut data, &[4], 4, |_, c| c.len());
+        assert!(one.is_empty(), "a single offset describes zero chunks");
+        let all_empty = parallel_map_slices(&mut data, &[2, 2, 2], 4, |_, c| c.len());
+        assert_eq!(all_empty, vec![0, 0]);
+        assert_eq!(data, [5; 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending")]
+    fn slices_reject_descending_offsets() {
+        let mut data = [0u8; 4];
+        let _ = parallel_map_slices(&mut data, &[3, 1], 2, |_, _| ());
+    }
+
+    #[test]
+    #[should_panic(expected = "overrun")]
+    fn slices_reject_overrunning_offsets() {
+        let mut data = [0u8; 4];
+        let _ = parallel_map_slices(&mut data, &[0, 9], 2, |_, _| ());
     }
 }

@@ -116,6 +116,49 @@ pub trait Matcher {
         out: &mut MatchOutcome,
     );
 
+    /// Like [`Matcher::match_window_into`], with a caller-supplied hint that
+    /// `peers` is the **same sequence** (same peers, same order, same
+    /// `fetcher`) as this matcher's previous window. Needs and budgets may
+    /// still differ — only *peer-derived* scratch (e.g. locality grouping)
+    /// may be reused, so the outcome must be identical to the unhinted call.
+    ///
+    /// The engine's columnar window loop knows exactly when its active set
+    /// changed (admissions/retirements drive its cached totals), which is
+    /// what makes this hint free to produce; the default implementation
+    /// ignores it.
+    ///
+    /// # Panics
+    ///
+    /// As [`Matcher::match_window_into`].
+    fn match_window_into_hinted(
+        &mut self,
+        peers: &[Peer],
+        needs: &[u64],
+        budgets: &[u64],
+        fetcher: usize,
+        peers_unchanged: bool,
+        out: &mut MatchOutcome,
+    ) {
+        let _ = peers_unchanged;
+        self.match_window_into(peers, needs, budgets, fetcher, out);
+    }
+
+    /// Advances per-window matcher state past `count` consecutive
+    /// **single-peer** windows without matching them.
+    ///
+    /// A lone peer is its window's fetcher, so such a window can produce no
+    /// transfers and a trivial outcome — engines account runs of them in
+    /// bulk (they dominate tail swarms) and call this instead of `count`
+    /// single-peer [`Matcher::match_window_into`] calls. Implementations
+    /// must leave any window-indexed state (upload rotation, RNG
+    /// consumption) **exactly** where those `count` calls would have: the
+    /// default no-op is correct for matchers whose single-peer windows touch
+    /// no state (e.g. [`RandomMatcher`], whose length-≤1 shuffles draw
+    /// nothing); [`HierarchicalMatcher`] advances its rotation counter.
+    fn note_solo_windows(&mut self, count: u64) {
+        let _ = count;
+    }
+
     /// Matches one window, returning a fresh outcome (convenience wrapper
     /// over [`Matcher::match_window_into`]).
     ///
@@ -184,11 +227,25 @@ pub fn uniform_window(n: usize, demand: u64, budget: u64) -> (Vec<u64>, Vec<u64>
 /// order and the working need/budget vectors are scratch buffers owned by
 /// the matcher, so a window performs no allocation once they have grown to
 /// the swarm's peak peer count.
+///
+/// The keys and their sorted order depend only on the *peer sequence*, not
+/// on needs or budgets, so when the caller passes the peers-unchanged hint
+/// ([`Matcher::match_window_into_hinted`]) the matcher reuses the previous
+/// window's grouping outright — in a stable swarm the per-window
+/// `O(L log L)` sort disappears and only the linear drain remains.
 #[derive(Debug, Clone, Default)]
 pub struct HierarchicalMatcher {
     windows_matched: u64,
     keys: Vec<u128>,
+    /// Peer indices sorted by `keys` — reusable across windows with an
+    /// unchanged peer sequence.
     order: Vec<u32>,
+    /// Identity order for the core pass (kept separate so the sorted
+    /// `order` survives the window).
+    core_order: Vec<u32>,
+    /// Whether `keys`/`order` describe the previous call's peer sequence
+    /// (they never do before the first call).
+    grouping_built: bool,
     work: WorkBuffers,
 }
 
@@ -218,20 +275,38 @@ impl Matcher for HierarchicalMatcher {
         fetcher: usize,
         out: &mut MatchOutcome,
     ) {
+        self.match_window_into_hinted(peers, needs, budgets, fetcher, false, out);
+    }
+
+    fn match_window_into_hinted(
+        &mut self,
+        peers: &[Peer],
+        needs: &[u64],
+        budgets: &[u64],
+        fetcher: usize,
+        peers_unchanged: bool,
+        out: &mut MatchOutcome,
+    ) {
         validate_inputs(peers, needs, budgets, fetcher);
         let n = peers.len();
         let rotation = self.windows_matched as usize;
         self.windows_matched += 1;
         let mut state = MatchState::begin(&mut self.work, needs, budgets, fetcher, rotation, out);
 
-        // One sort serves both locality passes (see the type-level docs).
-        self.keys.clear();
-        self.keys
-            .extend(peers.iter().enumerate().map(|(i, p)| bucket_key(p, i)));
-        self.order.clear();
-        self.order.extend(0..n as u32);
+        // One sort serves both locality passes (see the type-level docs) —
+        // and both keys and order depend only on the peer sequence, so a
+        // truthful peers-unchanged hint reuses last window's sort verbatim.
+        if !(peers_unchanged && self.grouping_built && self.keys.len() == n) {
+            self.keys.clear();
+            self.keys
+                .extend(peers.iter().enumerate().map(|(i, p)| bucket_key(p, i)));
+            self.order.clear();
+            self.order.extend(0..n as u32);
+            let keys = &self.keys;
+            self.order.sort_unstable_by_key(|&i| keys[i as usize]);
+            self.grouping_built = true;
+        }
         let keys = &self.keys;
-        self.order.sort_unstable_by_key(|&i| keys[i as usize]);
 
         // Pass 1: within exchange points — runs of equal (isp, pop, exchange).
         state.drain_runs(&self.order, keys, 32, Layer::ExchangePoint);
@@ -243,12 +318,19 @@ impl Matcher for HierarchicalMatcher {
 
         // Pass 3: anywhere (core), in peer-index order.
         if !state.done() {
-            self.order.clear();
-            self.order.extend(0..n as u32);
-            state.drain_one_group(&self.order, Layer::Core);
+            self.core_order.clear();
+            self.core_order.extend(0..n as u32);
+            state.drain_one_group(&self.core_order, Layer::Core);
         }
 
         state.finish();
+    }
+
+    fn note_solo_windows(&mut self, count: u64) {
+        // The rotation is the only per-window state; a single-peer window's
+        // drains never read it (no group reaches two members), so advancing
+        // the counter is all `count` real calls would have done.
+        self.windows_matched += count;
     }
 }
 
@@ -712,6 +794,81 @@ mod tests {
         let out = HierarchicalMatcher::new().match_window(&peers, &needs, &budgets, 0);
         assert_eq!(out.peer_bytes(), (peers.len() as u64 - 1) * 100);
         assert_eq!(out.server_bytes, 0);
+    }
+
+    #[test]
+    fn truthful_hint_is_byte_identical_across_windows() {
+        // Same peer sequence across many windows with varying needs/budgets:
+        // the hinted matcher (reused grouping) must replay exactly what a
+        // fresh-sorting twin produces, window by window, including the
+        // rotation state.
+        let peers = quad();
+        let mut hinted = HierarchicalMatcher::new();
+        let mut unhinted = HierarchicalMatcher::new();
+        for w in 0..50u64 {
+            let needs = vec![0, 300 + w * 7, 900 - w * 3, 500];
+            let budgets = vec![400, w * 11 % 600, 250, 800];
+            let mut a = MatchOutcome::default();
+            let mut b = MatchOutcome::default();
+            hinted.match_window_into_hinted(&peers, &needs, &budgets, 0, w > 0, &mut a);
+            unhinted.match_window_into(&peers, &needs, &budgets, 0, &mut b);
+            assert_eq!(a, b, "window {w}");
+        }
+        // A membership change (hint goes false) re-sorts and stays correct.
+        let grown: Vec<Peer> = peers.iter().copied().chain([peer(1, 3)]).collect();
+        let (needs, budgets) = uniform_window(5, 1000, 1000);
+        let mut a = MatchOutcome::default();
+        let mut b = MatchOutcome::default();
+        hinted.match_window_into_hinted(&grown, &needs, &budgets, 0, false, &mut a);
+        unhinted.match_window_into(&grown, &needs, &budgets, 0, &mut b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn note_solo_windows_matches_real_single_peer_calls() {
+        // Interleave multi-peer windows with runs of single-peer windows:
+        // taking the bulk path for the solo runs must leave both matchers in
+        // exactly the state the one-by-one path produces (rotation for the
+        // hierarchical matcher, RNG position for the random one).
+        let peers = quad();
+        let solo = vec![peer(0, 0)];
+        let (needs, budgets) = uniform_window(4, 1000, 400);
+        let (solo_needs, solo_budgets) = uniform_window(1, 1000, 400);
+        for kind in [MatcherKind::Hierarchical, MatcherKind::Random] {
+            let mut bulk = kind.build(17);
+            let mut stepped = kind.build(17);
+            for round in 0..4u64 {
+                let k = round * 3 + 1;
+                bulk.note_solo_windows(k);
+                for _ in 0..k {
+                    let out = stepped.match_window(&solo, &solo_needs, &solo_budgets, 0);
+                    assert_eq!(out.peer_bytes(), 0, "{kind:?}: solo windows cannot match");
+                    assert_eq!(out.server_bytes, 0);
+                }
+                assert_eq!(
+                    bulk.match_window(&peers, &needs, &budgets, 0),
+                    stepped.match_window(&peers, &needs, &budgets, 0),
+                    "{kind:?}: divergence after {k} bulk solo windows"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn default_hint_implementation_ignores_the_hint() {
+        // RandomMatcher takes the trait default: a (vacuously untruthful)
+        // hint must not change behaviour vs the unhinted entry point.
+        let peers = quad();
+        let (needs, budgets) = uniform_window(4, 1000, 700);
+        let mut a_m = RandomMatcher::new(5);
+        let mut b_m = RandomMatcher::new(5);
+        for w in 0..10 {
+            let mut a = MatchOutcome::default();
+            let mut b = MatchOutcome::default();
+            a_m.match_window_into_hinted(&peers, &needs, &budgets, 0, w > 0, &mut a);
+            b_m.match_window_into(&peers, &needs, &budgets, 0, &mut b);
+            assert_eq!(a, b, "window {w}");
+        }
     }
 
     #[test]

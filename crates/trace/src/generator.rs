@@ -7,7 +7,7 @@ use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 use consume_local_stats::dist::{Categorical, Distribution, LogNormal, Poisson, TabulatedQuantile};
-use consume_local_stats::par::parallel_map;
+use consume_local_stats::par::{parallel_map, parallel_map_slices};
 use consume_local_stats::rng::SeedDerive;
 use consume_local_topology::IspRegistry;
 
@@ -299,7 +299,19 @@ fn session_sort_key(s: &SessionRecord) -> u128 {
 /// then sorts independently. Sorting ~720 L1-resident hour slices beats one
 /// global sort of the scrambled concatenation — the start column only
 /// interleaves *within* an hour, never across hours.
-fn merge_sorted(per_item: &[Vec<SessionRecord>]) -> Vec<SessionRecord> {
+///
+/// The per-bucket sorts fan out across up to `workers` threads over the
+/// disjoint bucket slices
+/// ([`parallel_map_slices`](consume_local_stats::par::parallel_map_slices)):
+/// every bucket sorts to the same bytes no matter which worker picks it up,
+/// so the merged trace is **byte-identical for any worker count** (the
+/// counting and scatter passes stay serial — they are cheap, order-defining
+/// passes). This is the merge phase of [`TraceGenerator::generate`]; it is
+/// public so benchmarks and custom pipelines can drive it directly.
+pub fn merge_session_batches(
+    per_item: &[Vec<SessionRecord>],
+    workers: usize,
+) -> Vec<SessionRecord> {
     let total: usize = per_item.iter().map(Vec::len).sum();
     let Some(&fill) = per_item.iter().find_map(|batch| batch.first()) else {
         return Vec::new();
@@ -348,29 +360,55 @@ fn merge_sorted(per_item: &[Vec<SessionRecord>]) -> Vec<SessionRecord> {
     let compact = sessions
         .iter()
         .all(|s| s.start.as_secs() < (1 << 22) && s.user.0 < (1 << 22) && s.content.0 < (1 << 15));
-    let mut keys: Vec<(u64, u32)> = Vec::new();
-    let mut scratch: Vec<SessionRecord> = Vec::new();
-    for w in offsets.windows(2) {
-        let slice = &mut sessions[w[0]..w[1]];
-        if slice.len() < 2 {
-            continue;
-        }
-        if !compact {
-            slice.sort_unstable_by_key(session_sort_key);
-            continue;
-        }
-        keys.clear();
-        keys.extend(slice.iter().enumerate().map(|(i, s)| {
+    if !compact {
+        note_wide_sort_fallback();
+    }
+    parallel_map_slices(&mut sessions, &offsets, workers, |_, slice| {
+        sort_bucket(slice, compact);
+    });
+    sessions
+}
+
+/// Sorts one hour bucket into canonical order — via the compact 59-bit
+/// key/index pairs when the scenario fits the bounds, via the plain record
+/// sort otherwise. Scratch is bucket-local, so buckets sort independently
+/// on any thread.
+fn sort_bucket(slice: &mut [SessionRecord], compact: bool) {
+    if slice.len() < 2 {
+        return;
+    }
+    if !compact {
+        slice.sort_unstable_by_key(session_sort_key);
+        return;
+    }
+    let mut keys: Vec<(u64, u32)> = slice
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
             let key =
                 (s.start.as_secs() << 37) | (u64::from(s.user.0) << 15) | u64::from(s.content.0);
             (key, i as u32)
-        }));
-        keys.sort_unstable();
-        scratch.clear();
-        scratch.extend(keys.iter().map(|&(_, i)| slice[i as usize]));
-        slice.copy_from_slice(&scratch);
-    }
-    sessions
+        })
+        .collect();
+    keys.sort_unstable();
+    let scratch: Vec<SessionRecord> = keys.iter().map(|&(_, i)| slice[i as usize]).collect();
+    slice.copy_from_slice(&scratch);
+}
+
+/// Notes (once per process) that a scenario exceeded the compact sort-key
+/// bounds — 2²² s ≈ 48.5-day horizons, 2²² ≈ 4.19 M users, 2¹⁵ = 32 K items
+/// — and the merge fell back to the slower wide record sort. The fallback is
+/// correct (pinned by `wide_sort_fallback_identical_at_every_bound`), just
+/// slower; the note stops the silent perf cliff from going unnoticed.
+fn note_wide_sort_fallback() {
+    static NOTE: std::sync::Once = std::sync::Once::new();
+    NOTE.call_once(|| {
+        eprintln!(
+            "note: trace exceeds the compact sort-key bounds \
+             (< 2^22 start secs / 2^22 users / 2^15 items); \
+             merging via the wide record sort (identical output, slower)"
+        );
+    });
 }
 
 /// The generator: a [`TraceConfig`] plus a master seed.
@@ -511,7 +549,7 @@ impl TraceGenerator {
         let per_item: Vec<Vec<SessionRecord>> = parallel_map(items.len(), self.workers, |i| {
             self.synthesise_item(&items[i], &catalogue, &population, &samplers)
         });
-        let sessions = merge_sorted(&per_item);
+        let sessions = merge_session_batches(&per_item, self.workers);
         Ok(Trace {
             config: self.config.clone(),
             catalogue,
@@ -784,6 +822,102 @@ mod tests {
     fn error_display() {
         let err = TraceConfig::london_sep2013().scaled(2.0).unwrap_err();
         assert!(err.to_string().contains("scale"));
+    }
+
+    #[test]
+    fn merge_matches_global_sort_for_any_worker_count() {
+        let trace = small_trace();
+        // Group the trace's sessions into per-item batches — the same shape
+        // the per-item synthesis emits (batch order must not matter beyond
+        // tie-breaking, which the canonical key removes).
+        let items = trace.catalogue().len();
+        let mut per_item: Vec<Vec<SessionRecord>> = vec![Vec::new(); items];
+        for s in trace.sessions() {
+            per_item[s.content.0 as usize].push(*s);
+        }
+        let mut expected = trace.sessions().to_vec();
+        sort_sessions(&mut expected);
+        for workers in [1, 2, 8] {
+            assert_eq!(
+                merge_session_batches(&per_item, workers),
+                expected,
+                "{workers} merge workers"
+            );
+        }
+    }
+
+    /// A record straddling one compact-key bound (start < 2²² s,
+    /// user < 2²², content < 2¹⁵).
+    fn bound_record(start: u64, user: u32, content: u32, duration: u32) -> SessionRecord {
+        use consume_local_topology::{ExchangeId, IspId, IspTopology};
+
+        use crate::content::ContentId;
+        SessionRecord {
+            user: UserId(user),
+            content: ContentId(content),
+            start: SimTime(start),
+            duration_secs: duration,
+            device: DeviceClass::Desktop,
+            isp: IspId(0),
+            location: IspTopology::london_table3()
+                .unwrap()
+                .location_of(ExchangeId(0)),
+        }
+    }
+
+    #[test]
+    fn wide_sort_fallback_identical_at_every_bound() {
+        // One batch per exceeded bound: start seconds, user id, content id.
+        // Each case pushes exactly one field past the 59-bit compact-key
+        // range, forcing the wide record sort; the merged order must be
+        // byte-identical to the canonical global sort either way.
+        let over_start = (1u64 << 22) + 17; // > 48.5-day horizon
+        let cases: Vec<(&str, Vec<SessionRecord>)> = vec![
+            (
+                "within bounds",
+                vec![
+                    bound_record((1 << 22) - 1, (1 << 22) - 1, (1 << 15) - 1, 90),
+                    bound_record(3, 7, 1, 60),
+                    bound_record(3, 7, 0, 61),
+                    bound_record(3, 6, 2, 62),
+                ],
+            ),
+            (
+                "start exceeds 2^22 s",
+                vec![
+                    bound_record(over_start, 1, 1, 60),
+                    bound_record(over_start, 0, 2, 60),
+                    bound_record(5, 2, 0, 60),
+                ],
+            ),
+            (
+                "user exceeds 2^22",
+                vec![
+                    bound_record(10, 1 << 22, 1, 60),
+                    bound_record(10, (1 << 22) + 3, 0, 60),
+                    bound_record(10, 4, 2, 60),
+                ],
+            ),
+            (
+                "content exceeds 2^15",
+                vec![
+                    bound_record(44, 9, 1 << 15, 60),
+                    bound_record(44, 9, (1 << 15) + 2, 60),
+                    bound_record(44, 2, 3, 60),
+                ],
+            ),
+        ];
+        for (name, records) in cases {
+            let mut expected = records.clone();
+            sort_sessions(&mut expected);
+            for workers in [1, 4] {
+                // Split the records across two batches to exercise the
+                // scatter too.
+                let (a, b) = records.split_at(records.len() / 2);
+                let merged = merge_session_batches(&[a.to_vec(), b.to_vec()], workers);
+                assert_eq!(merged, expected, "{name}, {workers} workers");
+            }
+        }
     }
 
     #[test]

@@ -62,7 +62,9 @@ pub mod store;
 pub mod time;
 
 pub use content::{Catalogue, ContentId, ContentItem};
-pub use generator::{ScalePreset, Trace, TraceConfig, TraceError, TraceGenerator};
+pub use generator::{
+    merge_session_batches, ScalePreset, Trace, TraceConfig, TraceError, TraceGenerator,
+};
 pub use popularity::Popularity;
 pub use population::{Population, UserId};
 pub use session::SessionRecord;

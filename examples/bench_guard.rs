@@ -1,164 +1,124 @@
 //! Benchmark-regression guard for the perf trajectory records.
 //!
-//! Compares a freshly regenerated `BENCH_*.json` against the committed
-//! baseline copy and exits non-zero when any matching wall-time regressed
-//! beyond the tolerance — CI's `bench-quick` job runs this after rewriting
-//! `BENCH_3.json` in quick mode.
+//! Compares a freshly regenerated `BENCH_*.json` against a baseline record
+//! and exits non-zero when any matching wall-time regressed beyond the
+//! tolerance — CI's `bench-quick` job runs this after rewriting the records
+//! in quick mode. The comparison semantics live in
+//! [`consume_local::benchguard`] (unit-tested there); this binary is the
+//! argument parsing and I/O around them.
 //!
 //! ```text
 //! cargo run --release --example bench_guard -- \
-//!     baseline=/tmp/BENCH_3.baseline.json fresh=BENCH_3.json max-regress=0.25
+//!     baseline=/tmp/BENCH_4.baseline.json fresh=BENCH_4.json max-regress=0.25
 //! ```
 //!
-//! The committed baseline and the fresh run usually come from different
-//! machines (developer workstation vs CI runner), so raw wall-time ratios
-//! conflate machine speed with code regressions. The guard therefore
-//! normalises by the **minimum** fresh/baseline ratio across all compared
-//! entries, floored at 1 — the least-regressed entry estimates the pure
-//! machine-speed difference, and only entries regressing more than
-//! `max-regress` *beyond that factor* fail the gate (a uniform slowdown
-//! passes; one path regressing relative to the others does not, and an
-//! improvement in one section never flags the rest). Pass `no-normalize=1`
-//! for a strict same-machine absolute comparison.
-//!
-//! Wall-times are matched by path: section names, then the
-//! `workers`/`threads` label of a `runs[]` entry (stable under reordering),
-//! falling back to the array index for unlabeled arrays. Values below 2 ms
-//! are skipped (timer noise dominates), as are fields missing from either
-//! file (layout changes should not hard-fail history comparisons).
+//! **Baseline selection.** When `CL_BENCH_PREV=<path>` names a readable
+//! record — CI passes the previous successful run's uploaded artifact — the
+//! guard compares **run-over-run** against it with strict absolute ratios
+//! (`Normalisation::None`): the previous run came from the same runner
+//! class, so no machine correction applies, and a runner whose *shape*
+//! differs from the committed record's machine (e.g. fewer cores slowing
+//! only the high-`workers` entries) can no longer false-positive. Without
+//! `CL_BENCH_PREV` the guard falls back to the committed record named by
+//! `baseline=` and applies the min-ratio machine-factor normalisation
+//! (cross-machine mode; see the library docs for both modes' semantics).
+//! Pass `no-normalize=1` to force strict ratios against the committed
+//! record too (same-machine comparisons).
 
+use consume_local::benchguard::{compare, Comparison, Normalisation};
 use consume_local::export::json::JsonValue;
-
-/// Recursively collects `(path, wall_ms)` pairs. Array entries are labelled
-/// by their `workers`/`threads` field when present (so reordering runs never
-/// mismatches), by array position otherwise.
-fn collect_walls(
-    value: &JsonValue,
-    path: &str,
-    index_label: Option<usize>,
-    out: &mut Vec<(String, f64)>,
-) {
-    match value {
-        JsonValue::Obj(fields) => {
-            let label = ["workers", "threads"]
-                .iter()
-                .find_map(|k| value.get(k).and_then(JsonValue::as_f64))
-                .map(|l| format!("{l}"))
-                .or(index_label.map(|i| format!("i{i}")));
-            for (name, child) in fields {
-                if name == "wall_ms" {
-                    if let Some(ms) = child.as_f64() {
-                        let key = match &label {
-                            Some(l) => format!("{path}@{l}"),
-                            None => format!("{path}/wall_ms"),
-                        };
-                        out.push((key, ms));
-                    }
-                } else {
-                    collect_walls(child, &format!("{path}/{name}"), None, out);
-                }
-            }
-        }
-        JsonValue::Arr(items) => {
-            for (i, item) in items.iter().enumerate() {
-                collect_walls(item, path, Some(i), out);
-            }
-        }
-        _ => {}
-    }
-}
 
 fn arg(args: &[String], key: &str) -> Option<String> {
     args.iter()
         .find_map(|a| a.strip_prefix(&format!("{key}=")).map(str::to_string))
 }
 
+fn load(path: &str) -> Result<JsonValue, Box<dyn std::error::Error>> {
+    Ok(JsonValue::parse(&std::fs::read_to_string(path)?).map_err(|e| format!("{path}: {e}"))?)
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let baseline_path = arg(&args, "baseline").ok_or("missing baseline=<path>")?;
+    let committed_path = arg(&args, "baseline").ok_or("missing baseline=<path>")?;
     let fresh_path = arg(&args, "fresh").ok_or("missing fresh=<path>")?;
     let max_regress: f64 = arg(&args, "max-regress")
         .as_deref()
         .unwrap_or("0.25")
         .parse()?;
-    let normalize = arg(&args, "no-normalize").is_none();
-    const MIN_COMPARABLE_MS: f64 = 2.0;
 
-    let baseline = JsonValue::parse(&std::fs::read_to_string(&baseline_path)?)
-        .map_err(|e| format!("{baseline_path}: {e}"))?;
-    let fresh = JsonValue::parse(&std::fs::read_to_string(&fresh_path)?)
-        .map_err(|e| format!("{fresh_path}: {e}"))?;
-
-    let mut baseline_walls = Vec::new();
-    collect_walls(&baseline, "", None, &mut baseline_walls);
-    let mut fresh_walls = Vec::new();
-    collect_walls(&fresh, "", None, &mut fresh_walls);
-
-    // Pair up the comparable entries.
-    let mut pairs: Vec<(&String, f64)> = Vec::new();
-    for (path, base_ms) in &baseline_walls {
-        let Some((_, fresh_ms)) = fresh_walls.iter().find(|(p, _)| p == path) else {
-            println!("skip {path}: absent from {fresh_path}");
-            continue;
-        };
-        if *base_ms < MIN_COMPARABLE_MS {
-            println!("skip {path}: {base_ms:.2} ms baseline is below the noise floor");
-            continue;
+    // Run-over-run when the previous CI artifact is available (an
+    // unreadable/corrupt artifact falls back rather than failing: the first
+    // run of a new workflow has no previous artifact to download).
+    let prev = std::env::var("CL_BENCH_PREV")
+        .ok()
+        .and_then(|p| match load(&p) {
+            Ok(doc) => Some((p, doc)),
+            Err(e) => {
+                eprintln!("CL_BENCH_PREV unusable ({e}); falling back to {committed_path}");
+                None
+            }
+        });
+    let (baseline_path, baseline, normalisation) = match prev {
+        Some((path, doc)) => {
+            println!("run-over-run mode: baseline {path} (strict ratios)");
+            (path, doc, Normalisation::None)
         }
-        pairs.push((path, fresh_ms / base_ms));
-    }
-    if pairs.is_empty() {
-        return Err("no comparable wall-times found — wrong file pair?".into());
-    }
-
-    // The machine-speed factor: the least-regressed entry, floored at 1 —
-    // a uniformly *slower* machine relaxes the gate, but a genuine
-    // improvement in one section (ratio < 1) must never make unchanged
-    // sections look relatively regressed. With a single comparable entry
-    // there is nothing to normalise against.
-    let machine_factor = if normalize && pairs.len() > 1 {
-        pairs
-            .iter()
-            .map(|&(_, r)| r)
-            .fold(f64::INFINITY, f64::min)
-            .max(1.0)
-    } else {
-        1.0
+        None => {
+            let normalisation = if arg(&args, "no-normalize").is_some() {
+                Normalisation::None
+            } else {
+                Normalisation::MachineFactor
+            };
+            (
+                committed_path.clone(),
+                load(&committed_path)?,
+                normalisation,
+            )
+        }
     };
-    if machine_factor != 1.0 {
-        println!("machine-speed factor (min ratio): {machine_factor:.2}×");
+    let fresh = load(&fresh_path)?;
+
+    let cmp: Comparison = compare(&baseline, &fresh, max_regress, normalisation)?;
+    for s in &cmp.skipped {
+        println!("     skip {s}");
+    }
+    if cmp.machine_factor != 1.0 {
+        println!(
+            "machine-speed factor (min ratio): {:.2}×",
+            cmp.machine_factor
+        );
+    }
+    for p in &cmp.pairs {
+        let verdict = if p.regressed { "REGRESSED" } else { "ok" };
+        println!(
+            "{verdict:>9} {}: {:.2}× ({:.2}× relative)",
+            p.path, p.ratio, p.relative
+        );
     }
 
-    let mut regressions = Vec::new();
-    for &(path, ratio) in &pairs {
-        let relative = ratio / machine_factor;
-        let verdict = if relative > 1.0 + max_regress {
-            regressions.push(format!(
-                "{path}: {ratio:.2}× vs the {machine_factor:.2}× machine factor (+{:.0}% relative)",
-                (relative - 1.0) * 100.0
-            ));
-            "REGRESSED"
-        } else {
-            "ok"
-        };
-        println!("{verdict:>9} {path}: {ratio:.2}× ({relative:.2}× relative)");
-    }
-
+    let regressions = cmp.regressions();
     if !regressions.is_empty() {
         eprintln!(
-            "\n{} of {} wall-times regressed more than {:.0}% relative to the machine factor:",
+            "\n{} of {} wall-times regressed more than {:.0}% vs {}:",
             regressions.len(),
-            pairs.len(),
-            max_regress * 100.0
+            cmp.pairs.len(),
+            max_regress * 100.0,
+            baseline_path
         );
-        for r in &regressions {
-            eprintln!("  {r}");
+        for r in regressions {
+            eprintln!(
+                "  {}: {:.2}× vs the {:.2}× machine factor (+{:.0}% relative)",
+                r.path,
+                r.ratio,
+                cmp.machine_factor,
+                (r.relative - 1.0) * 100.0
+            );
         }
         std::process::exit(1);
     }
     println!(
         "all {} wall-times within {:.0}%",
-        pairs.len(),
+        cmp.pairs.len(),
         max_regress * 100.0
     );
     Ok(())

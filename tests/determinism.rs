@@ -36,6 +36,42 @@ fn parallel_trace_generation_bit_identical_to_serial() {
 }
 
 #[test]
+fn parallel_merge_bit_identical_on_small_preset() {
+    // The merge phase (hour-bucketed scatter + per-bucket sorts) fans its
+    // bucket sorts across workers: the small preset at every worker count
+    // must reproduce the serial trace byte for byte — both through the
+    // public merge entry point and through the full generator.
+    use consume_local::trace::{merge_session_batches, SessionRecord};
+
+    let config = ScalePreset::Small.apply(TraceConfig::london_sep2013());
+    let reference = TraceGenerator::new(config.clone(), 2018)
+        .generate()
+        .unwrap();
+    assert!(!reference.sessions().is_empty());
+
+    let mut per_item: Vec<Vec<SessionRecord>> = vec![Vec::new(); reference.catalogue().len()];
+    for s in reference.sessions() {
+        per_item[s.content.0 as usize].push(*s);
+    }
+    for &workers in &THREAD_COUNTS {
+        assert_eq!(
+            merge_session_batches(&per_item, workers).as_slice(),
+            reference.sessions(),
+            "merge must not depend on {workers} workers"
+        );
+        let generated = TraceGenerator::new(config.clone(), 2018)
+            .workers(workers)
+            .generate()
+            .unwrap();
+        assert_eq!(
+            generated.sessions(),
+            reference.sessions(),
+            "generated trace must not depend on {workers} workers"
+        );
+    }
+}
+
+#[test]
 fn engine_on_shared_store_matches_per_run_columnarisation() {
     let trace = shared_trace();
     let store = SessionStore::from_trace(&trace);
