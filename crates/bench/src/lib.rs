@@ -70,3 +70,22 @@ pub fn save_csv(name: &str, csv: &str) {
 pub fn pct(x: f64) -> String {
     format!("{:.1}%", x * 100.0)
 }
+
+/// The process's peak resident set size (`VmHWM`) in mebibytes, or `None`
+/// where `/proc` is unavailable (non-Linux). Pair with
+/// [`reset_peak_rss`] to attribute a peak to one pipeline stage.
+pub fn peak_rss_mb() -> Option<f64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: f64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb / 1024.0)
+}
+
+/// Resets the kernel's peak-RSS watermark (`echo 5 > /proc/self/clear_refs`)
+/// so the next [`peak_rss_mb`] reading reflects only allocations made after
+/// this call. Returns whether the reset was accepted (best-effort: some
+/// kernels/sandboxes refuse the write, in which case readings stay
+/// process-lifetime peaks).
+pub fn reset_peak_rss() -> bool {
+    std::fs::write("/proc/self/clear_refs", "5").is_ok()
+}

@@ -14,12 +14,17 @@
 //! row-record [`Trace`] on the fly; [`Simulator::run_store`] replays a
 //! prebuilt (e.g. sweep-shared) store without that conversion.
 
+use std::collections::hash_map::Entry;
+use std::collections::{HashMap, VecDeque};
+
 use consume_local_swarm::matching::MatchOutcome;
-use consume_local_swarm::{Peer, SwarmKey};
-use consume_local_trace::{ContentId, SessionStore, SimTime, Trace};
+use consume_local_swarm::{Matcher, Peer, SwarmKey};
+use consume_local_topology::{IspId, UserLocation};
+use consume_local_trace::{ContentId, SegmentStream, SegmentedStore, SessionStore, SimTime, Trace};
 
 use crate::config::{SimConfig, SimConfigError};
 use crate::ledger::ByteLedger;
+use crate::par::{parallel_map, parallel_map_slices};
 use crate::report::{DailyIspCell, SimReport, SwarmReport, UserTraffic};
 
 /// The simulator: a configured engine, reusable across traces.
@@ -69,8 +74,92 @@ impl Simulator {
     }
 
     /// Runs the simulation over a prebuilt columnar session store.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use consume_local_sim::{SimConfig, Simulator};
+    /// use consume_local_trace::{SessionStore, TraceConfig, TraceGenerator};
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let trace = TraceGenerator::new(TraceConfig::london_sep2013().scaled(0.0003)?, 7)
+    ///     .generate()?;
+    /// let store = SessionStore::from_trace(&trace);   // build once, share freely
+    /// let sim = Simulator::new(SimConfig::default());
+    /// let report = sim.run_store(&store);
+    /// // `run(&trace)` columnarises on the fly and replays identically.
+    /// assert_eq!(report, sim.run(&trace));
+    /// assert!(report.total.demand_bytes > 0);
+    /// # Ok(())
+    /// # }
+    /// ```
     pub fn run_store(&self, store: &SessionStore) -> SimReport {
         self.run_store_with(store, Self::simulate_swarm)
+    }
+
+    /// Runs the simulation over a [`SegmentedStore`], consuming its per-day
+    /// segments sequentially through a [`SegmentedRun`].
+    ///
+    /// The report is **byte-identical** to [`Simulator::run_store`] on the
+    /// monolithic store of the same sessions — sessions spanning a segment
+    /// boundary are carried forward by the per-swarm window loops. A
+    /// materialised [`SegmentedStore`] still holds every segment; the
+    /// bounded-peak-memory pipeline is [`Simulator::run_trace_stream`],
+    /// which drops each generated day after feeding it.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use consume_local_sim::{SimConfig, Simulator};
+    /// use consume_local_trace::{SegmentedStore, SessionStore, TraceConfig, TraceGenerator};
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let trace = TraceGenerator::new(TraceConfig::london_sep2013().scaled(0.0003)?, 7)
+    ///     .generate()?;
+    /// let sim = Simulator::new(SimConfig::default());
+    /// let segmented = sim.run_segmented(&SegmentedStore::from_trace(&trace));
+    /// assert_eq!(segmented, sim.run_store(&SessionStore::from_trace(&trace)));
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn run_segmented(&self, store: &SegmentedStore) -> SimReport {
+        let mut run = self.begin_segmented(store.horizon_secs(), store.population_len());
+        for segment in store.segments() {
+            run.push_segment(segment);
+        }
+        run.finish()
+    }
+
+    /// Generates and simulates in one bounded-memory pass: pulls day
+    /// segments from the generator's [`SegmentStream`] and feeds each to a
+    /// [`SegmentedRun`], so peak memory holds **one day-segment** of the
+    /// trace instead of the whole horizon. The report is byte-identical to
+    /// generating the full trace and calling [`Simulator::run`].
+    pub fn run_trace_stream(&self, stream: &mut SegmentStream<'_>) -> SimReport {
+        let mut run =
+            self.begin_segmented(stream.config().horizon_seconds(), stream.population().len());
+        while let Some(segment) = stream.next_segment() {
+            run.push_segment(&segment);
+        }
+        run.finish()
+    }
+
+    /// Begins an incremental segment-sequential run: push day segments in
+    /// day order with [`SegmentedRun::push_segment`] (starting at day 0,
+    /// one [`SessionStore`] per day, empty days included), then call
+    /// [`SegmentedRun::finish`]. [`Simulator::run_segmented`] and
+    /// [`Simulator::run_trace_stream`] are the one-call wrappers; this
+    /// entry point exists for callers that interleave segment production
+    /// with other work (the sweep runner shares each generated segment
+    /// across many concurrent runs).
+    pub fn begin_segmented(&self, horizon_secs: u64, population_len: usize) -> SegmentedRun {
+        SegmentedRun {
+            sim: self.clone(),
+            horizon_secs,
+            population_len,
+            states: Vec::new(),
+            next_day: 0,
+        }
     }
 
     /// The reference row-based engine: identical pipeline, but the per-swarm
@@ -90,62 +179,46 @@ impl Simulator {
         store: &SessionStore,
         simulate: impl Fn(&Self, SwarmKey, &[u32], &SessionStore) -> SwarmOutput + Sync,
     ) -> SimReport {
-        // 1. Group sessions into sub-swarms with one stable sort instead of
-        //    a `HashMap<SwarmKey, Vec<u32>>` rebuild: ties keep the trace's
-        //    start order, and swarms come out already key-ordered. Keys are
-        //    assembled straight from the content/ISP/device columns.
-        let content = store.content();
-        let isp = store.isp();
-        let mut keyed_sessions: Vec<(SwarmKey, u32)> = (0..store.len())
-            .map(|i| {
-                let key = self.config.policy.key_parts(
-                    ContentId(content[i]),
-                    isp[i],
-                    store.bitrate_class(i),
-                );
-                (key, i as u32)
-            })
-            .collect();
-        keyed_sessions.sort_by_key(|&(key, _)| key);
-        let indices: Vec<u32> = keyed_sessions.iter().map(|&(_, i)| i).collect();
-        let mut keyed: Vec<(SwarmKey, std::ops::Range<usize>)> = Vec::new();
-        let mut start = 0usize;
-        while start < keyed_sessions.len() {
-            let key = keyed_sessions[start].0;
-            let mut end = start + 1;
-            while end < keyed_sessions.len() && keyed_sessions[end].0 == key {
-                end += 1;
-            }
-            keyed.push((key, start..end));
-            start = end;
-        }
+        // 1. Group sessions into sub-swarms (see [`group_by_swarm`]).
+        let (indices, keyed) = group_by_swarm(&self.config, store);
 
         // 2. Simulate swarms (work-stealing across threads; each swarm's
         //    result is placed at its key-ordered slot).
         let n = keyed.len();
-        let outputs = crate::par::parallel_map(n, self.config.threads, |i| {
+        let outputs = parallel_map(n, self.config.threads, |i| {
             let (key, range) = &keyed[i];
             simulate(self, *key, &indices[range.clone()], store)
         });
 
-        // 3. Merge deterministically in key order. Day × ISP cells are
-        //    collected flat and merged with one sort — no hash map rebuild.
-        let horizon = store.horizon_secs();
+        // 3. Merge deterministically in key order (shared with the
+        //    segment-sequential path).
+        let parts: Vec<(SwarmKey, u64, SwarmOutput)> = outputs
+            .into_iter()
+            .zip(&keyed)
+            .map(|(out, (key, range))| (*key, range.len() as u64, out))
+            .collect();
+        self.merge_outputs(store.horizon_secs(), store.population_len(), parts)
+    }
+
+    /// Merges key-ordered per-swarm outputs into the final report — the
+    /// common tail of [`Simulator::run_store`] and [`SegmentedRun::finish`].
+    /// Day × ISP cells are collected flat and merged with one sort (no hash
+    /// map rebuild); the per-user scatter fans out over disjoint user-id
+    /// ranges (see [`scatter_users`]).
+    fn merge_outputs(
+        &self,
+        horizon: u64,
+        population_len: usize,
+        parts: Vec<(SwarmKey, u64, SwarmOutput)>,
+    ) -> SimReport {
         let total_windows = horizon / self.config.window_secs;
-        let mut swarms = Vec::with_capacity(n);
-        let mut users = vec![UserTraffic::default(); store.population_len()];
-        let mut daily_cells: Vec<(u32, Option<consume_local_topology::IspId>, ByteLedger)> =
-            Vec::new();
+        let mut swarms = Vec::with_capacity(parts.len());
+        let mut daily_cells: Vec<(u32, Option<IspId>, ByteLedger)> = Vec::new();
         let mut total = ByteLedger::new();
-        for (out, (key, range)) in outputs.into_iter().zip(&keyed) {
+        for (key, sessions, out) in &parts {
             total.merge(&out.ledger);
             for (day, ledger) in &out.daily {
                 daily_cells.push((*day, key.isp, *ledger));
-            }
-            for &(user, watched, uploaded) in &out.users {
-                let t = &mut users[user as usize];
-                t.watched_bytes += watched;
-                t.uploaded_bytes += uploaded;
             }
             let daily_points = out
                 .daily
@@ -159,13 +232,14 @@ impl Simulator {
             swarms.push(SwarmReport {
                 key: *key,
                 ledger: out.ledger,
-                sessions: range.len() as u64,
+                sessions: *sessions,
                 capacity: effective_capacity(&out.ledger),
                 time_avg_capacity: out.ledger.measured_capacity(total_windows),
                 upload_ratio: out.upload_ratio,
                 daily: daily_points,
             });
         }
+        let users = scatter_users(population_len, &parts, self.config.threads);
         daily_cells.sort_by_key(|&(day, isp, _)| (day, isp));
         let mut daily: Vec<DailyIspCell> = Vec::new();
         for (day, isp, ledger) in daily_cells {
@@ -185,269 +259,21 @@ impl Simulator {
         }
     }
 
-    /// Simulates one sub-swarm over its sessions (already start-ordered).
-    ///
-    /// The active set is fully columnar ([`ActiveSet`]): its peer/need/budget
-    /// columns feed [`Matcher::match_window_into`] as slices directly, so a
-    /// steady-state window performs **zero** allocation and zero copying of
-    /// window inputs — the per-window work is the matcher itself, the user
-    /// accumulation and the ledger. Membership-dependent totals (demand,
-    /// preload, the CDN-ineligible remainder) are cached between membership
-    /// changes, and the retire scan is skipped entirely while every active
-    /// session's end lies beyond the boundary (`min_end` tracking).
+    /// Simulates one sub-swarm over its sessions (already start-ordered):
+    /// one [`SwarmSim`] driven over the whole store in a single
+    /// [`SwarmSim::advance`] pass. The segment-sequential paths drive the
+    /// **same** state machine one day-segment at a time, which is what
+    /// keeps their reports byte-identical to this one.
     fn simulate_swarm(&self, key: SwarmKey, indices: &[u32], store: &SessionStore) -> SwarmOutput {
-        let dt = self.config.window_secs;
-        // Hot columns as local slices: one pointer load each at admission
-        // time instead of a walk through the store on every field.
-        let starts_col = store.start_secs();
-        let durations_col = store.duration_secs();
-        let users_col = store.user();
-        let devices_col = store.device();
-        let isps_col = store.isp();
-        let locations_col = store.location();
-        let mut matcher = self
-            .config
-            .matcher
-            .build(swarm_seed(self.config.seed, &key));
-
-        let mut out = SwarmOutput::default();
-
-        // Dense user slots: traffic accumulates in a flat vector indexed by
-        // the user's rank among this swarm's (sorted, distinct) users, not in
-        // a per-window-updated `HashMap<u32, _>`.
-        let mut swarm_users: Vec<u32> = indices.iter().map(|&i| users_col[i as usize]).collect();
-        swarm_users.sort_unstable();
-        swarm_users.dedup();
-        let mut user_acc: Vec<(u64, u64)> = vec![(0, 0); swarm_users.len()];
-
-        // Representative ratio for the report (uniform within bitrate-split
-        // swarms; a demand-weighted mix otherwise).
-        let first_bitrate = devices_col[indices[0] as usize].bitrate_bps();
-        out.upload_ratio = self.config.upload.ratio_for(first_bitrate).min(1.0);
-
-        let preload_f = self.config.preload_fraction;
-        let cached = self
-            .config
-            .edge_cache
-            .is_some_and(|c| key.content.0 < c.top_items);
-
-        let mut active = ActiveSet::default();
-        // The store's sliding cursor admits each session exactly once as the
-        // window boundary crosses its start.
-        let mut cursor = store.cursor(indices);
-        // First window boundary at which the earliest session is active.
-        let mut t = SimTime(align_up(starts_col[indices[0] as usize], dt));
-        let horizon = SimTime(store.horizon_secs());
-
-        let mut outcome = MatchOutcome::default();
-        // Membership-dependent window totals, recomputed only when the
-        // active set changes (integer sums in index order, so they equal a
-        // fresh per-window recomputation exactly).
-        let mut sums_stale = true;
-        let mut preload_total = 0u64;
-        let mut swarm_demand = 0u64;
-        let mut ineligible = 0u64;
-
-        while t < horizon {
-            sums_stale |= active.retire_ended(t.as_secs());
-            let len_before_admit = active.len();
-            cursor.admit_until(t.as_secs(), |i| {
-                let end = starts_col[i] + u64::from(durations_col[i]);
-                if end > t.as_secs() {
-                    // Per-session window quantities are fixed for the whole
-                    // session (bitrate and Δτ do not change), so they are
-                    // computed once here instead of once per window. A
-                    // preloaded fraction of every session's bytes bypasses
-                    // the swarm (§VI preloading extension; 0 by default).
-                    let bitrate = devices_col[i].bitrate_bps();
-                    let user = users_col[i];
-                    let full_demand = u64::from(bitrate) * dt / 8;
-                    let preload = (full_demand as f64 * preload_f) as u64;
-                    let demand = full_demand - preload;
-                    // Non-participating users never upload (NetSession-style
-                    // partial participation); their own peer-receipt cap is
-                    // based on the swarm's typical uplink, not their zero
-                    // one.
-                    let nominal_budget = self.config.upload.budget_bytes(bitrate, dt);
-                    let budget = if participates(user, self.config.participation_rate) {
-                        nominal_budget
-                    } else {
-                        0
-                    };
-                    let user_slot = swarm_users
-                        .binary_search(&user)
-                        .expect("swarm_users indexes every session user")
-                        as u32;
-                    active.push(
-                        end,
-                        user_slot,
-                        Peer {
-                            isp: isps_col[i],
-                            location: locations_col[i],
-                        },
-                        full_demand,
-                        demand,
-                        preload,
-                        demand.min(nominal_budget),
-                        budget,
-                    );
-                }
-            });
-            sums_stale |= active.len() != len_before_admit;
-            if active.is_empty() {
-                let Some(next_start) = cursor.next_start_secs() else {
-                    break;
-                };
-                // Jump to the first window boundary at which the next
-                // session is active (align *up*: a boundary before its start
-                // would never pick it up and loop forever).
-                t = SimTime(align_up(next_start, dt).max(t.as_secs() + dt));
-                continue;
-            }
-
-            // Solo fast path. A lone peer is its windows' fetcher, so until
-            // the next membership event (its own end, the next admission or
-            // the horizon) every window is identical and transfers nothing:
-            // account the whole run in closed form — per-day ledger chunks,
-            // one watched-bytes bump — and advance the matcher's
-            // window-indexed state in bulk. Solo windows dominate tail
-            // swarms (> 80 % of all windows at the medium preset), which is
-            // what makes this jump, not the per-window micro-costs, the
-            // engine's biggest lever.
-            if active.len() == 1 {
-                let mut upper = active.ends[0].min(horizon.as_secs());
-                if let Some(next_start) = cursor.next_start_secs() {
-                    // The joiner lands on the first boundary at or after its
-                    // start; batch only the windows strictly before it.
-                    upper = upper.min(align_up(next_start, dt));
-                }
-                let k = (upper - t.as_secs()).div_ceil(dt);
-                debug_assert!(k >= 1, "the current window is always batchable");
-                matcher.note_solo_windows(k);
-
-                let full_demand = active.full_demands[0];
-                let demand = active.demands[0];
-                let preload = active.preloads[0];
-                user_acc[active.user_slots[0] as usize].0 += full_demand * k;
-
-                // Chunk the run by the day each window starts in (windows
-                // straddling midnight belong to their start's day, exactly
-                // as the per-window path assigns them).
-                let spd = consume_local_trace::time::SECS_PER_DAY;
-                let mut tw = t.as_secs();
-                let mut remaining = k;
-                while remaining > 0 {
-                    let day = (tw / spd) as u32;
-                    let day_end = (u64::from(day) + 1) * spd;
-                    let in_day = ((day_end - tw).div_ceil(dt)).min(remaining);
-                    let mut chunk_ledger = ByteLedger {
-                        demand_bytes: full_demand * in_day,
-                        server_bytes: if cached { 0 } else { demand * in_day },
-                        peer_bytes_by_layer: [0; 3],
-                        cache_bytes: if cached { full_demand * in_day } else { 0 },
-                        preload_bytes: if cached { 0 } else { preload * in_day },
-                        active_windows: in_day,
-                        peer_windows: in_day,
-                    };
-                    debug_assert!(chunk_ledger.is_conserved(), "solo chunk must conserve");
-                    out.ledger.merge(&chunk_ledger);
-                    match out.daily.last_mut() {
-                        Some((d, ledger)) if *d == day => ledger.merge(&chunk_ledger),
-                        _ => out.daily.push((day, std::mem::take(&mut chunk_ledger))),
-                    }
-                    tw += in_day * dt;
-                    remaining -= in_day;
-                }
-                t = SimTime(t.as_secs() + k * dt);
-                continue;
-            }
-
-            // Peer 0 (earliest joiner — the columns preserve arrival order)
-            // is the fresh fetcher. The CDN-side "ineligible" remainder
-            // carries the fetcher's full in-swarm demand plus every peer's
-            // demand − need. An unchanged membership also means an unchanged
-            // peer sequence, which the matcher turns into a reused locality
-            // grouping (no per-window sort in stable windows).
-            let peers_unchanged = !sums_stale;
-            if sums_stale {
-                preload_total = active.preloads.iter().sum();
-                swarm_demand = active.demands.iter().sum();
-                let tail_needs: u64 = active.needs[1..].iter().sum();
-                ineligible = swarm_demand - tail_needs;
-                sums_stale = false;
-            }
-            matcher.match_window_into_hinted(
-                &active.peers,
-                &active.needs,
-                &active.budgets,
-                0,
-                peers_unchanged,
-                &mut outcome,
-            );
-
-            // Account the window. The CDN-side fallback carries the
-            // ineligible remainder and the matcher's residual unmet needs;
-            // with an edge cache holding this item, that fallback is served
-            // at the exchange instead of the CDN.
-            let demand_total = swarm_demand + preload_total;
-            let fallback = ineligible + outcome.server_bytes;
-            let (server_total, cache_total, preload_srv, preload_cache) = if cached {
-                (0, fallback, 0, preload_total)
-            } else {
-                (fallback, 0, preload_total, 0)
-            };
-
-            let mut window_ledger = ByteLedger {
-                demand_bytes: demand_total,
-                server_bytes: server_total + preload_srv,
-                peer_bytes_by_layer: outcome.peer_bytes_by_layer,
-                cache_bytes: cache_total + preload_cache,
-                preload_bytes: 0,
-                active_windows: 1,
-                peer_windows: active.len() as u64,
-            };
-            // Preload bytes are tracked in their own class when not cached.
-            if !cached {
-                window_ledger.server_bytes -= preload_srv;
-                window_ledger.preload_bytes = preload_srv;
-            }
-            debug_assert!(window_ledger.is_conserved(), "window bytes must conserve");
-
-            for (k, (&slot, &full_demand)) in active
-                .user_slots
-                .iter()
-                .zip(&active.full_demands)
-                .enumerate()
-            {
-                let acc = &mut user_acc[slot as usize];
-                // Users watch their full demand (preloaded bytes included).
-                acc.0 += full_demand;
-                acc.1 += outcome.per_peer[k].uploaded;
-            }
-
-            out.ledger.merge(&window_ledger);
-            let day = (t.as_secs() / consume_local_trace::time::SECS_PER_DAY) as u32;
-            match out.daily.last_mut() {
-                Some((d, ledger)) if *d == day => ledger.merge(&window_ledger),
-                _ => {
-                    // Ledger moved into the vec; reuse the window value.
-                    out.daily.push((day, std::mem::take(&mut window_ledger)));
-                }
-            }
-
-            t = t + dt;
-        }
-
-        // `swarm_users` is sorted, so the output is already user-ordered.
-        // Users whose sessions never spanned a window boundary accumulated
-        // nothing and are dropped, exactly as before the dense-slot rewrite.
-        out.users = swarm_users
-            .into_iter()
-            .zip(user_acc)
-            .filter(|&(_, acc)| acc != (0, 0))
-            .map(|(u, (w, up))| (u, w, up))
-            .collect();
-        out
+        let first = indices[0] as usize;
+        let mut swarm = SwarmSim::new(
+            self,
+            key,
+            store.start_secs()[first],
+            store.device()[first].bitrate_bps(),
+        );
+        swarm.advance(self, store, indices, u64::MAX, store.horizon_secs());
+        swarm.into_output()
     }
 }
 
@@ -565,6 +391,656 @@ impl ActiveSet {
         self.min_end = min_end;
         true
     }
+}
+
+/// A session queued for admission but not yet reached by its swarm's window
+/// loop when a day segment ended: everything the admission path needs,
+/// materialised so the segment's columns can be dropped. At most one
+/// window's worth of sessions per swarm is ever carried (plus, for window
+/// lengths beyond a day, the windows the boundary overran).
+#[derive(Debug, Clone, Copy)]
+struct PendingSession {
+    start: u64,
+    end: u64,
+    user: u32,
+    bitrate_bps: u32,
+    isp: IspId,
+    location: UserLocation,
+}
+
+/// The resumable per-swarm window loop: the columnar active set, the
+/// matcher (rotation/RNG state included), the current window boundary and
+/// the per-swarm accumulators, packaged so the loop can pause at a segment
+/// boundary and resume when the next day's sessions arrive.
+///
+/// [`Simulator::run_store`] drives it over the whole store in one
+/// [`SwarmSim::advance`] call; [`SegmentedRun`] drives the same machine one
+/// day-segment at a time. Because a pause/resume changes neither the active
+/// set, the matcher state, the cached membership totals nor the window
+/// boundary — and sessions unreached at a boundary are carried forward in
+/// start order — the two schedules produce byte-identical outputs (pinned
+/// by `tests/segmented.rs`).
+///
+/// The active set is fully columnar ([`ActiveSet`]): its peer/need/budget
+/// columns feed [`Matcher::match_window_into`] as slices directly, so a
+/// steady-state window performs **zero** allocation and zero copying of
+/// window inputs — the per-window work is the matcher itself, the user
+/// accumulation and the ledger. Membership-dependent totals (demand,
+/// preload, the CDN-ineligible remainder) are cached between membership
+/// changes, and the retire scan is skipped entirely while every active
+/// session's end lies beyond the boundary (`min_end` tracking).
+struct SwarmSim {
+    matcher: Box<dyn Matcher + Send>,
+    active: ActiveSet,
+    /// The next window boundary to process (always a multiple of Δτ).
+    t: SimTime,
+    /// Sessions carried across a segment boundary, in start order; always
+    /// ahead of (or equal to) `t` and behind every later segment's starts.
+    carry: VecDeque<PendingSession>,
+    /// Slot lookup for the incremental dense user accumulators.
+    slot_of: HashMap<u32, u32>,
+    /// Slot → user id, in first-appearance order.
+    users: Vec<u32>,
+    /// Slot → (watched, uploaded) bytes.
+    user_acc: Vec<(u64, u64)>,
+    ledger: ByteLedger,
+    daily: Vec<(u32, ByteLedger)>,
+    upload_ratio: f64,
+    /// Whether this swarm's item sits in the configured edge cache.
+    cached: bool,
+    /// Membership-dependent window totals, recomputed only when the active
+    /// set changes (integer sums in index order, so they equal a fresh
+    /// per-window recomputation exactly).
+    sums_stale: bool,
+    preload_total: u64,
+    swarm_demand: u64,
+    ineligible: u64,
+    outcome: MatchOutcome,
+}
+
+impl SwarmSim {
+    /// Creates the state machine from the swarm's first (earliest) session:
+    /// the first window boundary and the representative upload ratio for
+    /// the report (uniform within bitrate-split swarms; a demand-weighted
+    /// mix otherwise).
+    fn new(sim: &Simulator, key: SwarmKey, first_start_secs: u64, first_bitrate_bps: u32) -> Self {
+        Self {
+            matcher: sim.config.matcher.build(swarm_seed(sim.config.seed, &key)),
+            active: ActiveSet::default(),
+            t: SimTime(align_up(first_start_secs, sim.config.window_secs)),
+            carry: VecDeque::new(),
+            slot_of: HashMap::new(),
+            users: Vec::new(),
+            user_acc: Vec::new(),
+            ledger: ByteLedger::new(),
+            daily: Vec::new(),
+            upload_ratio: sim.config.upload.ratio_for(first_bitrate_bps).min(1.0),
+            cached: sim
+                .config
+                .edge_cache
+                .is_some_and(|c| key.content.0 < c.top_items),
+            sums_stale: true,
+            preload_total: 0,
+            swarm_demand: 0,
+            ineligible: 0,
+            outcome: MatchOutcome::default(),
+        }
+    }
+
+    /// Admits one session into the active set (skipping sessions that end
+    /// by the current boundary). Per-session window quantities are fixed
+    /// for the whole session (bitrate and Δτ do not change), so they are
+    /// computed once here instead of once per window. A preloaded fraction
+    /// of every session's bytes bypasses the swarm (§VI preloading
+    /// extension; 0 by default).
+    fn admit(&mut self, sim: &Simulator, p: PendingSession) {
+        if p.end <= self.t.as_secs() {
+            return;
+        }
+        let dt = sim.config.window_secs;
+        let full_demand = u64::from(p.bitrate_bps) * dt / 8;
+        let preload = (full_demand as f64 * sim.config.preload_fraction) as u64;
+        let demand = full_demand - preload;
+        // Non-participating users never upload (NetSession-style partial
+        // participation); their own peer-receipt cap is based on the
+        // swarm's typical uplink, not their zero one.
+        let nominal_budget = sim.config.upload.budget_bytes(p.bitrate_bps, dt);
+        let budget = if participates(p.user, sim.config.participation_rate) {
+            nominal_budget
+        } else {
+            0
+        };
+        let user_slot = match self.slot_of.entry(p.user) {
+            Entry::Occupied(e) => *e.get(),
+            Entry::Vacant(e) => {
+                let slot = self.users.len() as u32;
+                self.users.push(p.user);
+                self.user_acc.push((0, 0));
+                *e.insert(slot)
+            }
+        };
+        self.active.push(
+            p.end,
+            user_slot,
+            Peer {
+                isp: p.isp,
+                location: p.location,
+            },
+            full_demand,
+            demand,
+            preload,
+            demand.min(nominal_budget),
+            budget,
+        );
+    }
+
+    /// Runs the window loop over `indices` (a start-ordered index subset of
+    /// `store` — one segment's sessions for this swarm, or the whole
+    /// store), processing every window boundary strictly below `limit` that
+    /// the supplied sessions cover, and pausing at `limit` with unreached
+    /// sessions moved into the carry buffer. Pass `limit = u64::MAX` for a
+    /// single full-horizon pass.
+    fn advance(
+        &mut self,
+        sim: &Simulator,
+        store: &SessionStore,
+        indices: &[u32],
+        limit: u64,
+        horizon: u64,
+    ) {
+        let dt = sim.config.window_secs;
+        // Hot columns as local slices: one pointer load each at admission
+        // time instead of a walk through the store on every field.
+        let starts_col = store.start_secs();
+        let durations_col = store.duration_secs();
+        let users_col = store.user();
+        let devices_col = store.device();
+        let isps_col = store.isp();
+        let locations_col = store.location();
+        let pending_of = |i: usize| PendingSession {
+            start: starts_col[i],
+            end: starts_col[i] + u64::from(durations_col[i]),
+            user: users_col[i],
+            bitrate_bps: devices_col[i].bitrate_bps(),
+            isp: isps_col[i],
+            location: locations_col[i],
+        };
+        // The store's sliding cursor admits each session exactly once as
+        // the window boundary crosses its start.
+        let mut cursor = store.cursor(indices);
+
+        loop {
+            let t = self.t.as_secs();
+            if t >= horizon {
+                // Windows stop at the horizon; whatever the cursor still
+                // holds can never be replayed (same as the monolithic loop
+                // exiting), so there is nothing to carry.
+                return;
+            }
+            if t >= limit {
+                // Window `t` belongs to the next segment's pass: stash the
+                // segment's unreached sessions before its columns go away.
+                let carry = &mut self.carry;
+                cursor.admit_until(u64::MAX, |i| carry.push_back(pending_of(i)));
+                return;
+            }
+            self.sums_stale |= self.active.retire_ended(t);
+            let len_before_admit = self.active.len();
+            // Carried sessions first: their starts precede every session of
+            // the current segment, so admission order stays start-ordered.
+            while let Some(p) = self.carry.front().copied() {
+                if p.start > t {
+                    break;
+                }
+                self.carry.pop_front();
+                self.admit(sim, p);
+            }
+            cursor.admit_until(t, |i| self.admit(sim, pending_of(i)));
+            self.sums_stale |= self.active.len() != len_before_admit;
+            if self.active.is_empty() {
+                let next = self
+                    .carry
+                    .front()
+                    .map(|p| p.start)
+                    .or_else(|| cursor.next_start_secs());
+                let Some(next_start) = next else {
+                    // Nothing active and nothing queued: paused (more
+                    // segments may follow) or finished.
+                    return;
+                };
+                // Jump to the first window boundary at which the next
+                // session is active (align *up*: a boundary before its start
+                // would never pick it up and loop forever).
+                self.t = SimTime(align_up(next_start, dt).max(t + dt));
+                continue;
+            }
+
+            // Solo fast path. A lone peer is its windows' fetcher, so until
+            // the next membership event (its own end, the next admission or
+            // the horizon) every window is identical and transfers nothing:
+            // account the whole run in closed form — per-day ledger chunks,
+            // one watched-bytes bump — and advance the matcher's
+            // window-indexed state in bulk. Solo windows dominate tail
+            // swarms (> 80 % of all windows at the medium preset), which is
+            // what makes this jump, not the per-window micro-costs, the
+            // engine's biggest lever.
+            if self.active.len() == 1 {
+                let mut upper = self.active.ends[0].min(horizon);
+                let next = self
+                    .carry
+                    .front()
+                    .map(|p| p.start)
+                    .or_else(|| cursor.next_start_secs());
+                if let Some(next_start) = next {
+                    // The joiner lands on the first boundary at or after its
+                    // start; batch only the windows strictly before it.
+                    upper = upper.min(align_up(next_start, dt));
+                }
+                // Batching past `limit` would strand the next segment's
+                // joiners, so the run is also capped at the boundary — the
+                // resumed pass continues it, and `note_solo_windows` is
+                // additive, so the split leaves every outcome unchanged.
+                let k = (upper - t).div_ceil(dt).min((limit - t).div_ceil(dt));
+                debug_assert!(k >= 1, "the current window is always batchable");
+                self.matcher.note_solo_windows(k);
+
+                let full_demand = self.active.full_demands[0];
+                let demand = self.active.demands[0];
+                let preload = self.active.preloads[0];
+                self.user_acc[self.active.user_slots[0] as usize].0 += full_demand * k;
+
+                // Chunk the run by the day each window starts in (windows
+                // straddling midnight belong to their start's day, exactly
+                // as the per-window path assigns them).
+                let spd = consume_local_trace::time::SECS_PER_DAY;
+                let cached = self.cached;
+                let mut tw = t;
+                let mut remaining = k;
+                while remaining > 0 {
+                    let day = (tw / spd) as u32;
+                    let day_end = (u64::from(day) + 1) * spd;
+                    let in_day = ((day_end - tw).div_ceil(dt)).min(remaining);
+                    let mut chunk_ledger = ByteLedger {
+                        demand_bytes: full_demand * in_day,
+                        server_bytes: if cached { 0 } else { demand * in_day },
+                        peer_bytes_by_layer: [0; 3],
+                        cache_bytes: if cached { full_demand * in_day } else { 0 },
+                        preload_bytes: if cached { 0 } else { preload * in_day },
+                        active_windows: in_day,
+                        peer_windows: in_day,
+                    };
+                    debug_assert!(chunk_ledger.is_conserved(), "solo chunk must conserve");
+                    self.ledger.merge(&chunk_ledger);
+                    match self.daily.last_mut() {
+                        Some((d, ledger)) if *d == day => ledger.merge(&chunk_ledger),
+                        _ => self.daily.push((day, std::mem::take(&mut chunk_ledger))),
+                    }
+                    tw += in_day * dt;
+                    remaining -= in_day;
+                }
+                self.t = SimTime(t + k * dt);
+                continue;
+            }
+
+            // Peer 0 (earliest joiner — the columns preserve arrival order)
+            // is the fresh fetcher. The CDN-side "ineligible" remainder
+            // carries the fetcher's full in-swarm demand plus every peer's
+            // demand − need. An unchanged membership also means an unchanged
+            // peer sequence, which the matcher turns into a reused locality
+            // grouping (no per-window sort in stable windows).
+            let peers_unchanged = !self.sums_stale;
+            if self.sums_stale {
+                self.preload_total = self.active.preloads.iter().sum();
+                self.swarm_demand = self.active.demands.iter().sum();
+                let tail_needs: u64 = self.active.needs[1..].iter().sum();
+                self.ineligible = self.swarm_demand - tail_needs;
+                self.sums_stale = false;
+            }
+            self.matcher.match_window_into_hinted(
+                &self.active.peers,
+                &self.active.needs,
+                &self.active.budgets,
+                0,
+                peers_unchanged,
+                &mut self.outcome,
+            );
+
+            // Account the window. The CDN-side fallback carries the
+            // ineligible remainder and the matcher's residual unmet needs;
+            // with an edge cache holding this item, that fallback is served
+            // at the exchange instead of the CDN.
+            let demand_total = self.swarm_demand + self.preload_total;
+            let fallback = self.ineligible + self.outcome.server_bytes;
+            let (server_total, cache_total, preload_srv, preload_cache) = if self.cached {
+                (0, fallback, 0, self.preload_total)
+            } else {
+                (fallback, 0, self.preload_total, 0)
+            };
+
+            let mut window_ledger = ByteLedger {
+                demand_bytes: demand_total,
+                server_bytes: server_total + preload_srv,
+                peer_bytes_by_layer: self.outcome.peer_bytes_by_layer,
+                cache_bytes: cache_total + preload_cache,
+                preload_bytes: 0,
+                active_windows: 1,
+                peer_windows: self.active.len() as u64,
+            };
+            // Preload bytes are tracked in their own class when not cached.
+            if !self.cached {
+                window_ledger.server_bytes -= preload_srv;
+                window_ledger.preload_bytes = preload_srv;
+            }
+            debug_assert!(window_ledger.is_conserved(), "window bytes must conserve");
+
+            for (k, (&slot, &full_demand)) in self
+                .active
+                .user_slots
+                .iter()
+                .zip(&self.active.full_demands)
+                .enumerate()
+            {
+                let acc = &mut self.user_acc[slot as usize];
+                // Users watch their full demand (preloaded bytes included).
+                acc.0 += full_demand;
+                acc.1 += self.outcome.per_peer[k].uploaded;
+            }
+
+            self.ledger.merge(&window_ledger);
+            let day = (t / consume_local_trace::time::SECS_PER_DAY) as u32;
+            match self.daily.last_mut() {
+                Some((d, ledger)) if *d == day => ledger.merge(&window_ledger),
+                _ => {
+                    // Ledger moved into the vec; reuse the window value.
+                    self.daily.push((day, std::mem::take(&mut window_ledger)));
+                }
+            }
+
+            self.t = self.t + dt;
+        }
+    }
+
+    /// Extracts the swarm's output: users come out id-sorted (as the old
+    /// presorted dense-slot scheme emitted them) and users who accumulated
+    /// nothing — sessions never spanning a window boundary — are dropped.
+    fn into_output(self) -> SwarmOutput {
+        let mut users: Vec<(u32, u64, u64)> = self
+            .users
+            .into_iter()
+            .zip(self.user_acc)
+            .filter(|&(_, acc)| acc != (0, 0))
+            .map(|(u, (w, up))| (u, w, up))
+            .collect();
+        users.sort_unstable_by_key(|&(u, _, _)| u);
+        SwarmOutput {
+            ledger: self.ledger,
+            daily: self.daily,
+            users,
+            upload_ratio: self.upload_ratio,
+        }
+    }
+
+    /// Whether the machine neither holds active/carried sessions nor can
+    /// receive any in the current segment — nothing to advance.
+    fn is_quiescent(&self) -> bool {
+        self.active.is_empty() && self.carry.is_empty()
+    }
+
+    /// Releases window-loop scratch while the machine is quiescent between
+    /// segments. Hundreds of thousands of machines persist across a
+    /// full-scale run but only a day's worth are ever mid-session; the
+    /// scratch regrows on the next admission, and capacity changes cannot
+    /// affect results — only the resident footprint.
+    fn shrink_scratch(&mut self) {
+        debug_assert!(self.is_quiescent());
+        self.active = ActiveSet::default();
+        self.carry = VecDeque::new();
+        self.outcome = MatchOutcome::default();
+    }
+}
+
+/// Contiguous chunk offsets splitting `n` per-swarm states across workers
+/// with mild over-partitioning for load balance: a [`parallel_map_slices`]
+/// steal costs one lock per *chunk*, so chunking per state would pay one
+/// lock per swarm per segment — hundreds of millions at full scale.
+fn state_chunks(n: usize, workers: usize) -> Vec<usize> {
+    const OVERPARTITION: usize = 8;
+    let chunks = (workers.max(1) * OVERPARTITION).min(n.max(1));
+    let per = n.div_ceil(chunks).max(1);
+    let mut offsets: Vec<usize> = (0..).map(|i| i * per).take_while(|&o| o < n).collect();
+    offsets.push(n);
+    offsets
+}
+
+/// One swarm's persistent entry in a [`SegmentedRun`].
+#[derive(Debug)]
+struct SwarmState {
+    key: SwarmKey,
+    /// Sessions grouped into this swarm so far (the monolithic report's
+    /// per-swarm session count, accumulated per segment).
+    sessions: u64,
+    swarm: SwarmSim,
+}
+
+impl std::fmt::Debug for SwarmSim {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SwarmSim")
+            .field("t", &self.t)
+            .field("active", &self.active.len())
+            .field("carry", &self.carry.len())
+            .field("users", &self.users.len())
+            .finish_non_exhaustive()
+    }
+}
+
+/// An in-progress segment-sequential simulation (see
+/// [`Simulator::begin_segmented`]): persistent per-swarm window-loop
+/// machines, keyed and key-sorted, advanced one day segment at a time.
+///
+/// Peak memory is the segment being fed plus the engine's own state
+/// (active/carried sessions, accumulators and the growing report) — the
+/// trace itself is never resident as a whole, which is what makes the
+/// `large`/`full` presets runnable on one-day-sized memory
+/// (`BENCH_5.json` tracks the measured peak RSS).
+#[derive(Debug)]
+pub struct SegmentedRun {
+    sim: Simulator,
+    horizon_secs: u64,
+    population_len: usize,
+    /// Key-sorted persistent per-swarm machines.
+    states: Vec<SwarmState>,
+    /// The day index the next [`SegmentedRun::push_segment`] call consumes.
+    next_day: u64,
+}
+
+impl SegmentedRun {
+    /// Feeds the next day's segment (day `N` on the `N`-th call, empty days
+    /// included): groups its sessions into sub-swarms, creates machines for
+    /// newly seen swarm keys, and advances every non-quiescent machine
+    /// through the windows the new boundary uncovers. Swarm fan-out runs
+    /// across the simulator's configured threads over disjoint per-swarm
+    /// state chunks — deterministic for any thread count.
+    pub fn push_segment(&mut self, segment: &SessionStore) {
+        let day = self.next_day;
+        self.next_day += 1;
+        let limit = (day + 1) * SegmentedStore::SEGMENT_SECS;
+
+        // 1. Group the segment's sessions into sub-swarms — the same
+        //    shared grouping the monolithic path uses, so the two can
+        //    never diverge on keying or tie order.
+        let (indices, groups) = group_by_swarm(&self.sim.config, segment);
+
+        // 2. Upsert machines: existing swarms count their new sessions, new
+        //    keys get a machine initialised from their earliest session.
+        let mut fresh: Vec<SwarmState> = Vec::new();
+        for (key, range) in &groups {
+            match self.states.binary_search_by(|s| s.key.cmp(key)) {
+                Ok(idx) => self.states[idx].sessions += range.len() as u64,
+                Err(_) => {
+                    let first = indices[range.start] as usize;
+                    fresh.push(SwarmState {
+                        key: *key,
+                        sessions: range.len() as u64,
+                        swarm: SwarmSim::new(
+                            &self.sim,
+                            *key,
+                            segment.start_secs()[first],
+                            segment.device()[first].bitrate_bps(),
+                        ),
+                    });
+                }
+            }
+        }
+        if !fresh.is_empty() {
+            self.states.extend(fresh);
+            self.states.sort_by_key(|s| s.key);
+        }
+
+        // 3. Advance every machine with work, in parallel over disjoint
+        //    per-state chunks (slot-ordered: the final state of every
+        //    machine is independent of which thread ran it).
+        let work: Vec<&[u32]> = self
+            .states
+            .iter()
+            .map(|s| {
+                groups
+                    .binary_search_by(|(key, _)| key.cmp(&s.key))
+                    .map(|g| &indices[groups[g].1.clone()])
+                    .unwrap_or(&[])
+            })
+            .collect();
+        let offsets = state_chunks(self.states.len(), self.sim.config.threads);
+        let sim = &self.sim;
+        let horizon = self.horizon_secs;
+        parallel_map_slices(
+            &mut self.states,
+            &offsets,
+            sim.config.threads,
+            |ci, chunk| {
+                let base = offsets[ci];
+                for (j, state) in chunk.iter_mut().enumerate() {
+                    let indices = work[base + j];
+                    if indices.is_empty() && state.swarm.is_quiescent() {
+                        continue;
+                    }
+                    state.swarm.advance(sim, segment, indices, limit, horizon);
+                    if state.swarm.is_quiescent() {
+                        state.swarm.shrink_scratch();
+                    }
+                }
+            },
+        );
+    }
+
+    /// Completes the run: drains any machine still holding active or
+    /// carried sessions (a no-op when the pushed segments covered the whole
+    /// horizon) and merges the per-swarm outputs into the final report,
+    /// byte-identical to the monolithic [`Simulator::run_store`].
+    pub fn finish(self) -> SimReport {
+        let SegmentedRun {
+            sim,
+            horizon_secs,
+            population_len,
+            mut states,
+            ..
+        } = self;
+        let drain_store = SessionStore::from_records(&[], horizon_secs, 0);
+        let offsets = state_chunks(states.len(), sim.config.threads);
+        parallel_map_slices(&mut states, &offsets, sim.config.threads, |_, chunk| {
+            for state in chunk.iter_mut() {
+                if !state.swarm.is_quiescent() {
+                    state
+                        .swarm
+                        .advance(&sim, &drain_store, &[], u64::MAX, horizon_secs);
+                }
+            }
+        });
+        let parts: Vec<(SwarmKey, u64, SwarmOutput)> = states
+            .into_iter()
+            .map(|s| (s.key, s.sessions, s.swarm.into_output()))
+            .collect();
+        sim.merge_outputs(horizon_secs, population_len, parts)
+    }
+}
+
+/// Scatters the per-swarm `(user, watched, uploaded)` lists into the dense
+/// per-user traffic vector, fanned out over disjoint contiguous user-id
+/// ranges via [`parallel_map_slices`]. Each list is user-sorted, so every
+/// range applies exactly its own sub-slice of every list; all additions for
+/// a given user happen on one thread, in swarm-key order — the result is
+/// **byte-identical for any worker count** (pinned in
+/// `tests/determinism.rs`). This was the last serial piece of the engine's
+/// merge phase.
+fn scatter_users(
+    population_len: usize,
+    parts: &[(SwarmKey, u64, SwarmOutput)],
+    workers: usize,
+) -> Vec<UserTraffic> {
+    let mut users = vec![UserTraffic::default(); population_len];
+    if population_len == 0 {
+        return users;
+    }
+    let workers = workers.max(1).min(population_len);
+    let chunk = population_len.div_ceil(workers);
+    let offsets: Vec<usize> = (0..=workers)
+        .map(|w| (w * chunk).min(population_len))
+        .collect();
+    parallel_map_slices(&mut users, &offsets, workers, |ci, slice| {
+        let lo = offsets[ci];
+        let hi = offsets[ci + 1];
+        for (_, _, out) in parts {
+            let list = &out.users;
+            let a = list.partition_point(|&(u, _, _)| (u as usize) < lo);
+            let b = a + list[a..].partition_point(|&(u, _, _)| (u as usize) < hi);
+            for &(u, watched, uploaded) in &list[a..b] {
+                let t = &mut slice[u as usize - lo];
+                t.watched_bytes += watched;
+                t.uploaded_bytes += uploaded;
+            }
+        }
+    });
+    users
+}
+
+/// Groups a store's sessions into sub-swarms with one stable key sort
+/// instead of a `HashMap<SwarmKey, Vec<u32>>` rebuild: ties keep the
+/// trace's canonical start order (so within a swarm, indices stay
+/// start-ordered — the window loop's admission invariant) and swarms come
+/// out already key-ordered. Keys are assembled straight from the
+/// content/ISP/device columns. Shared by [`Simulator::run_store`] and
+/// [`SegmentedRun::push_segment`]: the grouping is part of the
+/// byte-identity contract between the monolithic and segment-sequential
+/// paths, so it must have exactly one definition.
+#[allow(clippy::type_complexity)]
+fn group_by_swarm(
+    config: &SimConfig,
+    store: &SessionStore,
+) -> (Vec<u32>, Vec<(SwarmKey, std::ops::Range<usize>)>) {
+    let content = store.content();
+    let isp = store.isp();
+    let mut keyed_sessions: Vec<(SwarmKey, u32)> = (0..store.len())
+        .map(|i| {
+            let key =
+                config
+                    .policy
+                    .key_parts(ContentId(content[i]), isp[i], store.bitrate_class(i));
+            (key, i as u32)
+        })
+        .collect();
+    keyed_sessions.sort_by_key(|&(key, _)| key);
+    let indices: Vec<u32> = keyed_sessions.iter().map(|&(_, i)| i).collect();
+    let mut groups: Vec<(SwarmKey, std::ops::Range<usize>)> = Vec::new();
+    let mut start = 0usize;
+    while start < keyed_sessions.len() {
+        let key = keyed_sessions[start].0;
+        let mut end = start + 1;
+        while end < keyed_sessions.len() && keyed_sessions[end].0 == key {
+            end += 1;
+        }
+        groups.push((key, start..end));
+        start = end;
+    }
+    (indices, groups)
 }
 
 /// Window-aligned ceiling: the first window boundary at or after `secs`.
@@ -1186,6 +1662,85 @@ mod tests {
                 prop_assert_eq!(soa, rows);
             }
         }
+    }
+
+    #[test]
+    fn segmented_run_matches_monolithic_run_store() {
+        let trace = tiny_trace();
+        let mono = SessionStore::from_trace(&trace);
+        let seg = consume_local_trace::SegmentedStore::from_trace(&trace);
+        // Window lengths that divide a day, don't divide a day, and exceed
+        // a day — the segment-boundary pause/carry logic must be invisible
+        // in all three regimes, across matchers and the active-set knobs.
+        let configs = [
+            SimConfig::default(),
+            SimConfig {
+                matcher: MatcherKind::Random,
+                window_secs: 7,
+                ..Default::default()
+            },
+            SimConfig {
+                preload_fraction: 0.3,
+                participation_rate: 0.5,
+                edge_cache: Some(crate::config::EdgeCache { top_items: 2 }),
+                window_secs: 30,
+                ..Default::default()
+            },
+            SimConfig {
+                window_secs: 100_000, // > one segment: windows straddle days
+                ..Default::default()
+            },
+        ];
+        for cfg in configs {
+            let sim = Simulator::new(cfg.clone());
+            assert_eq!(
+                sim.run_segmented(&seg),
+                sim.run_store(&mono),
+                "window_secs={}",
+                cfg.window_secs
+            );
+        }
+    }
+
+    #[test]
+    fn trace_stream_matches_monolithic_run() {
+        let config = consume_local_trace::TraceConfig::london_sep2013()
+            .scaled(0.0003)
+            .unwrap();
+        let generator = TraceGenerator::new(config, 11);
+        let sim = Simulator::new(SimConfig::default());
+        let monolithic = sim.run(&generator.generate().unwrap());
+        let mut stream = generator.segments().unwrap();
+        let streamed = sim.run_trace_stream(&mut stream);
+        assert_eq!(streamed, monolithic);
+    }
+
+    #[test]
+    fn segmented_run_finish_drains_partial_pushes() {
+        // Feeding only day 0 of a multi-day trace must still replay every
+        // admitted session to completion: finish() drains the machines.
+        let trace = pair_trace(0); // both sessions on day 0
+        let seg = consume_local_trace::SegmentedStore::from_trace(&trace);
+        let sim = Simulator::new(SimConfig::default());
+        let mut run = sim.begin_segmented(seg.horizon_secs(), seg.population_len());
+        run.push_segment(seg.segment(0));
+        assert_eq!(run.finish(), sim.run(&trace));
+    }
+
+    #[test]
+    fn segmented_run_deterministic_across_thread_counts() {
+        let trace = tiny_trace();
+        let seg = consume_local_trace::SegmentedStore::from_trace(&trace);
+        let run_with = |threads: usize| {
+            Simulator::new(SimConfig {
+                threads,
+                ..Default::default()
+            })
+            .run_segmented(&seg)
+        };
+        let reference = run_with(1);
+        assert_eq!(reference, run_with(2));
+        assert_eq!(reference, run_with(8));
     }
 
     #[test]

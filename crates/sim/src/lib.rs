@@ -16,7 +16,15 @@
 //!   (thread-sharded across sub-swarms, deterministic regardless of
 //!   thread count), replaying the columnar
 //!   [`SessionStore`](consume_local_trace::SessionStore) — prebuild it with
-//!   [`Simulator::run_store`] when many configurations share one trace;
+//!   [`Simulator::run_store`] when many configurations share one trace.
+//!   For full-scale runs the engine also consumes **per-day segments**
+//!   sequentially: [`Simulator::run_segmented`] replays a
+//!   [`SegmentedStore`](consume_local_trace::SegmentedStore), and
+//!   [`Simulator::run_trace_stream`] fuses generation and simulation so
+//!   peak memory holds one day-segment — both byte-identical to the
+//!   monolithic replay (sessions straddling a segment boundary are
+//!   carried forward by the resumable per-swarm window loops of
+//!   [`SegmentedRun`]);
 //! * [`report`] — per-swarm, per-day×ISP, per-user and total results,
 //!   including theory-vs-simulation comparison points (Fig. 2 dots).
 //!
@@ -48,6 +56,6 @@ pub mod par;
 pub mod report;
 
 pub use config::{EdgeCache, SimConfig, SimConfigError, UploadModel};
-pub use engine::Simulator;
+pub use engine::{SegmentedRun, Simulator};
 pub use ledger::ByteLedger;
 pub use report::{DailyIspCell, SimReport, SwarmDay, SwarmReport, UserTraffic};

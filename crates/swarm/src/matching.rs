@@ -223,7 +223,7 @@ pub fn uniform_window(n: usize, demand: u64, budget: u64) -> (Vec<u64>, Vec<u64>
 /// peer indices by that key yields both grouping passes — same-exchange
 /// peers form runs nested inside same-PoP runs, because an exchange point
 /// determines its parent PoP (the tree invariant of
-/// [`UserLocation`](consume_local_topology::UserLocation)). The keys, the
+/// [`consume_local_topology::UserLocation`]). The keys, the
 /// order and the working need/budget vectors are scratch buffers owned by
 /// the matcher, so a window performs no allocation once they have grown to
 /// the swarm's peak peer count.

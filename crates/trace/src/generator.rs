@@ -17,6 +17,7 @@ use crate::device::DeviceClass;
 use crate::popularity::Popularity;
 use crate::population::{Population, UserId};
 use crate::session::SessionRecord;
+use crate::store::SessionStore;
 use crate::time::{SimTime, SECS_PER_HOUR};
 
 /// Configuration of a synthetic trace. Start from a preset
@@ -292,7 +293,7 @@ fn session_sort_key(s: &SessionRecord) -> u128 {
     (u128::from(s.start.as_secs()) << 64) | (u128::from(s.user.0) << 32) | u128::from(s.content.0)
 }
 
-/// Merges per-item session batches into canonical [`sort_sessions`] order
+/// Merges per-item session batches into canonical trace order
 /// with one exact-size allocation: a counting pass sizes per-start-hour
 /// buckets, a placement pass scatters the records hour-major (stable within
 /// a bucket, so the layout is independent of worker count), and each bucket
@@ -301,8 +302,7 @@ fn session_sort_key(s: &SessionRecord) -> u128 {
 /// interleaves *within* an hour, never across hours.
 ///
 /// The per-bucket sorts fan out across up to `workers` threads over the
-/// disjoint bucket slices
-/// ([`parallel_map_slices`](consume_local_stats::par::parallel_map_slices)):
+/// disjoint bucket slices ([`parallel_map_slices`]):
 /// every bucket sorts to the same bytes no matter which worker picks it up,
 /// so the merged trace is **byte-identical for any worker count** (the
 /// counting and scatter passes stay serial — they are cheap, order-defining
@@ -502,8 +502,31 @@ impl TraceGenerator {
     /// [`TraceConfig::validate`].
     pub fn generate(&self) -> Result<Trace, TraceError> {
         self.config.validate()?;
-        let cfg = &self.config;
+        let (catalogue, population, samplers) = self.build_world();
 
+        // Fan per-item synthesis out across workers. Each item's sessions
+        // are a pure function of the item and its own RNG stream, so the
+        // per-item vectors are identical for any worker count; slot-ordered
+        // placement keeps the merge in catalogue order.
+        let items = catalogue.items();
+        let per_item: Vec<Vec<SessionRecord>> = parallel_map(items.len(), self.workers, |i| {
+            self.synthesise_item(&items[i], &catalogue, &population, &samplers)
+        });
+        let sessions = merge_session_batches(&per_item, self.workers);
+        Ok(Trace {
+            config: self.config.clone(),
+            catalogue,
+            population,
+            sessions,
+        })
+    }
+
+    /// Builds the deterministic world of one generation run: the catalogue,
+    /// the population and the shared read-only samplers. Each component
+    /// draws from its own derived stream, so this is identical for the
+    /// monolithic and segmented emit paths.
+    fn build_world(&self) -> (Catalogue, Population, Samplers) {
+        let cfg = &self.config;
         let catalogue = Catalogue::generate(
             cfg.catalogue_size,
             cfg.popularity,
@@ -540,22 +563,90 @@ impl TraceGenerator {
             })
             .expect("log-normal quantiles are monotone"),
         };
+        (catalogue, population, samplers)
+    }
 
-        // Fan per-item synthesis out across workers. Each item's sessions
-        // are a pure function of the item and its own RNG stream, so the
-        // per-item vectors are identical for any worker count; slot-ordered
-        // placement keeps the merge in catalogue order.
-        let items = catalogue.items();
-        let per_item: Vec<Vec<SessionRecord>> = parallel_map(items.len(), self.workers, |i| {
-            self.synthesise_item(&items[i], &catalogue, &population, &samplers)
-        });
-        let sessions = merge_session_batches(&per_item, self.workers);
-        Ok(Trace {
-            config: self.config.clone(),
+    /// Opens the **segmented emit mode**: a [`SegmentStream`] that
+    /// synthesises and merges sessions one day at a time, yielding each day
+    /// as a columnar [`SessionStore`] segment.
+    ///
+    /// Every item keeps a persistent RNG positioned exactly where the
+    /// monolithic generator's day loop would have it, so the concatenated
+    /// segments are **byte-identical** to [`TraceGenerator::generate`]'s
+    /// trace (columnarised) — while peak memory holds one day instead of
+    /// the whole horizon. Per-day synthesis fans across
+    /// [`TraceGenerator::workers`] threads and each day's merge reuses the
+    /// hour-bucketed parallel [`merge_session_batches`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError`] if the configuration fails
+    /// [`TraceConfig::validate`].
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use consume_local_trace::{SessionStore, TraceConfig, TraceGenerator};
+    ///
+    /// # fn main() -> Result<(), consume_local_trace::TraceError> {
+    /// let generator = TraceGenerator::new(TraceConfig::london_sep2013().scaled(0.0003)?, 9);
+    /// let monolithic = SessionStore::from_trace(&generator.generate()?);
+    /// let mut stream = generator.segments()?;
+    /// let mut total = 0;
+    /// while let Some(segment) = stream.next_segment() {
+    ///     total += segment.len(); // one resident day at a time
+    /// }
+    /// assert_eq!(total, monolithic.len());
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn segments(&self) -> Result<SegmentStream<'_>, TraceError> {
+        self.config.validate()?;
+        let (catalogue, population, samplers) = self.build_world();
+        let plans: Vec<ItemPlan> = catalogue
+            .items()
+            .iter()
+            .map(|item| self.item_plan(item, &catalogue))
+            .collect();
+        let rngs: Vec<rand::rngs::StdRng> = catalogue
+            .items()
+            .iter()
+            .map(|item| self.seeds.stream_indexed("arrivals", u64::from(item.id.0)))
+            .collect();
+        let rng_offsets: Vec<usize> = (0..=rngs.len()).collect();
+        Ok(SegmentStream {
+            generator: self,
             catalogue,
             population,
-            sessions,
+            samplers,
+            plans,
+            rngs,
+            rng_offsets,
+            next_day: 0,
+            columnarize_ms: 0.0,
         })
+    }
+
+    /// Generates the trace directly into a materialised
+    /// [`SegmentedStore`](crate::store::SegmentedStore) (collects
+    /// [`TraceGenerator::segments`]; peak memory is *not* bounded — use the
+    /// stream for that).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError`] if the configuration fails
+    /// [`TraceConfig::validate`].
+    pub fn generate_segmented(&self) -> Result<crate::store::SegmentedStore, TraceError> {
+        let mut stream = self.segments()?;
+        let mut segments = Vec::with_capacity(self.config.days as usize);
+        while let Some(segment) = stream.next_segment() {
+            segments.push(segment);
+        }
+        Ok(crate::store::SegmentedStore::from_day_segments(
+            segments,
+            self.config.horizon_seconds(),
+            stream.population().len(),
+        ))
     }
 
     /// Synthesises every session of one content item from the item's own
@@ -569,6 +660,11 @@ impl TraceGenerator {
     /// 24-iteration hour loop and skips a day's synthesis entirely when its
     /// count comes up zero — the old per-(day, hour) loop paid an `exp` and
     /// an RNG draw for every tiny-but-positive window rate.
+    ///
+    /// The day loop is [`TraceGenerator::synthesise_item_day`] — the same
+    /// body the segmented emitter ([`TraceGenerator::segments`]) drives one
+    /// day at a time with a persistent per-item RNG, which is why the two
+    /// paths draw identical session streams.
     fn synthesise_item(
         &self,
         item: &ContentItem,
@@ -576,32 +672,62 @@ impl TraceGenerator {
         population: &Population,
         samplers: &Samplers,
     ) -> Vec<SessionRecord> {
-        let cfg = &self.config;
-        let expected_views = catalogue.popularity_share(item.id) * cfg.sessions_target as f64;
-        if expected_views <= 0.0 {
+        let plan = self.item_plan(item, catalogue);
+        if plan.day_shares.is_none() {
             return Vec::new();
         }
-        let Some(day_weights) = age_decay_weights(item.broadcast_day, cfg.days) else {
-            return Vec::new();
-        };
-        let day_shares = boosted_day_shares(&day_weights);
         let mut rng = self.seeds.stream_indexed("arrivals", u64::from(item.id.0));
-        let tier = tier_of(item.id.0, cfg.catalogue_size);
-        let mut out = Vec::with_capacity(expected_views.ceil() as usize + 4);
-        for (day, share) in day_shares.iter().enumerate() {
-            let lambda = expected_views * share;
-            if lambda <= 0.0 {
-                continue;
-            }
-            let n = Poisson::new(lambda).expect("lambda > 0").sample(&mut rng) as u64;
-            for _ in 0..n {
-                let hour = samplers.hour_sampler.sample_fast(&mut rng) as u32;
-                out.push(
-                    self.make_session(item, day as u32, hour, tier, samplers, population, &mut rng),
-                );
-            }
+        let mut out = Vec::with_capacity(plan.expected_views.ceil() as usize + 4);
+        for day in 0..self.config.days {
+            self.synthesise_item_day(item, &plan, day, samplers, population, &mut rng, &mut out);
         }
         out
+    }
+
+    /// Precomputes the parts of an item's synthesis that do not consume its
+    /// RNG stream: expected views, popularity tier and per-day arrival
+    /// shares (`None` when the item generates nothing).
+    fn item_plan(&self, item: &ContentItem, catalogue: &Catalogue) -> ItemPlan {
+        let cfg = &self.config;
+        let expected_views = catalogue.popularity_share(item.id) * cfg.sessions_target as f64;
+        let day_shares = if expected_views <= 0.0 {
+            None
+        } else {
+            age_decay_weights(item.broadcast_day, cfg.days)
+                .map(|weights| boosted_day_shares(&weights))
+        };
+        ItemPlan {
+            expected_views,
+            tier: tier_of(item.id.0, cfg.catalogue_size),
+            day_shares,
+        }
+    }
+
+    /// Synthesises one item's sessions for one day, continuing the item's
+    /// RNG stream exactly where the previous day left it. Appends to `out`.
+    #[allow(clippy::too_many_arguments)]
+    fn synthesise_item_day<R: Rng + ?Sized>(
+        &self,
+        item: &ContentItem,
+        plan: &ItemPlan,
+        day: u32,
+        samplers: &Samplers,
+        population: &Population,
+        rng: &mut R,
+        out: &mut Vec<SessionRecord>,
+    ) {
+        let Some(day_shares) = &plan.day_shares else {
+            return;
+        };
+        let lambda = plan.expected_views * day_shares[day as usize];
+        if lambda <= 0.0 {
+            return;
+        }
+        let n = Poisson::new(lambda).expect("lambda > 0").sample(rng) as u64;
+        for _ in 0..n {
+            let hour = samplers.hour_sampler.sample_fast(rng) as u32;
+            out.push(self.make_session(item, day, hour, plan.tier, samplers, population, rng));
+        }
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -633,6 +759,130 @@ impl TraceGenerator {
             isp: profile.isp,
             location: profile.location,
         }
+    }
+}
+
+/// One item's RNG-free synthesis plan: what [`TraceGenerator`] knows about
+/// the item before any arrival is drawn.
+struct ItemPlan {
+    /// The item's expected total views over the horizon.
+    expected_views: f64,
+    /// Popularity tier (head / mid / tail) for viewer-taste weighting.
+    tier: usize,
+    /// Per-day arrival shares; `None` when the item generates no sessions.
+    day_shares: Option<Vec<f64>>,
+}
+
+/// The segmented emit mode of [`TraceGenerator::segments`]: a resumable
+/// generator that yields one day of the trace at a time as a columnar
+/// [`SessionStore`] segment.
+///
+/// Per-item RNG streams persist across days, so the emitted segments
+/// concatenate to exactly the monolithic trace; only one day's rows and
+/// columns are ever resident. Feed the segments to
+/// `Simulator::run_trace_stream` (in `consume-local-sim`) for the
+/// bounded-memory generate-and-simulate pipeline, or collect them with
+/// [`TraceGenerator::generate_segmented`].
+pub struct SegmentStream<'g> {
+    generator: &'g TraceGenerator,
+    catalogue: Catalogue,
+    population: Population,
+    samplers: Samplers,
+    plans: Vec<ItemPlan>,
+    /// One persistent arrival stream per item — the invariant that makes
+    /// per-day emission draw-identical to the monolithic day loop.
+    rngs: Vec<rand::rngs::StdRng>,
+    /// Unit-width chunk offsets over `rngs` for the disjoint-slice fan-out.
+    rng_offsets: Vec<usize>,
+    next_day: u32,
+    columnarize_ms: f64,
+}
+
+impl fmt::Debug for SegmentStream<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SegmentStream")
+            .field("next_day", &self.next_day)
+            .field("days", &self.generator.config.days)
+            .field("items", &self.plans.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl SegmentStream<'_> {
+    /// Synthesises, merges and columnarises the next day's sessions;
+    /// `None` once every horizon day has been emitted.
+    ///
+    /// Per-item synthesis fans across the generator's worker count through
+    /// [`parallel_map_slices`] (each worker owns the items it steals — and
+    /// their RNGs — through a disjoint `&mut` chunk), and the day's batches
+    /// merge through the same hour-bucketed parallel
+    /// [`merge_session_batches`] the monolithic path uses. The emitted
+    /// segment is byte-identical for any worker count.
+    pub fn next_segment(&mut self) -> Option<SessionStore> {
+        let config = &self.generator.config;
+        if self.next_day >= config.days {
+            return None;
+        }
+        let day = self.next_day;
+        self.next_day += 1;
+
+        let generator = self.generator;
+        let items = self.catalogue.items();
+        let plans = &self.plans;
+        let samplers = &self.samplers;
+        let population = &self.population;
+        let per_item: Vec<Vec<SessionRecord>> = parallel_map_slices(
+            &mut self.rngs,
+            &self.rng_offsets,
+            generator.workers,
+            |i, rng| {
+                let mut out = Vec::new();
+                generator.synthesise_item_day(
+                    &items[i],
+                    &plans[i],
+                    day,
+                    samplers,
+                    population,
+                    &mut rng[0],
+                    &mut out,
+                );
+                out
+            },
+        );
+        let sessions = merge_session_batches(&per_item, generator.workers);
+        let start = std::time::Instant::now();
+        let segment =
+            SessionStore::from_sorted(&sessions, config.horizon_seconds(), self.population.len());
+        self.columnarize_ms += start.elapsed().as_secs_f64() * 1e3;
+        Some(segment)
+    }
+
+    /// The day index the next [`SegmentStream::next_segment`] call emits
+    /// (equals the number of segments emitted so far).
+    pub fn next_day(&self) -> u32 {
+        self.next_day
+    }
+
+    /// The generating configuration.
+    pub fn config(&self) -> &TraceConfig {
+        &self.generator.config
+    }
+
+    /// The content catalogue of this generation run.
+    pub fn catalogue(&self) -> &Catalogue {
+        &self.catalogue
+    }
+
+    /// The user population of this generation run.
+    pub fn population(&self) -> &Population {
+        &self.population
+    }
+
+    /// Accumulated wall-clock time spent columnarising emitted segments, in
+    /// milliseconds (the rest of [`SegmentStream::next_segment`]'s cost is
+    /// synthesis + merge).
+    pub fn columnarize_ms(&self) -> f64 {
+        self.columnarize_ms
     }
 }
 
@@ -917,6 +1167,42 @@ mod tests {
                 let merged = merge_session_batches(&[a.to_vec(), b.to_vec()], workers);
                 assert_eq!(merged, expected, "{name}, {workers} workers");
             }
+        }
+    }
+
+    #[test]
+    fn segmented_emit_matches_monolithic_generation() {
+        let generator = TraceGenerator::new(small_config(), 1234);
+        let trace = generator.generate().unwrap();
+        let mut stream = generator.segments().unwrap();
+        assert_eq!(stream.config(), trace.config());
+        assert_eq!(stream.catalogue(), trace.catalogue());
+        assert_eq!(stream.population(), trace.population());
+        let mut emitted = Vec::new();
+        let mut days = 0u32;
+        while let Some(segment) = stream.next_segment() {
+            assert_eq!(stream.next_day(), days + 1);
+            emitted.extend(segment.to_records());
+            days += 1;
+        }
+        assert!(
+            stream.next_segment().is_none(),
+            "stream must stay exhausted"
+        );
+        assert_eq!(days, trace.config().days);
+        assert_eq!(emitted.as_slice(), trace.sessions());
+        assert!(stream.columnarize_ms() >= 0.0);
+
+        // The collected SegmentedStore and the segment-by-segment stream
+        // agree, for any worker count.
+        let collected = generator.generate_segmented().unwrap();
+        assert_eq!(collected.to_records().as_slice(), trace.sessions());
+        for workers in [2usize, 8] {
+            let parallel = TraceGenerator::new(small_config(), 1234)
+                .workers(workers)
+                .generate_segmented()
+                .unwrap();
+            assert_eq!(parallel, collected, "{workers} workers");
         }
     }
 

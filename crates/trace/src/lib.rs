@@ -24,7 +24,13 @@
 //!   [`TraceGenerator::workers`](generator::TraceGenerator::workers), fans
 //!   per-item synthesis across threads with byte-identical output;
 //! * a columnar [`store`] ([`SessionStore`]) the simulation engine replays
-//!   instead of row records, shared across sweep scenarios;
+//!   instead of row records, shared across sweep scenarios — plus its
+//!   per-day forms for full-scale runs: [`SegmentedStore`] partitions a
+//!   trace into one [`SessionStore`] per day, and
+//!   [`TraceGenerator::segments`](generator::TraceGenerator::segments)
+//!   **streams** those segments out one at a time (persistent per-item RNG
+//!   streams keep the emission byte-identical to monolithic generation)
+//!   so peak memory holds a single day;
 //! * [`stats`] to regenerate Table I from any generated trace, and [`io`]
 //!   for a simple CSV round-trip format.
 //!
@@ -63,11 +69,12 @@ pub mod time;
 
 pub use content::{Catalogue, ContentId, ContentItem};
 pub use generator::{
-    merge_session_batches, ScalePreset, Trace, TraceConfig, TraceError, TraceGenerator,
+    merge_session_batches, ScalePreset, SegmentStream, Trace, TraceConfig, TraceError,
+    TraceGenerator,
 };
 pub use popularity::Popularity;
 pub use population::{Population, UserId};
 pub use session::SessionRecord;
 pub use stats::{Table1, TraceStats};
-pub use store::{SessionStore, StoreCursor};
+pub use store::{SegmentedStore, SessionStore, StoreCursor};
 pub use time::SimTime;

@@ -1,6 +1,6 @@
 //! Columnar (structure-of-arrays) session storage.
 //!
-//! A [`Trace`](crate::Trace) keeps its sessions as a row-major
+//! A [`Trace`] keeps its sessions as a row-major
 //! `Vec<SessionRecord>` — convenient for generation and I/O, but the
 //! simulation engine touches only a few fields per pass (grouping reads
 //! content/ISP/bitrate, the window loop reads start/duration and the peer
@@ -88,7 +88,11 @@ impl SessionStore {
         Self::from_sorted(&sorted, horizon_secs, population_len)
     }
 
-    fn from_sorted(sessions: &[SessionRecord], horizon_secs: u64, population_len: usize) -> Self {
+    pub(crate) fn from_sorted(
+        sessions: &[SessionRecord],
+        horizon_secs: u64,
+        population_len: usize,
+    ) -> Self {
         debug_assert!(sessions.windows(2).all(|w| w[0].start <= w[1].start));
         let n = sessions.len();
         let mut store = Self {
@@ -309,6 +313,229 @@ impl StoreCursor<'_> {
     }
 }
 
+/// A trace's sessions as per-day [`SessionStore`] segments.
+///
+/// The monolithic [`SessionStore`] holds the whole horizon's columns at
+/// once — fine up to the `medium` preset, but the `large`/`full` presets
+/// (1.2 M / 23.5 M sessions) pay tens of bytes per session for the entire
+/// month. A `SegmentedStore` partitions the canonical session order by
+/// **start day**: segment `d` is a complete `SessionStore` over the
+/// sessions starting in `[d·86400, (d+1)·86400)`, and concatenating the
+/// segments reproduces the monolithic column order exactly (sessions are
+/// globally start-sorted, so the day partition is contiguous).
+///
+/// A materialised `SegmentedStore` still holds every segment; the bounded
+/// *peak*-memory path streams segments one at a time from
+/// [`TraceGenerator::segments`](crate::generator::TraceGenerator::segments)
+/// into the engine (`Simulator::run_trace_stream` in `consume-local-sim`)
+/// so only one day is resident. The materialised form is the shared,
+/// replayable middle ground (sweeps, tests) and carries the same global
+/// [`window_range`](SegmentedStore::window_range) /
+/// [`first_at_or_after`](SegmentedStore::first_at_or_after) lookup API as
+/// the monolithic store; the sliding-cursor API lives on each segment
+/// ([`SessionStore::cursor`]).
+///
+/// # Example
+///
+/// ```
+/// use consume_local_trace::{SegmentedStore, SessionStore, TraceConfig, TraceGenerator};
+///
+/// # fn main() -> Result<(), consume_local_trace::TraceError> {
+/// let config = TraceConfig::london_sep2013().scaled(0.0003)?;
+/// let trace = TraceGenerator::new(config, 9).generate()?;
+/// let monolithic = SessionStore::from_trace(&trace);
+/// let segmented = SegmentedStore::from_trace(&trace);
+/// // One segment per horizon day; concatenation is the monolithic order.
+/// assert_eq!(segmented.num_segments() as u64, trace.config().days as u64);
+/// assert_eq!(segmented.len(), monolithic.len());
+/// assert_eq!(segmented.to_records(), monolithic.to_records());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SegmentedStore {
+    segments: Vec<SessionStore>,
+    /// `offsets[d]` = global index of segment `d`'s first session; one
+    /// trailing entry holds `len()`.
+    offsets: Vec<usize>,
+    horizon_secs: u64,
+    population_len: usize,
+}
+
+impl SegmentedStore {
+    /// Seconds covered by one segment (one day).
+    pub const SEGMENT_SECS: u64 = crate::time::SECS_PER_DAY;
+
+    /// Partitions a trace's (already canonically sorted) sessions into
+    /// per-day segments.
+    pub fn from_trace(trace: &Trace) -> Self {
+        Self::from_sorted(
+            trace.sessions(),
+            trace.horizon_seconds(),
+            trace.population().len(),
+        )
+    }
+
+    /// Builds a segmented store from arbitrary records: sorts a copy into
+    /// canonical trace order, then partitions it by start day. Semantics of
+    /// `horizon_secs` / `population_len` are as
+    /// [`SessionStore::from_records`].
+    pub fn from_records(
+        records: &[SessionRecord],
+        horizon_secs: u64,
+        population_len: usize,
+    ) -> Self {
+        let mut sorted = records.to_vec();
+        crate::generator::sort_sessions(&mut sorted);
+        Self::from_sorted(&sorted, horizon_secs, population_len)
+    }
+
+    fn from_sorted(sessions: &[SessionRecord], horizon_secs: u64, population_len: usize) -> Self {
+        let days = day_count(horizon_secs, sessions.last().map(|s| s.start.as_secs()));
+        let mut segments = Vec::with_capacity(days);
+        let mut offsets = Vec::with_capacity(days + 1);
+        let mut lo = 0usize;
+        for day in 0..days {
+            let boundary = (day as u64 + 1) * Self::SEGMENT_SECS;
+            let hi = lo + sessions[lo..].partition_point(|s| s.start.as_secs() < boundary);
+            offsets.push(lo);
+            segments.push(SessionStore::from_sorted(
+                &sessions[lo..hi],
+                horizon_secs,
+                population_len,
+            ));
+            lo = hi;
+        }
+        debug_assert_eq!(lo, sessions.len());
+        offsets.push(sessions.len());
+        Self {
+            segments,
+            offsets,
+            horizon_secs,
+            population_len,
+        }
+    }
+
+    /// Assembles a segmented store from per-day segments (segment `d` must
+    /// hold exactly the sessions starting in day `d`, canonically ordered —
+    /// the shape [`TraceGenerator::segments`](crate::generator::TraceGenerator::segments)
+    /// emits).
+    pub fn from_day_segments(
+        segments: Vec<SessionStore>,
+        horizon_secs: u64,
+        population_len: usize,
+    ) -> Self {
+        debug_assert!(segments.iter().enumerate().all(|(d, s)| {
+            let lo = d as u64 * Self::SEGMENT_SECS;
+            s.start_secs()
+                .iter()
+                .all(|&t| (lo..lo + Self::SEGMENT_SECS).contains(&t))
+        }));
+        let mut offsets = Vec::with_capacity(segments.len() + 1);
+        let mut acc = 0usize;
+        for s in &segments {
+            offsets.push(acc);
+            acc += s.len();
+        }
+        offsets.push(acc);
+        Self {
+            segments,
+            offsets,
+            horizon_secs,
+            population_len,
+        }
+    }
+
+    /// The per-day segments, in day order.
+    pub fn segments(&self) -> &[SessionStore] {
+        &self.segments
+    }
+
+    /// Segment `day` (sessions starting in `[day·86400, (day+1)·86400)`).
+    pub fn segment(&self, day: usize) -> &SessionStore {
+        &self.segments[day]
+    }
+
+    /// Number of day segments (covers the horizon and any later-starting
+    /// sessions).
+    pub fn num_segments(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Total number of sessions across all segments.
+    pub fn len(&self) -> usize {
+        *self.offsets.last().expect("offsets carry a len sentinel")
+    }
+
+    /// Whether the store holds no sessions.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The replay horizon in seconds.
+    pub fn horizon_secs(&self) -> u64 {
+        self.horizon_secs
+    }
+
+    /// Number of users the `user` columns index into.
+    pub fn population_len(&self) -> usize {
+        self.population_len
+    }
+
+    /// Reassembles global session `i` as a row record (same indexing as the
+    /// monolithic store: canonical order across the concatenated segments).
+    pub fn record(&self, i: usize) -> SessionRecord {
+        let day = self.offsets.partition_point(|&o| o <= i) - 1;
+        self.segments[day].record(i - self.offsets[day])
+    }
+
+    /// Reassembles every session in canonical order — identical to the
+    /// monolithic [`SessionStore::to_records`] of the same sessions.
+    pub fn to_records(&self) -> Vec<SessionRecord> {
+        let mut out = Vec::with_capacity(self.len());
+        for s in &self.segments {
+            out.extend(s.to_records());
+        }
+        out
+    }
+
+    /// Global index of the first session starting at or after `secs` (or
+    /// `len()`), agreeing with [`SessionStore::first_at_or_after`] on the
+    /// monolithic store of the same sessions.
+    pub fn first_at_or_after(&self, secs: u64) -> usize {
+        let day = (secs / Self::SEGMENT_SECS) as usize;
+        if day >= self.segments.len() {
+            return self.len();
+        }
+        self.offsets[day] + self.segments[day].first_at_or_after(secs)
+    }
+
+    /// The global index range of sessions starting inside cursor-index
+    /// window `w` (hour `w` of the horizon) — the segmented counterpart of
+    /// [`SessionStore::window_range`].
+    pub fn window_range(&self, w: usize) -> std::ops::Range<usize> {
+        const WINDOWS_PER_SEGMENT: usize =
+            (SegmentedStore::SEGMENT_SECS / INDEX_WINDOW_SECS) as usize;
+        let day = w / WINDOWS_PER_SEGMENT;
+        if day >= self.segments.len() {
+            return self.len()..self.len();
+        }
+        let local = self.segments[day].window_range(w);
+        let base = self.offsets[day];
+        base + local.start..base + local.end
+    }
+}
+
+/// Number of day segments needed to cover `horizon_secs` and the last
+/// session start (sessions may start beyond the horizon; they are never
+/// replayed but stay representable, as in the monolithic store).
+fn day_count(horizon_secs: u64, last_start: Option<u64>) -> usize {
+    let spd = SegmentedStore::SEGMENT_SECS;
+    let for_horizon = horizon_secs.div_ceil(spd).max(1);
+    let for_sessions = last_start.map_or(0, |s| s / spd + 1);
+    for_horizon.max(for_sessions) as usize
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -412,6 +639,93 @@ mod tests {
             let _ = k;
             assert!(store.start_secs()[i] <= t);
         }
+    }
+
+    #[test]
+    fn segmented_store_matches_monolithic_views() {
+        let trace = small_trace();
+        let mono = SessionStore::from_trace(&trace);
+        let seg = SegmentedStore::from_trace(&trace);
+        assert_eq!(seg.num_segments() as u32, trace.config().days);
+        assert_eq!(seg.len(), mono.len());
+        assert!(!seg.is_empty());
+        assert_eq!(seg.horizon_secs(), mono.horizon_secs());
+        assert_eq!(seg.population_len(), mono.population_len());
+        assert_eq!(seg.to_records(), mono.to_records());
+        for i in (0..mono.len()).step_by(89) {
+            assert_eq!(seg.record(i), mono.record(i));
+        }
+        // Segment d holds exactly day d's sessions, canonically ordered.
+        for (d, s) in seg.segments().iter().enumerate() {
+            let lo = d as u64 * SegmentedStore::SEGMENT_SECS;
+            assert!(s
+                .start_secs()
+                .iter()
+                .all(|&t| t >= lo && t < lo + SegmentedStore::SEGMENT_SECS));
+            assert_eq!(s, seg.segment(d));
+        }
+        // Global lookups agree with the monolithic index.
+        for probe in [
+            0,
+            59,
+            3_600,
+            86_399,
+            86_400,
+            15 * 86_400 + 7,
+            seg.horizon_secs() + 5,
+        ] {
+            assert_eq!(
+                seg.first_at_or_after(probe),
+                mono.first_at_or_after(probe),
+                "probe {probe}"
+            );
+        }
+        let windows = (seg.horizon_secs() / INDEX_WINDOW_SECS) as usize;
+        for w in (0..windows).step_by(7).chain([windows + 3]) {
+            assert_eq!(seg.window_range(w), mono.window_range(w), "window {w}");
+        }
+    }
+
+    #[test]
+    fn segmented_from_records_and_day_segments_agree() {
+        let trace = small_trace();
+        let mut shuffled = trace.sessions().to_vec();
+        shuffled.reverse();
+        let from_records = SegmentedStore::from_records(
+            &shuffled,
+            trace.horizon_seconds(),
+            trace.population().len(),
+        );
+        let from_trace = SegmentedStore::from_trace(&trace);
+        assert_eq!(from_records, from_trace);
+        let reassembled = SegmentedStore::from_day_segments(
+            from_trace.segments().to_vec(),
+            trace.horizon_seconds(),
+            trace.population().len(),
+        );
+        assert_eq!(reassembled, from_trace);
+    }
+
+    #[test]
+    fn segmented_empty_and_beyond_horizon_sessions() {
+        let empty = SegmentedStore::from_records(&[], 2 * 86_400, 4);
+        assert!(empty.is_empty());
+        assert_eq!(empty.num_segments(), 2);
+        assert_eq!(empty.first_at_or_after(0), 0);
+        assert_eq!(empty.window_range(5), 0..0);
+        assert_eq!(empty.window_range(1_000), 0..0);
+
+        // A session starting beyond the horizon grows the segment list, as
+        // the monolithic window index grows to cover it.
+        let trace = small_trace();
+        let mut records = vec![trace.sessions()[0]];
+        records[0].start = SimTime(3 * 86_400 + 10);
+        let seg = SegmentedStore::from_records(&records, 86_400, 10);
+        assert_eq!(seg.num_segments(), 4);
+        assert_eq!(seg.len(), 1);
+        assert_eq!(seg.record(0), records[0]);
+        assert_eq!(seg.first_at_or_after(0), 0);
+        assert_eq!(seg.first_at_or_after(4 * 86_400), 1);
     }
 
     #[test]

@@ -117,6 +117,7 @@ fn sweep_runner_identical_across_worker_counts() {
             workers,
             sim_threads: 1,
             trace_workers: Some(workers),
+            segmented: false,
         })
         .unwrap()
         .run()
@@ -151,6 +152,7 @@ fn sweep_json_byte_identical_across_runs_with_fixed_seed() {
             workers: 4,
             sim_threads: 2,
             trace_workers: None,
+            segmented: false,
         })
         .unwrap()
         .run()
@@ -172,6 +174,7 @@ fn sim_threads_inside_sweep_do_not_change_results() {
             workers: 2,
             sim_threads,
             trace_workers: None,
+            segmented: false,
         })
         .unwrap()
         .run()
@@ -179,4 +182,109 @@ fn sim_threads_inside_sweep_do_not_change_results() {
         .render()
     };
     assert_eq!(run_with(1), run_with(8));
+}
+
+#[test]
+fn segmented_trace_generation_bit_identical_to_monolithic() {
+    // The segmented emitter draws from the same persistent per-item
+    // streams as the monolithic day loop, so the concatenated segments
+    // must be byte-identical to the generated trace — at every worker
+    // count.
+    let config = TraceConfig::london_sep2013().scaled(0.0005).unwrap();
+    let reference = TraceGenerator::new(config.clone(), 99).generate().unwrap();
+    for &workers in &THREAD_COUNTS {
+        let segmented = TraceGenerator::new(config.clone(), 99)
+            .workers(workers)
+            .generate_segmented()
+            .unwrap();
+        assert_eq!(
+            segmented.to_records().as_slice(),
+            reference.sessions(),
+            "segmented emit must not depend on {workers} workers"
+        );
+    }
+}
+
+#[test]
+fn segmented_engine_bit_identical_across_thread_counts_and_to_monolithic() {
+    use consume_local::trace::SegmentedStore;
+
+    let trace = shared_trace();
+    let store = SessionStore::from_trace(&trace);
+    let segmented = SegmentedStore::from_trace(&trace);
+    for matcher in [MatcherKind::Hierarchical, MatcherKind::Random] {
+        let reference = Simulator::new(SimConfig {
+            threads: THREAD_COUNTS[0],
+            matcher,
+            ..Default::default()
+        })
+        .run_store(&store);
+        for &threads in &THREAD_COUNTS {
+            let report = Simulator::new(SimConfig {
+                threads,
+                matcher,
+                ..Default::default()
+            })
+            .run_segmented(&segmented);
+            assert_eq!(
+                reference, report,
+                "{matcher:?} segmented report must match monolithic at {threads} threads"
+            );
+        }
+    }
+}
+
+#[test]
+fn parallel_user_scatter_bit_identical_across_thread_counts() {
+    // The engine-side merge fans the per-user traffic scatter over
+    // disjoint user-id ranges (`parallel_map_slices`); the per-user
+    // vectors — and with them the whole report — must be byte-identical at
+    // 1/2/8 workers. (`SimConfig::threads` drives the scatter width, so
+    // this pins the scatter specifically via the users vector.)
+    let trace = shared_trace();
+    let store = SessionStore::from_trace(&trace);
+    let reference = Simulator::new(SimConfig {
+        threads: THREAD_COUNTS[0],
+        ..Default::default()
+    })
+    .run_store(&store);
+    assert!(reference.users.iter().any(|u| u.uploaded_bytes > 0));
+    for &threads in &THREAD_COUNTS[1..] {
+        let report = Simulator::new(SimConfig {
+            threads,
+            ..Default::default()
+        })
+        .run_store(&store);
+        assert_eq!(
+            reference.users, report.users,
+            "user scatter must not depend on {threads} workers"
+        );
+        assert_eq!(reference, report);
+    }
+}
+
+#[test]
+fn segmented_sweep_mode_identical_across_worker_counts_and_modes() {
+    let run_with = |workers: usize, segmented: bool| {
+        SweepRunner::new(SweepConfig {
+            grid: SweepGrid::ci_quick(),
+            seed: 77,
+            workers,
+            sim_threads: 1,
+            trace_workers: Some(workers),
+            segmented,
+        })
+        .unwrap()
+        .run()
+        .to_json_deterministic()
+        .render()
+    };
+    let reference = run_with(THREAD_COUNTS[0], false);
+    for &workers in &THREAD_COUNTS {
+        assert_eq!(
+            reference,
+            run_with(workers, true),
+            "segmented sweep must match the shared-store sweep at {workers} workers"
+        );
+    }
 }
