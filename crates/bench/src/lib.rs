@@ -12,6 +12,9 @@
 //! (e.g. `CL_BENCH_SCALE=0.25 cargo bench -p consume-local-bench`).
 //! EXPERIMENTS.md records the scale used for the committed numbers.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 use std::path::PathBuf;
 
 use consume_local::experiment::Experiment;

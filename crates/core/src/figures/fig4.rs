@@ -1,7 +1,7 @@
 //! Fig. 4: daily aggregate energy savings across the month, per ISP,
 //! simulation vs theory, both energy models.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use consume_local_analytics::SavingsModel;
 use consume_local_energy::{EnergyParams, ModelKind};
@@ -46,7 +46,10 @@ pub fn fig4(report: &SimReport, registry: &IspRegistry, isps: &[IspId]) -> Vec<F
             let Some(profile) = registry.get(isp) else {
                 continue;
             };
-            let mut per_day: HashMap<u32, (f64, f64)> = HashMap::new();
+            // BTreeMap, not HashMap: `theory` below is built straight from
+            // this map's iteration order, which must be day-sorted (the
+            // `hash-iter` lint guards exactly this kind of output path).
+            let mut per_day: BTreeMap<u32, (f64, f64)> = BTreeMap::new();
             for swarm in report.swarms.iter().filter(|s| s.key.isp == Some(isp)) {
                 let model =
                     SavingsModel::new(params, &profile.topology, swarm.upload_ratio.max(1e-9))
@@ -62,11 +65,10 @@ pub fn fig4(report: &SimReport, registry: &IspRegistry, isps: &[IspId]) -> Vec<F
                     e.1 += w;
                 }
             }
-            let mut theory: Vec<(u32, f64)> = per_day
+            let theory: Vec<(u32, f64)> = per_day
                 .into_iter()
                 .map(|(d, (num, den))| (d, num / den))
                 .collect();
-            theory.sort_by_key(|&(d, _)| d);
 
             out.push(Fig4Series {
                 isp,
@@ -81,6 +83,8 @@ pub fn fig4(report: &SimReport, registry: &IspRegistry, isps: &[IspId]) -> Vec<F
 
 #[cfg(test)]
 mod tests {
+    use std::collections::HashMap;
+
     use super::*;
     use crate::experiment::Experiment;
 

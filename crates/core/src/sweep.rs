@@ -37,6 +37,8 @@
 
 use std::fmt;
 use std::sync::Arc;
+// lint:allow(no-wall-clock) wall_ms telemetry only; `to_json_deterministic()`
+// omits every wall-time field, so no clock value reaches a gated output.
 use std::time::Instant;
 
 use consume_local_analytics::sweep::{ScenarioSample, SweepSummary};
@@ -674,12 +676,14 @@ impl SweepRunner {
                     .iter()
                     .find(|s| (s.preset, s.topology) == (preset, topology))
                     .expect("key came from the scenario list");
+                // lint:allow(no-wall-clock) wall-time telemetry, omitted from deterministic JSON
                 let start = Instant::now();
                 let trace = TraceGenerator::new(scenario.trace_config(), seed)
                     .workers(trace_workers)
                     .generate()
                     .expect("preset trace configs are valid");
                 let generate_ms = start.elapsed().as_secs_f64() * 1e3;
+                // lint:allow(no-wall-clock) trace-generation telemetry, omitted from deterministic JSON
                 let start = Instant::now();
                 let store = Arc::new(SessionStore::from_trace(&trace));
                 let columnarize_ms = start.elapsed().as_secs_f64() * 1e3;
@@ -708,6 +712,7 @@ impl SweepRunner {
             let store = &stores[store_idx];
             let sim = Simulator::try_new(scenario.sim_config(seed, sim_threads))
                 .expect("validated in SweepRunner::new");
+            // lint:allow(no-wall-clock) scenario wall-time telemetry, omitted from deterministic JSON
             let start = Instant::now();
             let report = sim.run_store(store);
             let wall_ms = start.elapsed().as_secs_f64() * 1e3;
@@ -787,6 +792,7 @@ impl SweepRunner {
             let mut stream_ms = 0.0;
             let mut sessions = 0u64;
             loop {
+                // lint:allow(no-wall-clock) wall-time telemetry, omitted from deterministic JSON
                 let start = Instant::now();
                 let Some(segment) = stream.next_segment() else {
                     break;
@@ -795,6 +801,7 @@ impl SweepRunner {
                 sessions += segment.len() as u64;
                 parallel_map_slices(&mut flights, &offsets, self.config.workers, |_, chunk| {
                     let flight = chunk[0].as_mut().expect("taken only at finish");
+                    // lint:allow(no-wall-clock) scenario wall-time telemetry, omitted from deterministic JSON
                     let start = Instant::now();
                     flight.run.push_segment(&segment);
                     flight.wall_ms += start.elapsed().as_secs_f64() * 1e3;
@@ -805,6 +812,7 @@ impl SweepRunner {
             let reports: Vec<(SimReport, f64)> =
                 parallel_map_slices(&mut flights, &offsets, self.config.workers, |_, chunk| {
                     let flight = chunk[0].take().expect("each flight finishes once");
+                    // lint:allow(no-wall-clock) scenario wall-time telemetry, omitted from deterministic JSON
                     let start = Instant::now();
                     let report = flight.run.finish();
                     (report, flight.wall_ms + start.elapsed().as_secs_f64() * 1e3)

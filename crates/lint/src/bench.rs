@@ -1,0 +1,153 @@
+//! The `bench-record-schema` rule: static validation of the committed
+//! `BENCH_*.json` perf-trajectory records.
+//!
+//! The records are both documentation (the README's perf tables cite them)
+//! and CI input (`bench_guard` gates regressions against their `wall_ms`
+//! fields), so a malformed record silently weakens the perf gate. This
+//! validator parses each record with the workspace's own hand-rolled JSON
+//! parser ([`JsonValue::parse`]) and checks the `consume-local/bench-v1`
+//! envelope:
+//!
+//! * the root is an object with `schema: "consume-local/bench-v1"`, an
+//!   integer `pr` and a boolean `quick`;
+//! * object keys are unique at every level (the parser accepts duplicates;
+//!   `bench_guard` would silently read the first);
+//! * every `*_ms` field is a non-negative finite number — these are what
+//!   the regression gate consumes;
+//! * every `baseline_commit` is a 7–40 character lowercase hex id;
+//! * every `seed`, `threads` and `workers` is an integer (and thread /
+//!   worker counts are ≥ 1);
+//! * every `runs` / `results` field is an array of objects;
+//! * every `speedup` is a positive finite number.
+
+use consume_local::export::json::JsonValue;
+
+use crate::rules::{Diagnostic, Rule};
+
+/// Validates one bench record. `file` is the record's workspace-relative
+/// path used in diagnostics; `text` is its raw contents.
+pub fn validate_bench_record(file: &str, text: &str) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let mut emit = |message: String| {
+        out.push(Diagnostic {
+            file: file.to_string(),
+            line: 1,
+            rule: Rule::BenchRecordSchema,
+            message,
+        });
+    };
+
+    let value = match JsonValue::parse(text) {
+        Ok(value) => value,
+        Err(err) => {
+            emit(format!("record does not parse: {err}"));
+            return out;
+        }
+    };
+
+    let JsonValue::Obj(fields) = &value else {
+        emit("record root must be a JSON object".to_string());
+        return out;
+    };
+    match value.get("schema").and_then(JsonValue::as_str) {
+        Some("consume-local/bench-v1") => {}
+        Some(other) => emit(format!(
+            "`schema` is {other:?}, expected \"consume-local/bench-v1\""
+        )),
+        None => emit("missing string field `schema`".to_string()),
+    }
+    if !matches!(value.get("pr"), Some(JsonValue::Int(_))) {
+        emit("missing integer field `pr`".to_string());
+    }
+    if !matches!(value.get("quick"), Some(JsonValue::Bool(_))) {
+        emit("missing boolean field `quick`".to_string());
+    }
+    let _ = fields; // root field checks go through `get` above
+    walk("$", &value, &mut emit);
+    out
+}
+
+/// Recursively checks the domain rules at `path`.
+fn walk(path: &str, value: &JsonValue, emit: &mut dyn FnMut(String)) {
+    match value {
+        JsonValue::Obj(fields) => {
+            for (i, (key, _)) in fields.iter().enumerate() {
+                if fields[..i].iter().any(|(prev, _)| prev == key) {
+                    emit(format!("{path}: duplicate key `{key}`"));
+                }
+            }
+            for (key, child) in fields {
+                let child_path = format!("{path}.{key}");
+                check_field(&child_path, key, child, emit);
+                walk(&child_path, child, emit);
+            }
+        }
+        JsonValue::Arr(items) => {
+            for (i, item) in items.iter().enumerate() {
+                walk(&format!("{path}[{i}]"), item, emit);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// The per-key domain rules of `consume-local/bench-v1`.
+fn check_field(path: &str, key: &str, value: &JsonValue, emit: &mut dyn FnMut(String)) {
+    if key == "wall_ms" || key.ends_with("_ms") {
+        // Scalar wall time, or a summary-statistics object over wall times
+        // (`{"mean":..,"min":..,"median":..,"max":..}` in sweep summaries):
+        // every number involved must be finite and non-negative.
+        let ok = match value {
+            JsonValue::Obj(fields) => {
+                !fields.is_empty()
+                    && fields
+                        .iter()
+                        .all(|(_, v)| matches!(number(v), Some(ms) if ms.is_finite() && ms >= 0.0))
+            }
+            _ => matches!(number(value), Some(ms) if ms.is_finite() && ms >= 0.0),
+        };
+        if !ok {
+            emit(format!(
+                "{path}: `{key}` must be a non-negative finite number or an object of \
+                 such numbers (the regression gate consumes it)"
+            ));
+        }
+    }
+    match key {
+        "baseline_commit" => match value.as_str() {
+            Some(id)
+                if (7..=40).contains(&id.len())
+                    && id
+                        .bytes()
+                        .all(|b| b.is_ascii_hexdigit() && !b.is_ascii_uppercase()) => {}
+            _ => emit(format!(
+                "{path}: `baseline_commit` must be a 7–40 char lowercase hex commit id"
+            )),
+        },
+        "seed" if !matches!(value, JsonValue::Int(_)) => {
+            emit(format!("{path}: `seed` must be an integer"));
+        }
+        "threads" | "workers" if !matches!(value, JsonValue::Int(n) if *n >= 1) => {
+            emit(format!("{path}: `{key}` must be an integer ≥ 1"));
+        }
+        "runs" | "results" => match value {
+            JsonValue::Arr(items) if items.iter().all(|i| matches!(i, JsonValue::Obj(_))) => {}
+            _ => emit(format!("{path}: `{key}` must be an array of objects")),
+        },
+        "speedup" => match number(value) {
+            Some(s) if s.is_finite() && s > 0.0 => {}
+            _ => emit(format!(
+                "{path}: `speedup` must be a positive finite number"
+            )),
+        },
+        _ => {}
+    }
+}
+
+fn number(value: &JsonValue) -> Option<f64> {
+    match value {
+        JsonValue::Int(n) => Some(*n as f64),
+        JsonValue::Num(x) => Some(*x),
+        _ => None,
+    }
+}

@@ -1,0 +1,436 @@
+//! A minimal Rust lexer for the lint rules.
+//!
+//! The rules only need two things from a source file: the stream of
+//! **identifier and punctuation tokens** that sit outside every literal and
+//! comment (so `"thread_rng"` in a string or `Instantiates` in a doc
+//! comment can never trigger a rule), and the **line comments** (so
+//! `// lint:allow(...)` pragmas can be recovered). Everything else —
+//! string contents, char literals, numbers — is consumed and dropped.
+//!
+//! The lexer understands the constructs that matter for *skipping
+//! correctly*:
+//!
+//! * line comments (`//`, `///`, `//!`) and nested block comments;
+//! * string literals with escapes, byte strings, and raw (byte) strings
+//!   with any number of `#` guards;
+//! * char literals vs. lifetimes (`'a'` is a literal, `'a` is not);
+//! * raw identifiers (`r#match` lexes as the identifier `match`).
+//!
+//! It is deliberately *not* a full Rust lexer: numbers are consumed
+//! without classification and non-ASCII punctuation is skipped. That is
+//! enough for token-pattern rules, and it keeps the pass dependency-free
+//! (the workspace builds offline; there is no external parser to lean on).
+
+/// What kind of token was produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`thread`, `for`, `HashMap`, ...).
+    Ident,
+    /// A single ASCII punctuation character (`:`, `.`, `(`, ...).
+    Punct,
+}
+
+/// One code token, outside every literal and comment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token<'a> {
+    /// 1-based source line the token starts on.
+    pub line: u32,
+    /// The token text, borrowed from the source.
+    pub text: &'a str,
+    /// Identifier or punctuation.
+    pub kind: TokenKind,
+}
+
+/// One line comment (`//`, `///` or `//!`), captured for pragma scanning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Comment<'a> {
+    /// 1-based source line the comment starts on.
+    pub line: u32,
+    /// Comment text after the `//` marker (doc markers `/`/`!` included).
+    pub text: &'a str,
+}
+
+/// The result of lexing one source file.
+#[derive(Debug, Default)]
+pub struct Lexed<'a> {
+    /// Code tokens in source order.
+    pub tokens: Vec<Token<'a>>,
+    /// Line comments in source order.
+    pub comments: Vec<Comment<'a>>,
+}
+
+impl Lexed<'_> {
+    /// Whether any code token sits on `line`.
+    pub fn has_token_on_line(&self, line: u32) -> bool {
+        self.tokens.iter().any(|t| t.line == line)
+    }
+
+    /// The first code-token line at or after `line`, if any.
+    pub fn next_code_line(&self, line: u32) -> Option<u32> {
+        self.tokens.iter().map(|t| t.line).find(|&l| l >= line)
+    }
+}
+
+/// Lexes `source`, returning its code tokens and line comments.
+pub fn lex(source: &str) -> Lexed<'_> {
+    Lexer {
+        src: source,
+        bytes: source.as_bytes(),
+        pos: 0,
+        line: 1,
+        out: Lexed::default(),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    out: Lexed<'a>,
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+impl<'a> Lexer<'a> {
+    fn run(mut self) -> Lexed<'a> {
+        while let Some(b) = self.peek(0) {
+            match b {
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                b' ' | b'\t' | b'\r' => self.pos += 1,
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
+                b'"' => self.string(),
+                b'\'' => self.char_or_lifetime(),
+                b'r' | b'b' if self.raw_or_byte_prefix() => {}
+                _ if is_ident_start(b) => self.ident(),
+                _ if b.is_ascii_digit() => self.number(),
+                _ if b.is_ascii() => {
+                    self.push_punct();
+                    self.pos += 1;
+                }
+                _ => {
+                    // Non-ASCII outside literals/comments: skip the whole
+                    // character (slicing mid-codepoint would panic).
+                    let ch = self.src[self.pos..].chars().next().expect("in bounds");
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+        self.out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    fn push_punct(&mut self) {
+        self.out.tokens.push(Token {
+            line: self.line,
+            text: &self.src[self.pos..self.pos + 1],
+            kind: TokenKind::Punct,
+        });
+    }
+
+    fn line_comment(&mut self) {
+        let start = self.pos + 2;
+        let mut end = start;
+        while end < self.bytes.len() && self.bytes[end] != b'\n' {
+            end += 1;
+        }
+        self.out.comments.push(Comment {
+            line: self.line,
+            text: &self.src[start..end],
+        });
+        self.pos = end; // the '\n' itself is handled by the main loop
+    }
+
+    fn block_comment(&mut self) {
+        self.pos += 2;
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some(b'/'), Some(b'*')) => {
+                    depth += 1;
+                    self.pos += 2;
+                }
+                (Some(b'*'), Some(b'/')) => {
+                    depth -= 1;
+                    self.pos += 2;
+                }
+                (Some(b'\n'), _) => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                (Some(_), _) => self.pos += 1,
+                (None, _) => return, // unterminated; nothing more to lex
+            }
+        }
+    }
+
+    /// A `"`-delimited string with `\` escapes; newlines inside count.
+    fn string(&mut self) {
+        self.pos += 1;
+        while let Some(b) = self.peek(0) {
+            match b {
+                b'\\' => self.pos += 2,
+                b'"' => {
+                    self.pos += 1;
+                    return;
+                }
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                _ => self.pos += 1,
+            }
+        }
+    }
+
+    /// Distinguishes `'a'` / `'\n'` (char literals, skipped) from `'a` /
+    /// `'static` (lifetimes and loop labels, no closing quote).
+    fn char_or_lifetime(&mut self) {
+        self.pos += 1;
+        match self.peek(0) {
+            Some(b'\\') => {
+                // Escape: consume `\x`, or `\u{...}` up to the brace.
+                self.pos += 2;
+                if self.bytes.get(self.pos.wrapping_sub(1)) == Some(&b'u')
+                    && self.peek(0) == Some(b'{')
+                {
+                    while !matches!(self.peek(0), Some(b'}') | None) {
+                        self.pos += 1;
+                    }
+                    self.pos += 1;
+                }
+                if self.peek(0) == Some(b'\'') {
+                    self.pos += 1;
+                }
+            }
+            Some(b) if is_ident_continue(b) => {
+                // `'a'` is a char literal; `'a` / `'static` a lifetime.
+                while self.peek(0).is_some_and(is_ident_continue) {
+                    self.pos += 1;
+                }
+                if self.peek(0) == Some(b'\'') {
+                    self.pos += 1;
+                }
+            }
+            Some(b) if !b.is_ascii() => {
+                let ch = self.src[self.pos..].chars().next().expect("in bounds");
+                self.pos += ch.len_utf8();
+                if self.peek(0) == Some(b'\'') {
+                    self.pos += 1;
+                }
+            }
+            Some(_) => {
+                // `'('`-style literal: one punctuation char then the quote.
+                self.pos += 1;
+                if self.peek(0) == Some(b'\'') {
+                    self.pos += 1;
+                }
+            }
+            None => {}
+        }
+    }
+
+    /// Handles the `r` / `b` prefixes: raw strings (`r"`, `r#"`, `br#"`),
+    /// byte strings (`b"`), byte chars (`b'`) and raw identifiers
+    /// (`r#match`). Returns false when the `r`/`b` is just the start of an
+    /// ordinary identifier, leaving the position untouched.
+    fn raw_or_byte_prefix(&mut self) -> bool {
+        let b0 = self.bytes[self.pos];
+        let mut at = self.pos + 1;
+        if b0 == b'b' {
+            match self.bytes.get(at).copied() {
+                Some(b'"') => {
+                    self.pos = at;
+                    self.string();
+                    return true;
+                }
+                Some(b'\'') => {
+                    self.pos = at;
+                    self.char_or_lifetime();
+                    return true;
+                }
+                Some(b'r') => at += 1,
+                _ => return false,
+            }
+        }
+        // At `at`: expect `#`* then `"` for a raw string.
+        let mut hashes = 0usize;
+        while self.bytes.get(at + hashes).copied() == Some(b'#') {
+            hashes += 1;
+        }
+        if self.bytes.get(at + hashes).copied() == Some(b'"') {
+            self.raw_string(at + hashes + 1, hashes);
+            return true;
+        }
+        // `r#ident` (raw identifier): lex as the bare identifier.
+        if b0 == b'r' && hashes == 1 && self.bytes.get(at + 1).copied().is_some_and(is_ident_start)
+        {
+            self.pos = at + 1;
+            self.ident();
+            return true;
+        }
+        false
+    }
+
+    /// Scans a raw string whose body starts at `body`, closed by `"` plus
+    /// `hashes` `#` characters.
+    fn raw_string(&mut self, body: usize, hashes: usize) {
+        self.pos = body;
+        while let Some(b) = self.peek(0) {
+            if b == b'\n' {
+                self.line += 1;
+                self.pos += 1;
+                continue;
+            }
+            if b == b'"' {
+                let closed = (1..=hashes).all(|i| self.peek(i) == Some(b'#'));
+                self.pos += 1;
+                if closed {
+                    self.pos += hashes;
+                    return;
+                }
+                continue;
+            }
+            self.pos += 1;
+        }
+    }
+
+    fn ident(&mut self) {
+        let start = self.pos;
+        while self.peek(0).is_some_and(is_ident_continue) {
+            self.pos += 1;
+        }
+        self.out.tokens.push(Token {
+            line: self.line,
+            text: &self.src[start..self.pos],
+            kind: TokenKind::Ident,
+        });
+    }
+
+    /// Consumes a numeric literal without producing a token. Enough of the
+    /// grammar to not mis-lex what follows: `1_000`, `0x1F`, `1.0e-5`,
+    /// `2..3` (the range dots are left alone).
+    fn number(&mut self) {
+        self.pos += 1;
+        while let Some(b) = self.peek(0) {
+            if is_ident_continue(b) {
+                self.pos += 1;
+                // `1e-5` / `1E+5`: the sign belongs to the literal.
+                if (b == b'e' || b == b'E')
+                    && matches!(self.peek(0), Some(b'+') | Some(b'-'))
+                    && self.peek(1).is_some_and(|d| d.is_ascii_digit())
+                {
+                    self.pos += 1;
+                }
+            } else if b == b'.'
+                && self.peek(1).is_some_and(|d| d.is_ascii_digit())
+                && self.peek(1) != Some(b'.')
+            {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<&str> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_tokens() {
+        let src = r##"
+let a = "thread_rng inside a string";
+// thread_rng inside a line comment
+/* thread_rng inside a /* nested */ block comment */
+let b = r#"thread_rng inside a raw string"#;
+let c = b"thread_rng in a byte string";
+"##;
+        let ids = idents(src);
+        assert!(!ids.contains(&"thread_rng"), "{ids:?}");
+        assert_eq!(ids, ["let", "a", "let", "b", "let", "c"]);
+    }
+
+    #[test]
+    fn char_literals_vs_lifetimes() {
+        let src = "fn f<'a>(x: &'a str) -> char { let q = 'q'; let n = '\\n'; q }";
+        let ids = idents(src);
+        // The lifetime ident `a` is skipped with the quote; `q` appears as
+        // the variable, not from inside the literal.
+        assert_eq!(
+            ids,
+            ["fn", "f", "x", "str", "char", "let", "q", "let", "n", "q"]
+        );
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_bare_names() {
+        assert_eq!(idents("let r#match = 1;"), ["let", "match"]);
+    }
+
+    #[test]
+    fn raw_strings_with_guards_and_newlines() {
+        let src = "let s = r##\"line1 \"# not closed\nInstant\"##; Instant";
+        let lexed = lex(src);
+        let instants: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.text == "Instant")
+            .collect();
+        assert_eq!(instants.len(), 1);
+        assert_eq!(
+            instants[0].line, 2,
+            "line counting continues inside raw strings"
+        );
+    }
+
+    #[test]
+    fn comments_are_captured_with_lines() {
+        let src = "let x = 1; // lint:allow(no-wall-clock) timing only\n// next line\n";
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 2);
+        assert_eq!(lexed.comments[0].line, 1);
+        assert!(lexed.comments[0].text.contains("lint:allow(no-wall-clock)"));
+        assert_eq!(lexed.comments[1].line, 2);
+    }
+
+    #[test]
+    fn numbers_do_not_swallow_ranges_or_methods() {
+        assert_eq!(
+            idents("for i in 0..10 { x.0.max(1.0e-5); }"),
+            ["for", "i", "in", "x", "max"]
+        );
+    }
+
+    #[test]
+    fn line_numbers_are_tracked_through_literals() {
+        let src = "a\n\"two\nlines\"\nb";
+        let lexed = lex(src);
+        assert_eq!(lexed.tokens[0].line, 1);
+        assert_eq!(lexed.tokens[1].line, 4);
+    }
+}

@@ -1,0 +1,99 @@
+//! Fixture tests for the `bench-record-schema` rule: committed
+//! `BENCH_*.json` files must conform to the `consume-local/bench-v1`
+//! envelope.
+
+use consume_local_lint::{validate_bench_record, Rule};
+
+const VALID: &str = r#"{
+  "schema": "consume-local/bench-v1",
+  "pr": 4,
+  "quick": true,
+  "baseline_commit": "4bee6a6",
+  "runs": [
+    { "name": "trace_gen", "seed": 2018, "threads": 4, "wall_ms": 812.5 },
+    { "name": "window_loop", "seed": 2018, "threads": 4,
+      "wall_ms": { "mean": 100.0, "min": 95.0, "median": 99.0, "max": 110.0 } }
+  ],
+  "results": [
+    { "name": "trace_gen", "speedup": 2.3 }
+  ]
+}"#;
+
+#[test]
+fn valid_record_passes() {
+    let diags = validate_bench_record("BENCH_T.json", VALID);
+    assert!(
+        diags.is_empty(),
+        "{}",
+        diags
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+fn expect_schema_finding(text: &str, needle: &str) {
+    let diags = validate_bench_record("BENCH_T.json", text);
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.rule == Rule::BenchRecordSchema && d.message.contains(needle)),
+        "expected a bench-record-schema finding mentioning {needle:?}; got: {:?}",
+        diags.iter().map(|d| d.to_string()).collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn wrong_schema_string_fails() {
+    expect_schema_finding(&VALID.replace("bench-v1", "bench-v2"), "schema");
+}
+
+#[test]
+fn negative_wall_ms_fails() {
+    expect_schema_finding(&VALID.replace("812.5", "-1.0"), "wall_ms");
+}
+
+#[test]
+fn non_hex_baseline_commit_fails() {
+    expect_schema_finding(
+        &VALID.replace("4bee6a6", "not-a-commit!"),
+        "baseline_commit",
+    );
+}
+
+#[test]
+fn zero_threads_fails() {
+    expect_schema_finding(
+        &VALID.replace("\"threads\": 4", "\"threads\": 0"),
+        "threads",
+    );
+}
+
+#[test]
+fn runs_not_an_array_fails() {
+    expect_schema_finding(
+        &VALID
+            .replace("\"runs\": [", "\"runs\": {\"x\": [")
+            .replace("  ],\n  \"results\"", "  ]},\n  \"results\""),
+        "runs",
+    );
+}
+
+#[test]
+fn missing_schema_field_fails() {
+    expect_schema_finding(
+        &VALID.replace("\"schema\": \"consume-local/bench-v1\",", ""),
+        "schema",
+    );
+}
+
+#[test]
+fn unparseable_json_fails() {
+    expect_schema_finding("{ not json", "parse");
+}
+
+#[test]
+fn stats_object_wall_ms_rejects_negative_member() {
+    expect_schema_finding(&VALID.replace("\"min\": 95.0", "\"min\": -95.0"), "wall_ms");
+}

@@ -858,17 +858,17 @@ mod tests {
         let p = Poisson::new(lambda).unwrap();
         let mut r = rng("ptrs");
         let n = 60_000usize;
-        let mut counts = std::collections::HashMap::new();
+        let mut freq_of = std::collections::HashMap::new();
         for _ in 0..n {
             let k = p.sample(&mut r) as u64;
-            *counts.entry(k).or_insert(0u32) += 1;
+            *freq_of.entry(k).or_insert(0u32) += 1;
             assert!(
                 (k as f64 - lambda).abs() < 10.0 * lambda.sqrt(),
                 "sample {k} implausibly far from the mean"
             );
         }
         for k in [90u64, 110, 120, 130, 150] {
-            let freq = f64::from(counts.get(&k).copied().unwrap_or(0)) / n as f64;
+            let freq = f64::from(freq_of.get(&k).copied().unwrap_or(0)) / n as f64;
             let expect = p.pmf(k);
             let tol = 4.0 * (expect / n as f64).sqrt() + 2e-4;
             assert!(

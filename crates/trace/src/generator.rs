@@ -357,11 +357,17 @@ pub fn merge_session_batches(
     // memory than swapping 40-byte records through a comparison sort. The
     // 59-bit key (22-bit start seconds, 22-bit user, 15-bit content) covers
     // every London preset; larger custom worlds take the plain record sort.
-    let compact = sessions
-        .iter()
-        .all(|s| s.start.as_secs() < (1 << 22) && s.user.0 < (1 << 22) && s.content.0 < (1 << 15));
+    let (mut max_start, mut max_user, mut max_content) = (0u64, 0u32, 0u32);
+    for s in &sessions {
+        max_start = max_start.max(s.start.as_secs());
+        max_user = max_user.max(s.user.0);
+        max_content = max_content.max(s.content.0);
+    }
+    let compact = max_start < sort_key_bounds::START_SECS
+        && max_user < sort_key_bounds::USERS
+        && max_content < sort_key_bounds::ITEMS;
     if !compact {
-        note_wide_sort_fallback();
+        note_wide_sort_fallback(max_start, max_user, max_content);
     }
     parallel_map_slices(&mut sessions, &offsets, workers, |_, slice| {
         sort_bucket(slice, compact);
@@ -395,18 +401,45 @@ fn sort_bucket(slice: &mut [SessionRecord], compact: bool) {
     slice.copy_from_slice(&scratch);
 }
 
+/// Exclusive bounds of the compact 59-bit session sort key: a record fits
+/// iff every field is strictly below its bound. Every London preset fits;
+/// larger custom worlds take the (identical-output, slower) wide record
+/// sort — [`crate::TraceStats::sort_key_fallback`] reports which path a
+/// trace takes, and the merge warns once on stderr naming the exceeded
+/// bound and the measured value.
+pub mod sort_key_bounds {
+    /// Start-time bound: 2²² seconds ≈ 48.5-day horizons.
+    pub const START_SECS: u64 = 1 << 22;
+    /// User-id bound: 2²² ≈ 4.19 M users.
+    pub const USERS: u32 = 1 << 22;
+    /// Content-id bound: 2¹⁵ = 32 K items.
+    pub const ITEMS: u32 = 1 << 15;
+}
+
 /// Notes (once per process) that a scenario exceeded the compact sort-key
-/// bounds — 2²² s ≈ 48.5-day horizons, 2²² ≈ 4.19 M users, 2¹⁵ = 32 K items
-/// — and the merge fell back to the slower wide record sort. The fallback is
-/// correct (pinned by `wide_sort_fallback_identical_at_every_bound`), just
-/// slower; the note stops the silent perf cliff from going unnoticed.
-fn note_wide_sort_fallback() {
+/// bounds and the merge fell back to the slower wide record sort, naming
+/// each exceeded bound and the measured maximum. The fallback is correct
+/// (pinned by `wide_sort_fallback_identical_at_every_bound`), just slower;
+/// the note stops the silent perf cliff from going unnoticed — and
+/// [`crate::TraceStats::sort_key_fallback`] exposes the same predicate
+/// programmatically for sweeps.
+fn note_wide_sort_fallback(max_start: u64, max_user: u32, max_content: u32) {
     static NOTE: std::sync::Once = std::sync::Once::new();
     NOTE.call_once(|| {
+        let mut exceeded = Vec::new();
+        if max_start >= sort_key_bounds::START_SECS {
+            exceeded.push(format!("start secs {max_start} ≥ 2^22 (≈48.5-day horizon)"));
+        }
+        if max_user >= sort_key_bounds::USERS {
+            exceeded.push(format!("user id {max_user} ≥ 2^22 (4.19 M users)"));
+        }
+        if max_content >= sort_key_bounds::ITEMS {
+            exceeded.push(format!("content id {max_content} ≥ 2^15 (32 K items)"));
+        }
         eprintln!(
-            "note: trace exceeds the compact sort-key bounds \
-             (< 2^22 start secs / 2^22 users / 2^15 items); \
-             merging via the wide record sort (identical output, slower)"
+            "note: trace exceeds the compact sort-key bounds — {}; \
+             merging via the wide record sort (identical output, slower)",
+            exceeded.join(", ")
         );
     });
 }
@@ -850,6 +883,8 @@ impl SegmentStream<'_> {
             },
         );
         let sessions = merge_session_batches(&per_item, generator.workers);
+        // lint:allow(no-wall-clock) columnarize_ms telemetry for the bench
+        // harness; never part of a trace, report, or any gated output
         let start = std::time::Instant::now();
         let segment =
             SessionStore::from_sorted(&sessions, config.horizon_seconds(), self.population.len());

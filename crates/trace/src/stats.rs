@@ -4,7 +4,7 @@ use std::collections::HashSet;
 
 use serde::{Deserialize, Serialize};
 
-use crate::generator::Trace;
+use crate::generator::{sort_key_bounds, Trace};
 
 /// Aggregate statistics of a trace, the quantities behind Table I.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -24,6 +24,13 @@ pub struct TraceStats {
     pub sessions_per_user: f64,
     /// Distinct content items watched.
     pub items_watched: u64,
+    /// Whether the trace exceeds the compact 59-bit sort-key bounds
+    /// ([`crate::generator::sort_key_bounds`]: 2²² start seconds / 2²²
+    /// users / 2¹⁵ items), making sort-based pipelines (the parallel merge,
+    /// segment emission) take the wide record sort — correct but slower.
+    /// Sweeps over custom scales can check this instead of scraping the
+    /// once-per-process stderr note.
+    pub sort_key_fallback: bool,
 }
 
 impl TraceStats {
@@ -34,6 +41,7 @@ impl TraceStats {
         let mut items = HashSet::new();
         let mut watch_secs = 0u64;
         let mut bytes = 0u64;
+        let mut sort_key_fallback = false;
         for s in trace.sessions() {
             users.insert(s.user);
             items.insert(s.content);
@@ -42,6 +50,9 @@ impl TraceStats {
             }
             watch_secs += u64::from(s.duration_secs);
             bytes += s.bytes_watched();
+            sort_key_fallback |= s.start.as_secs() >= sort_key_bounds::START_SECS
+                || s.user.0 >= sort_key_bounds::USERS
+                || s.content.0 >= sort_key_bounds::ITEMS;
         }
         let sessions = trace.sessions().len() as u64;
         Self {
@@ -52,6 +63,7 @@ impl TraceStats {
             bytes,
             sessions_per_user: sessions as f64 / (users.len() as f64).max(1.0),
             items_watched: items.len() as u64,
+            sort_key_fallback,
         }
     }
 
@@ -174,6 +186,47 @@ mod tests {
             "sessions {} vs paper {sessions}",
             table.projected_sessions
         );
+    }
+
+    #[test]
+    fn sort_key_fallback_reported_per_bound() {
+        // London presets fit the compact key: no fallback.
+        let t = trace(0.002, 7);
+        assert!(!TraceStats::measure(&t).sort_key_fallback);
+
+        // Pushing any one field past its bound flips the flag. Rebuild the
+        // trace with one doctored record per case.
+        let base = t.sessions()[0];
+        for (name, record) in [
+            ("start", {
+                let mut s = base;
+                s.start = crate::time::SimTime(sort_key_bounds::START_SECS);
+                s
+            }),
+            ("user", {
+                let mut s = base;
+                s.user = crate::population::UserId(sort_key_bounds::USERS);
+                s
+            }),
+            ("content", {
+                let mut s = base;
+                s.content = crate::content::ContentId(sort_key_bounds::ITEMS);
+                s
+            }),
+        ] {
+            let mut sessions = t.sessions().to_vec();
+            sessions.push(record);
+            let doctored = Trace::from_parts(
+                t.config().clone(),
+                t.catalogue().clone(),
+                t.population().clone(),
+                sessions,
+            );
+            assert!(
+                TraceStats::measure(&doctored).sort_key_fallback,
+                "{name} bound exceeded must set sort_key_fallback"
+            );
+        }
     }
 
     #[test]

@@ -8,6 +8,11 @@
 //! outlier analysis or HTML reports. Swapping back to the real criterion is
 //! a manifest-only change.
 
+// The shims stay `unsafe`-free like the product crates (the `crate-header`
+// lint rule checks this); the missing-docs policy applies to product crates
+// only — shim APIs mirror their upstream crates.
+#![forbid(unsafe_code)]
+
 use std::time::Instant;
 
 /// Opaque value barrier; defeats constant-folding of benchmark inputs.

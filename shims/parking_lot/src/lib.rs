@@ -6,6 +6,11 @@
 //! recovered transparently, matching `parking_lot`'s no-poisoning semantics.
 //! Swapping back to the real crate is a manifest-only change.
 
+// The shims stay `unsafe`-free like the product crates (the `crate-header`
+// lint rule checks this); the missing-docs policy applies to product crates
+// only — shim APIs mirror their upstream crates.
+#![forbid(unsafe_code)]
+
 use std::sync::PoisonError;
 
 /// Re-export of the std guard type; `parking_lot`'s guard has the same

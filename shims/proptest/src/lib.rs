@@ -11,6 +11,11 @@
 //! entropy source, so failures always reproduce. The case count defaults to
 //! 256 and honours the `PROPTEST_CASES` environment variable.
 
+// The shims stay `unsafe`-free like the product crates (the `crate-header`
+// lint rule checks this); the missing-docs policy applies to product crates
+// only — shim APIs mirror their upstream crates.
+#![forbid(unsafe_code)]
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 

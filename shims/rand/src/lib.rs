@@ -10,6 +10,11 @@
 //! quality, never on specific draw values, so the two are interchangeable
 //! here. Swapping back to the real crate is a manifest-only change.
 
+// The shims stay `unsafe`-free like the product crates (the `crate-header`
+// lint rule checks this); the missing-docs policy applies to product crates
+// only — shim APIs mirror their upstream crates.
+#![forbid(unsafe_code)]
+
 /// A source of 64-bit randomness.
 pub trait RngCore {
     /// Returns the next 64 random bits.

@@ -10,6 +10,11 @@
 //! machinery is needed. Replacing this shim with the real serde is a
 //! manifest-only change.
 
+// The shims stay `unsafe`-free like the product crates (the `crate-header`
+// lint rule checks this); the missing-docs policy applies to product crates
+// only — shim APIs mirror their upstream crates.
+#![forbid(unsafe_code)]
+
 pub use serde_derive::{Deserialize, Serialize};
 
 /// Marker form of `serde::Serialize`; satisfied by every type.

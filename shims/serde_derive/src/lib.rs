@@ -10,6 +10,11 @@
 //! Swapping the workspace back to the real serde is a manifest-only change;
 //! no source file names this crate directly.
 
+// The shims stay `unsafe`-free like the product crates (the `crate-header`
+// lint rule checks this); the missing-docs policy applies to product crates
+// only — shim APIs mirror their upstream crates.
+#![forbid(unsafe_code)]
+
 use proc_macro::TokenStream;
 
 /// Accepts `#[derive(Serialize)]` (and any `#[serde(...)]` attributes) and

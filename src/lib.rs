@@ -4,4 +4,7 @@
 //! integration tests under `tests/`. All functionality lives in the workspace
 //! crates and is re-exported through [`consume_local`].
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub use consume_local;
