@@ -55,7 +55,7 @@ fn benches(c: &mut Criterion) {
     .generate()
     .expect("valid config");
     c.bench_function("policies/simulation_0.001", |b| {
-        b.iter(|| Simulator::new(SimConfig::default()).run(&trace))
+        b.iter(|| Simulator::new(SimConfig::default()).simulate(&trace))
     });
 }
 

@@ -18,7 +18,7 @@ fn run(popularity: Popularity, label: &str, csv: &mut String) {
     let trace = TraceGenerator::new(config, 2013)
         .generate()
         .expect("valid config");
-    let report = Simulator::new(SimConfig::default()).run(&trace);
+    let report = Simulator::new(SimConfig::default()).simulate(&trace);
     let v = report
         .total_savings(&EnergyParams::valancius())
         .unwrap_or(0.0);

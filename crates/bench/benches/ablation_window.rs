@@ -51,7 +51,7 @@ fn benches(c: &mut Criterion) {
                 ..Default::default()
             };
             let sim = Simulator::new(cfg);
-            b.iter(|| sim.run(&trace))
+            b.iter(|| sim.simulate(&trace))
         });
     }
     group.finish();

@@ -125,7 +125,7 @@ fn engine_on_store_record(reps: usize, store: &SessionStore) -> JsonValue {
             threads,
             ..Default::default()
         });
-        let wall_ms = best_of(reps, || sim.run_store(store));
+        let wall_ms = best_of(reps, || sim.simulate(store));
         let speedup =
             baseline_ms.and_then(|b| consume_local::analytics::sweep::speedup(b, wall_ms));
         println!(
@@ -208,7 +208,7 @@ fn large_preset_record(quick: bool) -> JsonValue {
         threads: 8,
         ..Default::default()
     });
-    let (simulate_ms, _) = timed_cold(reps, || sim.run_store(&store));
+    let (simulate_ms, _) = timed_cold(reps, || sim.simulate(&store));
     println!(
         "generate(w8)={generate_ms:.0} ms columnarize={columnarize_ms:.0} ms \
          engine(t8)={simulate_ms:.0} ms ({} sessions)",
@@ -273,9 +273,7 @@ fn benches(c: &mut Criterion) {
     });
     let mut group = c.benchmark_group("columnar_engine");
     group.sample_size(10);
-    group.bench_function("engine_store_smoke_t1", |b| {
-        b.iter(|| sim.run_store(&store))
-    });
+    group.bench_function("engine_store_smoke_t1", |b| b.iter(|| sim.simulate(&store)));
     group.bench_function("merge_smoke_serial", |b| {
         b.iter(|| merge_session_batches(&per_item, 1))
     });

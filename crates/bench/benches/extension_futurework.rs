@@ -71,7 +71,7 @@ fn regenerate() {
     };
     let trace =
         live_event_trace(&base, shared_population(&base), &[event], 2013).expect("valid event");
-    let report = Simulator::new(exp.sim_config().clone()).run(&trace);
+    let report = Simulator::new(exp.sim_config().clone()).simulate(&trace);
     let v = report
         .total_savings(&EnergyParams::valancius())
         .unwrap_or(0.0);
@@ -114,7 +114,7 @@ fn benches(c: &mut Criterion) {
         let trace = live_event_trace(&base, population.clone(), std::slice::from_ref(&event), 7)
             .expect("valid event");
         let sim = Simulator::new(SimConfig::default());
-        b.iter(|| sim.run(&trace))
+        b.iter(|| sim.simulate(&trace))
     });
 }
 

@@ -93,7 +93,7 @@ fn benches(c: &mut Criterion) {
     let trace = exemplar_trace();
     // Kernel: one full-ratio simulation of the exemplar swarms.
     c.bench_function("fig2/exemplar_simulation_ratio1", |b| {
-        b.iter(|| Simulator::new(SimConfig::with_ratio(1.0)).run(&trace))
+        b.iter(|| Simulator::new(SimConfig::with_ratio(1.0)).simulate(&trace))
     });
 }
 

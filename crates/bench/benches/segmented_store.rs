@@ -99,7 +99,7 @@ fn large_record(reps: usize) -> JsonValue {
     reset_peak_rss();
     let (generate_ms, trace) = timed_cold(reps, || generator.generate().expect("valid preset"));
     let (columnarize_ms, store) = timed_cold(reps, || SessionStore::from_trace(&trace));
-    let (engine_ms, monolithic_report) = timed_cold(reps, || sim.run_store(&store));
+    let (engine_ms, monolithic_report) = timed_cold(reps, || sim.simulate(&store));
     let monolithic_peak = peak_rss_mb();
     let sessions = store.len();
     drop(store);
@@ -109,7 +109,7 @@ fn large_record(reps: usize) -> JsonValue {
     reset_peak_rss();
     let (stream_ms, stream_report) = timed_cold(reps, || {
         let mut stream = generator.segments().expect("valid preset");
-        sim.run_trace_stream(&mut stream)
+        sim.simulate(&mut stream)
     });
     let stream_peak = peak_rss_mb();
     // The acceptance bar for the whole pipeline: identical bytes.
@@ -173,7 +173,7 @@ fn full_record() -> JsonValue {
     reset_peak_rss();
     let start = Instant::now();
     let mut stream = generator.segments().expect("valid preset");
-    let report = sim.run_trace_stream(&mut stream);
+    let report = sim.simulate(&mut stream);
     let wall_ms = start.elapsed().as_secs_f64() * 1e3;
     let peak = peak_rss_mb();
     let sessions: u64 = report.swarms.iter().map(|s| s.sessions).sum();
@@ -254,12 +254,12 @@ fn benches(c: &mut Criterion) {
         b.iter(|| generator.generate_segmented().expect("valid preset"))
     });
     group.bench_function("engine_segmented_smoke_t1", |b| {
-        b.iter(|| sim.run_segmented(&segmented))
+        b.iter(|| sim.simulate(&segmented))
     });
     group.bench_function("stream_end_to_end_smoke_t1", |b| {
         b.iter(|| {
             let mut stream = generator.segments().expect("valid preset");
-            sim.run_trace_stream(&mut stream)
+            sim.simulate(&mut stream)
         })
     });
     group.finish();

@@ -33,13 +33,13 @@ const ENGINE_SEED: u64 = 2018;
 /// pairs these with same-machine post-optimization numbers.
 const BASELINE_WALL_MS: [(usize, f64); 2] = [(1, 1595.7), (8, 1566.6)];
 
-/// Best-of-3 wall time (ms) for one `Simulator::run`, after one warm-up.
+/// Best-of-3 wall time (ms) for one `Simulator::simulate`, after one warm-up.
 fn time_run(sim: &Simulator, trace: &Trace) -> f64 {
-    let _ = sim.run(trace);
+    let _ = sim.simulate(trace);
     let mut best = f64::INFINITY;
     for _ in 0..3 {
         let start = Instant::now();
-        let report = sim.run(trace);
+        let report = sim.simulate(trace);
         let ms = start.elapsed().as_secs_f64() * 1e3;
         std::hint::black_box(&report);
         best = best.min(ms);
@@ -149,7 +149,9 @@ fn benches(c: &mut Criterion) {
         threads: 1,
         ..Default::default()
     });
-    group.bench_function("engine_smoke_t1", |b| b.iter(|| sequential.run(&trace)));
+    group.bench_function("engine_smoke_t1", |b| {
+        b.iter(|| sequential.simulate(&trace))
+    });
     let runner = SweepRunner::new(SweepConfig {
         grid: SweepGrid::paper_point(),
         seed: ENGINE_SEED,

@@ -142,7 +142,7 @@ fn engine_on_store_record(reps: usize, store: &SessionStore) -> JsonValue {
             threads,
             ..Default::default()
         });
-        let wall_ms = best_of(reps, || sim.run_store(store));
+        let wall_ms = best_of(reps, || sim.simulate(store));
         let speedup =
             baseline_ms.and_then(|b| consume_local::analytics::sweep::speedup(b, wall_ms));
         println!(
@@ -213,9 +213,7 @@ fn benches(c: &mut Criterion) {
     group.bench_function("columnarize_smoke", |b| {
         b.iter(|| SessionStore::from_trace(&trace))
     });
-    group.bench_function("engine_store_smoke_t1", |b| {
-        b.iter(|| sim.run_store(&store))
-    });
+    group.bench_function("engine_store_smoke_t1", |b| b.iter(|| sim.simulate(&store)));
     group.finish();
 }
 

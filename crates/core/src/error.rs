@@ -1,0 +1,138 @@
+//! The workspace-level error type.
+//!
+//! Each layer of the workspace has its own narrow error
+//! ([`TraceError`] for workload configuration, [`SimConfigError`] for
+//! simulator parameters, [`OnlineError`] for the live ingest channel) and
+//! the orchestration layer wraps the first two as
+//! [`ExperimentError`]. Application
+//! code that crosses layers — CLIs, services, sweep scripts — previously
+//! had to name all of them or fall back to `Box<dyn Error>`. [`Error`] is
+//! the single enum they all convert into with `?`:
+//!
+//! ```
+//! use consume_local::prelude::*;
+//!
+//! fn run() -> Result<f64, consume_local::Error> {
+//!     let config = TraceConfig::london_sep2013().scaled(0.0003)?; // TraceError
+//!     let sim = Simulator::try_new(SimConfig::default())?; // SimConfigError
+//!     let trace = TraceGenerator::new(config, 7).generate()?;
+//!     let report = sim.simulate(&trace);
+//!     Ok(report
+//!         .total_savings(&EnergyParams::valancius())
+//!         .unwrap_or(0.0))
+//! }
+//! assert!(run().unwrap() > 0.0);
+//! ```
+
+use std::fmt;
+
+use consume_local_sim::{OnlineError, SimConfigError};
+use consume_local_trace::TraceError;
+
+use crate::experiment::ExperimentError;
+
+/// Any error the workspace can produce, one layer per variant.
+#[derive(Debug)]
+pub enum Error {
+    /// Workload generation / trace configuration failed.
+    Trace(TraceError),
+    /// The simulator configuration was invalid.
+    Sim(SimConfigError),
+    /// The online ingest channel failed (late event or disconnect).
+    Online(OnlineError),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Trace(e) => write!(f, "trace: {e}"),
+            Error::Sim(e) => write!(f, "sim config: {e}"),
+            Error::Online(e) => write!(f, "online ingest: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Trace(e) => Some(e),
+            Error::Sim(e) => Some(e),
+            Error::Online(e) => Some(e),
+        }
+    }
+}
+
+impl From<TraceError> for Error {
+    fn from(e: TraceError) -> Self {
+        Error::Trace(e)
+    }
+}
+
+impl From<SimConfigError> for Error {
+    fn from(e: SimConfigError) -> Self {
+        Error::Sim(e)
+    }
+}
+
+impl From<OnlineError> for Error {
+    fn from(e: OnlineError) -> Self {
+        Error::Online(e)
+    }
+}
+
+/// Flattens the orchestration wrapper into the workspace enum, so code
+/// mixing [`Experiment`](crate::experiment::Experiment) calls with direct
+/// layer calls needs only one error type.
+impl From<ExperimentError> for Error {
+    fn from(e: ExperimentError) -> Self {
+        match e {
+            ExperimentError::Trace(e) => Error::Trace(e),
+            ExperimentError::Sim(e) => Error::Sim(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error as _;
+
+    fn trace_err() -> TraceError {
+        consume_local_trace::TraceConfig::london_sep2013()
+            .scaled(0.0)
+            .unwrap_err()
+    }
+
+    fn sim_err() -> SimConfigError {
+        consume_local_sim::Simulator::try_new(consume_local_sim::SimConfig {
+            window_secs: 0,
+            ..Default::default()
+        })
+        .unwrap_err()
+    }
+
+    #[test]
+    fn conversions_preserve_the_layer() {
+        let e: Error = trace_err().into();
+        assert!(matches!(e, Error::Trace(_)));
+        assert!(e.to_string().starts_with("trace: "));
+        assert!(e.source().is_some());
+
+        let e: Error = sim_err().into();
+        assert!(matches!(e, Error::Sim(_)));
+        assert!(e.to_string().starts_with("sim config: "));
+
+        let e: Error = OnlineError::Disconnected.into();
+        assert!(matches!(e, Error::Online(OnlineError::Disconnected)));
+        assert!(e.to_string().contains("disconnected"));
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn experiment_errors_flatten() {
+        let e: Error = ExperimentError::Trace(trace_err()).into();
+        assert!(matches!(e, Error::Trace(_)));
+        let e: Error = ExperimentError::Sim(sim_err()).into();
+        assert!(matches!(e, Error::Sim(_)));
+    }
+}

@@ -116,7 +116,7 @@ impl ExperimentBuilder {
         let trace = TraceGenerator::new(config, self.seed)
             .workers(self.trace_workers)
             .generate()?;
-        let report = simulator.run(&trace);
+        let report = simulator.simulate(&trace);
         Ok(Experiment {
             scale: self.scale,
             seed: self.seed,
@@ -175,7 +175,7 @@ impl Experiment {
     ///
     /// Returns [`ExperimentError::Sim`] for an invalid configuration.
     pub fn resimulate(&self, sim: SimConfig) -> Result<SimReport, ExperimentError> {
-        Ok(Simulator::try_new(sim)?.run(&self.trace))
+        Ok(Simulator::try_new(sim)?.simulate(&self.trace))
     }
 }
 

@@ -157,7 +157,7 @@ pub fn fig2(trace: &Trace, base: &SimConfig, opts: &Fig2Options) -> Vec<Fig2Pane
             upload: UploadModel::Ratio(ratio),
             ..base.clone()
         };
-        runs.push((ratio, Simulator::new(cfg).run(&sub_trace)));
+        runs.push((ratio, Simulator::new(cfg).simulate(&sub_trace)));
     }
 
     let mut panels = Vec::new();

@@ -27,8 +27,7 @@
 //! # Quickstart
 //!
 //! ```
-//! use consume_local::experiment::Experiment;
-//! use consume_local::energy::EnergyParams;
+//! use consume_local::prelude::*;
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let exp = Experiment::builder()
@@ -48,10 +47,13 @@
 
 pub mod ascii;
 pub mod benchguard;
+pub mod error;
 pub mod experiment;
 pub mod export;
 pub mod figures;
 pub mod sweep;
+
+pub use error::Error;
 
 /// The closed-form analytical model (re-export of `consume-local-analytics`).
 pub mod analytics {
@@ -98,10 +100,15 @@ pub mod prelude {
     pub use crate::analytics::{CreditModel, SavingsModel, SwarmCapacity};
     pub use crate::carbon::{CarbonStatement, CarbonStatus, CreditReport, GridIntensity};
     pub use crate::energy::{CostModel, EnergyParams, ModelKind};
-    pub use crate::experiment::Experiment;
-    pub use crate::sim::{SimConfig, SimReport, Simulator, UploadModel};
+    pub use crate::error::Error;
+    pub use crate::experiment::{Experiment, ExperimentBuilder, ExperimentError};
+    pub use crate::sim::{
+        DayClose, SessionSource, SimConfig, SimReport, SimWarning, Simulator, UploadModel,
+    };
     pub use crate::swarm::{MatcherKind, SwarmPolicy};
     pub use crate::sweep::{SweepConfig, SweepGrid, SweepReport, SweepRunner};
     pub use crate::topology::{IspId, IspRegistry, IspTopology, Layer};
-    pub use crate::trace::{ScalePreset, Trace, TraceConfig, TraceGenerator};
+    pub use crate::trace::{
+        ScalePreset, SegmentedStore, SessionStore, Trace, TraceConfig, TraceGenerator,
+    };
 }

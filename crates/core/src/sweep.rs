@@ -23,7 +23,7 @@
 //! # Example
 //!
 //! ```
-//! use consume_local::sweep::{SweepConfig, SweepGrid, SweepRunner};
+//! use consume_local::prelude::*;
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let config = SweepConfig { grid: SweepGrid::ci_quick(), seed: 7, ..Default::default() };
@@ -714,7 +714,7 @@ impl SweepRunner {
                 .expect("validated in SweepRunner::new");
             // lint:allow(no-wall-clock) scenario wall-time telemetry, omitted from deterministic JSON
             let start = Instant::now();
-            let report = sim.run_store(store);
+            let report = sim.simulate(store.as_ref());
             let wall_ms = start.elapsed().as_secs_f64() * 1e3;
             outcome_from_report(
                 scenario,
@@ -782,7 +782,7 @@ impl SweepRunner {
                     )
                     .expect("validated in SweepRunner::new");
                     Some(InFlight {
-                        run: sim.begin_segmented(horizon, users),
+                        run: sim.begin(horizon, users),
                         wall_ms: 0.0,
                     })
                 })

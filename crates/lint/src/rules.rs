@@ -11,6 +11,7 @@
 //! | `hash-iter` | hash-table iteration order never reaches an output path |
 //! | `crate-header` | every crate root forbids `unsafe` and keeps the docs policy |
 //! | `bench-record-schema` | committed `BENCH_*.json` records stay parseable and well-formed |
+//! | `deprecated-sim-entry` | internal code feeds the engine through `Simulator::simulate`, not the deprecated `run_*` wrappers |
 //!
 //! A finding can be suppressed with an inline pragma on the same line or on
 //! a comment line directly above the offending line:
@@ -43,6 +44,10 @@ pub enum Rule {
     CrateHeader,
     /// A committed `BENCH_*.json` record violating `consume-local/bench-v1`.
     BenchRecordSchema,
+    /// A call to a deprecated `Simulator::run_*` wrapper inside the
+    /// workspace (downstream users get the rustc deprecation warning; this
+    /// keeps our own code off the legacy entry points).
+    DeprecatedSimEntry,
     /// Malformed or unused `lint:allow` pragma.
     AllowPragma,
 }
@@ -57,6 +62,7 @@ impl Rule {
             Rule::HashIter => "hash-iter",
             Rule::CrateHeader => "crate-header",
             Rule::BenchRecordSchema => "bench-record-schema",
+            Rule::DeprecatedSimEntry => "deprecated-sim-entry",
             Rule::AllowPragma => "allow-pragma",
         }
     }
@@ -71,6 +77,7 @@ impl Rule {
             "hash-iter" => Some(Rule::HashIter),
             "crate-header" => Some(Rule::CrateHeader),
             "bench-record-schema" => Some(Rule::BenchRecordSchema),
+            "deprecated-sim-entry" => Some(Rule::DeprecatedSimEntry),
             _ => None,
         }
     }
@@ -147,6 +154,18 @@ const ITER_METHODS: &[&str] = &[
     "drain",
     "retain",
     "extract_if",
+];
+
+/// The deprecated `Simulator` entry points: thin wrappers kept for
+/// downstream callers mid-migration, off-limits to workspace code. The
+/// bare `run` wrapper is deliberately absent — `.run(` is far too common a
+/// shape (sweeps, builders) to match on method name alone; its callers are
+/// caught by the rustc deprecation warning under `-D warnings` instead.
+const DEPRECATED_SIM_ENTRIES: &[&str] = &[
+    "run_store",
+    "run_segmented",
+    "run_trace_stream",
+    "begin_segmented",
 ];
 
 /// Lints one source file. `file` is the workspace-relative path used in
@@ -278,6 +297,25 @@ fn scan_tokens(lexed: &Lexed<'_>, class: &FileClass, emit: &mut dyn FnMut(u32, R
                     "`{}` outside the bench/timing allowlist — wall-clock values must \
                      never reach an output path (deterministic reports omit them); \
                      telemetry-only uses take `// lint:allow(no-wall-clock) <why>`",
+                    tok.text
+                ),
+            );
+        }
+        // deprecated-sim-entry: `<receiver> . run_store(...)` and friends.
+        // A method *call* needs the preceding `.`; definitions (`fn
+        // run_store`) and path mentions in docs don't match.
+        if DEPRECATED_SIM_ENTRIES.contains(&tok.text)
+            && i >= 1
+            && ts[i - 1].text == "."
+            && matches_seq(ts, i + 1, &["("])
+        {
+            emit(
+                tok.line,
+                Rule::DeprecatedSimEntry,
+                format!(
+                    "`.{}()` is a deprecated engine entry point — feed a `SessionSource` \
+                     to `Simulator::simulate` (or `Simulator::begin` for incremental \
+                     runs) instead",
                     tok.text
                 ),
             );

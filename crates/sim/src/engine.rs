@@ -10,9 +10,18 @@
 //! The engine replays the **columnar** [`SessionStore`]: grouping reads the
 //! content/ISP/bitrate columns, each sub-swarm drives the store's sliding
 //! active-window cursor over the start-sorted columns, and only the columns
-//! a pass touches move through the cache. [`Simulator::run`] columnarises a
-//! row-record [`Trace`] on the fly; [`Simulator::run_store`] replays a
-//! prebuilt (e.g. sweep-shared) store without that conversion.
+//! a pass touches move through the cache.
+//!
+//! Every way of feeding sessions to the engine goes through one entry
+//! point: [`Simulator::simulate`] consumes any [`SessionSource`] — a whole
+//! trace or prebuilt store in one batch, a [`SegmentedStore`] or generated
+//! [`SegmentStream`] day by day, or the
+//! [`online`](crate::online) ingest channel as watermarked batches — and
+//! every source produces the **byte-identical** report (the resumable
+//! per-swarm window loops of [`SegmentedRun`] make batch boundaries
+//! invisible). The historical `run`/`run_store`/`run_segmented`/
+//! `run_trace_stream`/`begin_segmented` entry points survive as thin
+//! deprecated wrappers.
 
 use std::collections::hash_map::Entry;
 use std::collections::{HashMap, VecDeque};
@@ -20,12 +29,14 @@ use std::collections::{HashMap, VecDeque};
 use consume_local_swarm::matching::MatchOutcome;
 use consume_local_swarm::{Matcher, Peer, SwarmKey};
 use consume_local_topology::{IspId, UserLocation};
+use consume_local_trace::generator::sort_key_bounds;
 use consume_local_trace::{ContentId, SegmentStream, SegmentedStore, SessionStore, SimTime, Trace};
 
 use crate::config::{SimConfig, SimConfigError};
 use crate::ledger::ByteLedger;
 use crate::par::{parallel_map, parallel_map_slices};
-use crate::report::{DailyIspCell, SimReport, SwarmReport, UserTraffic};
+use crate::report::{DailyIspCell, SimReport, SimWarning, SwarmReport, UserTraffic};
+use crate::source::SessionSource;
 
 /// The simulator: a configured engine, reusable across traces.
 #[derive(Debug, Clone)]
@@ -64,48 +75,17 @@ impl Simulator {
         &self.config
     }
 
-    /// Runs the simulation over a trace and returns the full report.
+    /// Runs the simulation over any [`SessionSource`] and returns the full
+    /// report — the one entry point behind which every feeding mode meets.
     ///
-    /// Columnarises the trace and delegates to [`Simulator::run_store`]; a
-    /// caller replaying the same trace under many configurations (the sweep
-    /// runner) should build the [`SessionStore`] once and share it instead.
-    pub fn run(&self, trace: &Trace) -> SimReport {
-        self.run_store(&SessionStore::from_trace(trace))
-    }
-
-    /// Runs the simulation over a prebuilt columnar session store.
-    ///
-    /// # Example
-    ///
-    /// ```
-    /// use consume_local_sim::{SimConfig, Simulator};
-    /// use consume_local_trace::{SessionStore, TraceConfig, TraceGenerator};
-    ///
-    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
-    /// let trace = TraceGenerator::new(TraceConfig::london_sep2013().scaled(0.0003)?, 7)
-    ///     .generate()?;
-    /// let store = SessionStore::from_trace(&trace);   // build once, share freely
-    /// let sim = Simulator::new(SimConfig::default());
-    /// let report = sim.run_store(&store);
-    /// // `run(&trace)` columnarises on the fly and replays identically.
-    /// assert_eq!(report, sim.run(&trace));
-    /// assert!(report.total.demand_bytes > 0);
-    /// # Ok(())
-    /// # }
-    /// ```
-    pub fn run_store(&self, store: &SessionStore) -> SimReport {
-        self.run_store_with(store, Self::simulate_swarm)
-    }
-
-    /// Runs the simulation over a [`SegmentedStore`], consuming its per-day
-    /// segments sequentially through a [`SegmentedRun`].
-    ///
-    /// The report is **byte-identical** to [`Simulator::run_store`] on the
-    /// monolithic store of the same sessions — sessions spanning a segment
-    /// boundary are carried forward by the per-swarm window loops. A
-    /// materialised [`SegmentedStore`] still holds every segment; the
-    /// bounded-peak-memory pipeline is [`Simulator::run_trace_stream`],
-    /// which drops each generated day after feeding it.
+    /// The report is **byte-identical across sources**: a whole [`Trace`],
+    /// its prebuilt [`SessionStore`], a per-day [`SegmentedStore`], a
+    /// generated [`SegmentStream`], or the online ingest channel
+    /// ([`online::channel`](crate::online::channel)) all produce the same
+    /// bytes for the same sessions, at any thread count and any batch
+    /// schedule. A caller replaying the same trace under many
+    /// configurations (the sweep runner) should build the store once and
+    /// pass `&store`.
     ///
     /// # Example
     ///
@@ -116,50 +96,94 @@ impl Simulator {
     /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
     /// let trace = TraceGenerator::new(TraceConfig::london_sep2013().scaled(0.0003)?, 7)
     ///     .generate()?;
+    /// let store = SessionStore::from_trace(&trace);   // build once, share freely
     /// let sim = Simulator::new(SimConfig::default());
-    /// let segmented = sim.run_segmented(&SegmentedStore::from_trace(&trace));
-    /// assert_eq!(segmented, sim.run_store(&SessionStore::from_trace(&trace)));
+    /// let report = sim.simulate(&store);
+    /// // Any other source of the same sessions replays identically.
+    /// assert_eq!(report, sim.simulate(&trace));
+    /// assert_eq!(report, sim.simulate(&SegmentedStore::from_trace(&trace)));
+    /// assert!(report.total.demand_bytes > 0);
     /// # Ok(())
     /// # }
     /// ```
-    pub fn run_segmented(&self, store: &SegmentedStore) -> SimReport {
-        let mut run = self.begin_segmented(store.horizon_secs(), store.population_len());
-        for segment in store.segments() {
-            run.push_segment(segment);
-        }
+    pub fn simulate(&self, source: impl SessionSource) -> SimReport {
+        let mut run = self.begin(source.horizon_secs(), source.population_len());
+        source.for_each_batch(&mut |batch, watermark| run.push_batch(batch, watermark));
         run.finish()
     }
 
-    /// Generates and simulates in one bounded-memory pass: pulls day
-    /// segments from the generator's [`SegmentStream`] and feeds each to a
-    /// [`SegmentedRun`], so peak memory holds **one day-segment** of the
-    /// trace instead of the whole horizon. The report is byte-identical to
-    /// generating the full trace and calling [`Simulator::run`].
-    pub fn run_trace_stream(&self, stream: &mut SegmentStream<'_>) -> SimReport {
-        let mut run =
-            self.begin_segmented(stream.config().horizon_seconds(), stream.population().len());
-        while let Some(segment) = stream.next_segment() {
-            run.push_segment(&segment);
-        }
-        run.finish()
+    /// Like [`Simulator::simulate`], additionally invoking `on_day_close`
+    /// with each day's system-wide ledger as the source's watermark closes
+    /// it — the serving-mode hook behind the online engine's day reports.
+    ///
+    /// A day closes as soon as the watermark reaches its end (no session
+    /// starting later can touch it); days the source never watermarks past
+    /// close at the end of the run, so every horizon day is emitted exactly
+    /// once, in day order. The returned report is byte-identical to
+    /// [`Simulator::simulate`] on the same source, and the emitted ledgers
+    /// are exactly the per-day cells of that report aggregated across ISPs.
+    pub fn simulate_days(
+        &self,
+        source: impl SessionSource,
+        mut on_day_close: impl FnMut(DayClose),
+    ) -> SimReport {
+        let mut run = self.begin(source.horizon_secs(), source.population_len());
+        source.for_each_batch(&mut |batch, watermark| {
+            run.push_batch(batch, watermark);
+            run.drain_closed_days(&mut on_day_close);
+        });
+        run.finish_days(on_day_close)
     }
 
-    /// Begins an incremental segment-sequential run: push day segments in
-    /// day order with [`SegmentedRun::push_segment`] (starting at day 0,
-    /// one [`SessionStore`] per day, empty days included), then call
-    /// [`SegmentedRun::finish`]. [`Simulator::run_segmented`] and
-    /// [`Simulator::run_trace_stream`] are the one-call wrappers; this
-    /// entry point exists for callers that interleave segment production
-    /// with other work (the sweep runner shares each generated segment
-    /// across many concurrent runs).
-    pub fn begin_segmented(&self, horizon_secs: u64, population_len: usize) -> SegmentedRun {
+    /// Begins an incremental run: push watermarked session batches with
+    /// [`SegmentedRun::push_batch`] (or day segments with the
+    /// [`SegmentedRun::push_segment`] convenience), then call
+    /// [`SegmentedRun::finish`]. [`Simulator::simulate`] is the one-call
+    /// wrapper; this entry point exists for callers that interleave batch
+    /// production with other work (the sweep runner shares each generated
+    /// segment across many concurrent runs).
+    pub fn begin(&self, horizon_secs: u64, population_len: usize) -> SegmentedRun {
         SegmentedRun {
             sim: self.clone(),
             horizon_secs,
             population_len,
             states: Vec::new(),
-            next_day: 0,
+            watermark: 0,
+            closed_days: 0,
+            max_start_secs: 0,
+            max_user: 0,
+            max_content: 0,
         }
+    }
+
+    /// Runs the simulation over a trace.
+    #[deprecated(note = "use `Simulator::simulate(&trace)`")]
+    pub fn run(&self, trace: &Trace) -> SimReport {
+        self.simulate(trace)
+    }
+
+    /// Runs the simulation over a prebuilt columnar session store.
+    #[deprecated(note = "use `Simulator::simulate(&store)`")]
+    pub fn run_store(&self, store: &SessionStore) -> SimReport {
+        self.simulate(store)
+    }
+
+    /// Runs the simulation over a [`SegmentedStore`], day by day.
+    #[deprecated(note = "use `Simulator::simulate(&segmented_store)`")]
+    pub fn run_segmented(&self, store: &SegmentedStore) -> SimReport {
+        self.simulate(store)
+    }
+
+    /// Generates and simulates in one bounded-memory pass.
+    #[deprecated(note = "use `Simulator::simulate(&mut stream)`")]
+    pub fn run_trace_stream(&self, stream: &mut SegmentStream<'_>) -> SimReport {
+        self.simulate(stream)
+    }
+
+    /// Begins an incremental segment-sequential run.
+    #[deprecated(note = "use `Simulator::begin`")]
+    pub fn begin_segmented(&self, horizon_secs: u64, population_len: usize) -> SegmentedRun {
+        self.begin(horizon_secs, population_len)
     }
 
     /// The reference row-based engine: identical pipeline, but the per-swarm
@@ -173,7 +197,10 @@ impl Simulator {
 
     /// The engine pipeline around a pluggable per-swarm simulation:
     /// grouping, the parallel per-swarm fan-out and the deterministic merge
-    /// are identical for the production SoA path and the test-only row path.
+    /// mirror the production one-shot path ([`SegmentedRun::push_batch`]'s
+    /// whole-horizon fast path). Test-only: it exists so the row-based
+    /// oracle runs through an identical pipeline.
+    #[cfg(test)]
     fn run_store_with(
         &self,
         store: &SessionStore,
@@ -197,11 +224,17 @@ impl Simulator {
             .zip(&keyed)
             .map(|(out, (key, range))| (*key, range.len() as u64, out))
             .collect();
-        self.merge_outputs(store.horizon_secs(), store.population_len(), parts)
+        self.merge_outputs(
+            store.horizon_secs(),
+            store.population_len(),
+            parts,
+            sort_key_warnings(store.sort_key_maxima()),
+        )
     }
 
     /// Merges key-ordered per-swarm outputs into the final report — the
-    /// common tail of [`Simulator::run_store`] and [`SegmentedRun::finish`].
+    /// common tail of every path ([`SegmentedRun::finish`], and through it
+    /// [`Simulator::simulate`]).
     /// Day × ISP cells are collected flat and merged with one sort (no hash
     /// map rebuild); the per-user scatter fans out over disjoint user-id
     /// ranges (see [`scatter_users`]).
@@ -210,6 +243,7 @@ impl Simulator {
         horizon: u64,
         population_len: usize,
         parts: Vec<(SwarmKey, u64, SwarmOutput)>,
+        warnings: Vec<SimWarning>,
     ) -> SimReport {
         let total_windows = horizon / self.config.window_secs;
         let mut swarms = Vec::with_capacity(parts.len());
@@ -256,14 +290,16 @@ impl Simulator {
             users,
             daily,
             total,
+            warnings,
         }
     }
 
     /// Simulates one sub-swarm over its sessions (already start-ordered):
     /// one [`SwarmSim`] driven over the whole store in a single
-    /// [`SwarmSim::advance`] pass. The segment-sequential paths drive the
-    /// **same** state machine one day-segment at a time, which is what
-    /// keeps their reports byte-identical to this one.
+    /// [`SwarmSim::advance`] pass. Test-only: the production one-shot path
+    /// runs the same machine through [`SegmentedRun::push_batch`]'s
+    /// whole-horizon fan-out; this shape feeds the row-oracle pipeline.
+    #[cfg(test)]
     fn simulate_swarm(&self, key: SwarmKey, indices: &[u32], store: &SessionStore) -> SwarmOutput {
         let first = indices[0] as usize;
         let mut swarm = SwarmSim::new(
@@ -273,7 +309,40 @@ impl Simulator {
             store.device()[first].bitrate_bps(),
         );
         swarm.advance(self, store, indices, u64::MAX, store.horizon_secs());
-        swarm.into_output()
+        swarm.take_output()
+    }
+}
+
+/// One day's closed system-wide ledger, emitted by
+/// [`Simulator::simulate_days`] / [`SegmentedRun::drain_closed_days`] as
+/// the watermark (or the end of the run) seals the day.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DayClose {
+    /// 0-based day index.
+    pub day: u32,
+    /// The day's ledger summed across every swarm (equals the day's
+    /// [`DailyIspCell`]s of the final report aggregated over ISPs).
+    pub ledger: ByteLedger,
+}
+
+/// The [`SimWarning`]s implied by a session set's sort-key maxima: one
+/// [`SimWarning::SortKeyFallback`] when any field exceeds the compact
+/// 59-bit bounds, nothing otherwise. Element-wise maxima folding across
+/// batches equals the monolithic maxima, so every source yields the same
+/// warning set for the same sessions.
+fn sort_key_warnings(maxima: (u64, u32, u32)) -> Vec<SimWarning> {
+    let (max_start_secs, max_user, max_content) = maxima;
+    if max_start_secs >= sort_key_bounds::START_SECS
+        || max_user >= sort_key_bounds::USERS
+        || max_content >= sort_key_bounds::ITEMS
+    {
+        vec![SimWarning::SortKeyFallback {
+            max_start_secs,
+            max_user,
+            max_content,
+        }]
+    } else {
+        Vec::new()
     }
 }
 
@@ -413,9 +482,9 @@ struct PendingSession {
 /// the per-swarm accumulators, packaged so the loop can pause at a segment
 /// boundary and resume when the next day's sessions arrive.
 ///
-/// [`Simulator::run_store`] drives it over the whole store in one
+/// A one-batch source drives it over the whole store in one
 /// [`SwarmSim::advance`] call; [`SegmentedRun`] drives the same machine one
-/// day-segment at a time. Because a pause/resume changes neither the active
+/// batch at a time. Because a pause/resume changes neither the active
 /// set, the matcher state, the cached membership totals nor the window
 /// boundary — and sessions unreached at a boundary are carried forward in
 /// start order — the two schedules produce byte-identical outputs (pinned
@@ -760,21 +829,23 @@ impl SwarmSim {
         }
     }
 
-    /// Extracts the swarm's output: users come out id-sorted (as the old
-    /// presorted dense-slot scheme emitted them) and users who accumulated
-    /// nothing — sessions never spanning a window boundary — are dropped.
-    fn into_output(self) -> SwarmOutput {
-        let mut users: Vec<(u32, u64, u64)> = self
-            .users
+    /// Extracts the swarm's output, leaving the machine empty: users come
+    /// out id-sorted (as the old presorted dense-slot scheme emitted them)
+    /// and users who accumulated nothing — sessions never spanning a window
+    /// boundary — are dropped. Taking `&mut self` (instead of `self`) lets
+    /// [`SegmentedRun::finish_days`] drain and extract in one parallel pass
+    /// over its state chunks.
+    fn take_output(&mut self) -> SwarmOutput {
+        let mut users: Vec<(u32, u64, u64)> = std::mem::take(&mut self.users)
             .into_iter()
-            .zip(self.user_acc)
+            .zip(std::mem::take(&mut self.user_acc))
             .filter(|&(_, acc)| acc != (0, 0))
             .map(|(u, (w, up))| (u, w, up))
             .collect();
         users.sort_unstable_by_key(|&(u, _, _)| u);
         SwarmOutput {
-            ledger: self.ledger,
-            daily: self.daily,
+            ledger: std::mem::take(&mut self.ledger),
+            daily: std::mem::take(&mut self.daily),
             users,
             upload_ratio: self.upload_ratio,
         }
@@ -833,11 +904,11 @@ impl std::fmt::Debug for SwarmSim {
     }
 }
 
-/// An in-progress segment-sequential simulation (see
-/// [`Simulator::begin_segmented`]): persistent per-swarm window-loop
-/// machines, keyed and key-sorted, advanced one day segment at a time.
+/// An in-progress incremental simulation (see [`Simulator::begin`]):
+/// persistent per-swarm window-loop machines, keyed and key-sorted,
+/// advanced one watermarked session batch at a time.
 ///
-/// Peak memory is the segment being fed plus the engine's own state
+/// Peak memory is the batch being fed plus the engine's own state
 /// (active/carried sessions, accumulators and the growing report) — the
 /// trace itself is never resident as a whole, which is what makes the
 /// `large`/`full` presets runnable on one-day-sized memory
@@ -849,26 +920,98 @@ pub struct SegmentedRun {
     population_len: usize,
     /// Key-sorted persistent per-swarm machines.
     states: Vec<SwarmState>,
-    /// The day index the next [`SegmentedRun::push_segment`] call consumes.
-    next_day: u64,
+    /// The time every pushed session so far starts strictly before, and no
+    /// future session may start before (monotone).
+    watermark: u64,
+    /// Days already emitted by [`SegmentedRun::drain_closed_days`].
+    closed_days: u64,
+    /// Element-wise sort-key maxima folded across every pushed batch (see
+    /// [`SessionStore::sort_key_maxima`]).
+    max_start_secs: u64,
+    max_user: u32,
+    max_content: u32,
 }
 
 impl SegmentedRun {
     /// Feeds the next day's segment (day `N` on the `N`-th call, empty days
-    /// included): groups its sessions into sub-swarms, creates machines for
-    /// newly seen swarm keys, and advances every non-quiescent machine
-    /// through the windows the new boundary uncovers. Swarm fan-out runs
-    /// across the simulator's configured threads over disjoint per-swarm
-    /// state chunks — deterministic for any thread count.
+    /// included) — the day-granular convenience over
+    /// [`SegmentedRun::push_batch`] with the day's end as the watermark.
     pub fn push_segment(&mut self, segment: &SessionStore) {
-        let day = self.next_day;
-        self.next_day += 1;
-        let limit = (day + 1) * SegmentedStore::SEGMENT_SECS;
+        let day = self.watermark / SegmentedStore::SEGMENT_SECS;
+        self.push_batch(segment, (day + 1) * SegmentedStore::SEGMENT_SECS);
+    }
 
-        // 1. Group the segment's sessions into sub-swarms — the same
-        //    shared grouping the monolithic path uses, so the two can
-        //    never diverge on keying or tie order.
-        let (indices, groups) = group_by_swarm(&self.sim.config, segment);
+    /// Feeds a batch of sessions and advances the watermark: every session
+    /// in `batch` must start in `[previous watermark, watermark)`, and no
+    /// later batch may contain a session starting before `watermark` — the
+    /// [`SessionSource`] contract. Batches need not align to days (the
+    /// online channel watermarks at its own cadence); empty batches are
+    /// fine and just advance time.
+    ///
+    /// Grouping, machine upsert and the parallel fan-out are deterministic
+    /// for any thread count, and any batch schedule of the same sessions
+    /// produces byte-identical final output. A first batch that already
+    /// covers the whole horizon takes the one-shot fast path: per-swarm
+    /// work-stealing over the grouped store, exactly the shape the
+    /// monolithic whole-store replay always had.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `watermark` is below the previous watermark.
+    pub fn push_batch(&mut self, batch: &SessionStore, watermark: u64) {
+        assert!(
+            watermark >= self.watermark,
+            "watermark must be monotone: {watermark} < {}",
+            self.watermark
+        );
+        debug_assert!(
+            batch.is_empty()
+                || (batch.start_secs()[0] >= self.watermark
+                    && *batch.start_secs().last().expect("non-empty") < watermark),
+            "batch sessions must start in [previous watermark, watermark)"
+        );
+        let (s, u, c) = batch.sort_key_maxima();
+        self.max_start_secs = self.max_start_secs.max(s);
+        self.max_user = self.max_user.max(u);
+        self.max_content = self.max_content.max(c);
+
+        let limit = watermark;
+        let one_shot = self.states.is_empty() && self.watermark == 0 && limit >= self.horizon_secs;
+        self.watermark = watermark;
+
+        // 1. Group the batch's sessions into sub-swarms — the same shared
+        //    grouping every path uses, so they can never diverge on keying
+        //    or tie order.
+        let (indices, groups) = group_by_swarm(&self.sim.config, batch);
+
+        // One-shot fast path: the whole horizon in one batch (simulate on a
+        // monolithic store, the sweep runner's shape). Per-swarm
+        // work-stealing balances the head swarms' load better than the
+        // chunked incremental fan-out, and groups come out key-ordered, so
+        // the states land already sorted.
+        if one_shot {
+            let sim = &self.sim;
+            let horizon = self.horizon_secs;
+            self.states = parallel_map(groups.len(), sim.config.threads, |i| {
+                let (key, range) = &groups[i];
+                let idx = &indices[range.clone()];
+                let first = idx[0] as usize;
+                let mut swarm = SwarmSim::new(
+                    sim,
+                    *key,
+                    batch.start_secs()[first],
+                    batch.device()[first].bitrate_bps(),
+                );
+                swarm.advance(sim, batch, idx, u64::MAX, horizon);
+                SwarmState {
+                    key: *key,
+                    sessions: idx.len() as u64,
+                    swarm,
+                }
+            });
+            return;
+        }
+        let segment = batch;
 
         // 2. Upsert machines: existing swarms count their new sessions, new
         //    keys get a machine initialised from their earliest session.
@@ -932,34 +1075,111 @@ impl SegmentedRun {
         );
     }
 
+    /// Emits a [`DayClose`] for every day the current watermark has sealed
+    /// but [`drain_closed_days`](Self::drain_closed_days) has not yet
+    /// emitted, in day order. A day is sealed once the watermark reaches
+    /// its end: every window of the day has then been processed (the
+    /// machines advanced past it) and no future session can start inside
+    /// it, so the day's ledger is final. Days the watermark never passes
+    /// are emitted by [`SegmentedRun::finish_days`].
+    pub fn drain_closed_days(&mut self, mut on_day_close: impl FnMut(DayClose)) {
+        let spd = consume_local_trace::time::SECS_PER_DAY;
+        let total_days = self.horizon_secs.div_ceil(spd);
+        let sealed = if self.watermark >= self.horizon_secs {
+            total_days
+        } else {
+            (self.watermark / spd).min(total_days)
+        };
+        while self.closed_days < sealed {
+            let day = self.closed_days as u32;
+            let mut ledger = ByteLedger::new();
+            // Each machine's `daily` list is day-sorted (days are appended
+            // monotonically), so the day's entry is one binary search away.
+            for state in &self.states {
+                if let Ok(i) = state.swarm.daily.binary_search_by_key(&day, |e| e.0) {
+                    ledger.merge(&state.swarm.daily[i].1);
+                }
+            }
+            on_day_close(DayClose { day, ledger });
+            self.closed_days += 1;
+        }
+    }
+
     /// Completes the run: drains any machine still holding active or
-    /// carried sessions (a no-op when the pushed segments covered the whole
+    /// carried sessions (a no-op when the pushed batches covered the whole
     /// horizon) and merges the per-swarm outputs into the final report,
-    /// byte-identical to the monolithic [`Simulator::run_store`].
+    /// byte-identical to [`Simulator::simulate`] on a monolithic store of
+    /// the same sessions.
     pub fn finish(self) -> SimReport {
+        self.finish_days(|_| {})
+    }
+
+    /// Like [`SegmentedRun::finish`], additionally emitting a [`DayClose`]
+    /// for every horizon day not yet drained — after the final drain, so
+    /// the emitted ledgers account sessions running past the last
+    /// watermark.
+    pub fn finish_days(self, mut on_day_close: impl FnMut(DayClose)) -> SimReport {
         let SegmentedRun {
             sim,
             horizon_secs,
             population_len,
             mut states,
+            closed_days,
+            max_start_secs,
+            max_user,
+            max_content,
             ..
         } = self;
+        // Drain and extract in one parallel pass: `take_output` leaves each
+        // machine empty, so the per-swarm user sort runs on the workers.
         let drain_store = SessionStore::from_records(&[], horizon_secs, 0);
         let offsets = state_chunks(states.len(), sim.config.threads);
-        parallel_map_slices(&mut states, &offsets, sim.config.threads, |_, chunk| {
-            for state in chunk.iter_mut() {
-                if !state.swarm.is_quiescent() {
-                    state
-                        .swarm
-                        .advance(&sim, &drain_store, &[], u64::MAX, horizon_secs);
+        let chunked: Vec<Vec<(SwarmKey, u64, SwarmOutput)>> =
+            parallel_map_slices(&mut states, &offsets, sim.config.threads, |_, chunk| {
+                chunk
+                    .iter_mut()
+                    .map(|state| {
+                        if !state.swarm.is_quiescent() {
+                            state
+                                .swarm
+                                .advance(&sim, &drain_store, &[], u64::MAX, horizon_secs);
+                        }
+                        (state.key, state.sessions, state.swarm.take_output())
+                    })
+                    .collect()
+            });
+        let parts: Vec<(SwarmKey, u64, SwarmOutput)> = chunked.into_iter().flatten().collect();
+
+        // Close the days the watermark never sealed, from the final
+        // (drained) per-swarm ledgers — chunk order is state order, so the
+        // scan below sees each swarm's day-sorted list exactly once.
+        let spd = consume_local_trace::time::SECS_PER_DAY;
+        let total_days = horizon_secs.div_ceil(spd);
+        if closed_days < total_days {
+            let base = closed_days as usize;
+            let mut ledgers = vec![ByteLedger::new(); (total_days - closed_days) as usize];
+            for (_, _, out) in &parts {
+                let from = out
+                    .daily
+                    .partition_point(|&(d, _)| u64::from(d) < closed_days);
+                for (day, ledger) in &out.daily[from..] {
+                    ledgers[*day as usize - base].merge(ledger);
                 }
             }
-        });
-        let parts: Vec<(SwarmKey, u64, SwarmOutput)> = states
-            .into_iter()
-            .map(|s| (s.key, s.sessions, s.swarm.into_output()))
-            .collect();
-        sim.merge_outputs(horizon_secs, population_len, parts)
+            for (k, ledger) in ledgers.into_iter().enumerate() {
+                on_day_close(DayClose {
+                    day: (base + k) as u32,
+                    ledger,
+                });
+            }
+        }
+
+        sim.merge_outputs(
+            horizon_secs,
+            population_len,
+            parts,
+            sort_key_warnings((max_start_secs, max_user, max_content)),
+        )
     }
 }
 
@@ -1007,10 +1227,10 @@ fn scatter_users(
 /// trace's canonical start order (so within a swarm, indices stay
 /// start-ordered — the window loop's admission invariant) and swarms come
 /// out already key-ordered. Keys are assembled straight from the
-/// content/ISP/device columns. Shared by [`Simulator::run_store`] and
-/// [`SegmentedRun::push_segment`]: the grouping is part of the
-/// byte-identity contract between the monolithic and segment-sequential
-/// paths, so it must have exactly one definition.
+/// content/ISP/device columns. Every batch of [`SegmentedRun::push_batch`]
+/// goes through it: the grouping is part of the byte-identity contract
+/// between the monolithic and batch-sequential paths, so it must have
+/// exactly one definition.
 #[allow(clippy::type_complexity)]
 fn group_by_swarm(
     config: &SimConfig,
@@ -1323,7 +1543,7 @@ mod tests {
     #[test]
     fn lone_viewer_gets_everything_from_server() {
         let trace = pair_trace(100_000); // sessions never overlap
-        let report = Simulator::new(SimConfig::default()).run(&trace);
+        let report = Simulator::new(SimConfig::default()).simulate(&trace);
         assert_eq!(report.total.peer_bytes(), 0);
         assert_eq!(report.total.server_bytes, report.total.demand_bytes);
         assert_eq!(report.total_savings(&EnergyParams::valancius()), Some(0.0));
@@ -1333,7 +1553,7 @@ mod tests {
     #[test]
     fn overlapping_pair_shares_locally() {
         let trace = pair_trace(0); // full overlap
-        let report = Simulator::new(SimConfig::default()).run(&trace);
+        let report = Simulator::new(SimConfig::default()).simulate(&trace);
         // Each 10 s window: fetcher from server, peer 1 fully from peer 0.
         let demand = report.total.demand_bytes;
         assert_eq!(report.total.peer_bytes(), demand / 2);
@@ -1351,7 +1571,7 @@ mod tests {
     #[test]
     fn partial_overlap_shares_partially() {
         let trace = pair_trace(300); // half overlap
-        let report = Simulator::new(SimConfig::default()).run(&trace);
+        let report = Simulator::new(SimConfig::default()).simulate(&trace);
         let peer = report.total.peer_bytes();
         assert!(peer > 0);
         assert!(peer < report.total.demand_bytes / 2);
@@ -1361,15 +1581,15 @@ mod tests {
     #[test]
     fn upload_ratio_caps_offload() {
         let trace = pair_trace(0);
-        let full = Simulator::new(SimConfig::with_ratio(1.0)).run(&trace);
-        let half = Simulator::new(SimConfig::with_ratio(0.5)).run(&trace);
+        let full = Simulator::new(SimConfig::with_ratio(1.0)).simulate(&trace);
+        let half = Simulator::new(SimConfig::with_ratio(0.5)).simulate(&trace);
         assert!((half.total.offload_share() / full.total.offload_share() - 0.5).abs() < 0.01);
     }
 
     #[test]
     fn conservation_on_generated_trace() {
         let trace = tiny_trace();
-        let report = Simulator::new(SimConfig::default()).run(&trace);
+        let report = Simulator::new(SimConfig::default()).simulate(&trace);
         report.check_conservation().unwrap();
         assert!(report.total.demand_bytes > 0);
         let s = report.total_savings(&EnergyParams::valancius()).unwrap();
@@ -1377,7 +1597,7 @@ mod tests {
     }
 
     #[test]
-    fn run_store_matches_run() {
+    fn store_source_matches_trace_source() {
         let trace = tiny_trace();
         let store = SessionStore::from_trace(&trace);
         for matcher in [MatcherKind::Hierarchical, MatcherKind::Random] {
@@ -1387,11 +1607,24 @@ mod tests {
             };
             let sim = Simulator::new(cfg);
             assert_eq!(
-                sim.run(&trace),
-                sim.run_store(&store),
+                sim.simulate(&trace),
+                sim.simulate(&store),
                 "{matcher:?}: prebuilt store must replay identically"
             );
         }
+    }
+
+    #[test]
+    fn single_advance_pass_matches_production_fan_out() {
+        // The columnar machine driven in one whole-horizon advance (the
+        // test pipeline) against the production push_batch fast path.
+        let trace = tiny_trace();
+        let store = SessionStore::from_trace(&trace);
+        let sim = Simulator::new(SimConfig::default());
+        assert_eq!(
+            sim.run_store_with(&store, Simulator::simulate_swarm),
+            sim.simulate(&store)
+        );
     }
 
     #[test]
@@ -1405,8 +1638,8 @@ mod tests {
             threads: 4,
             ..Default::default()
         };
-        let r1 = Simulator::new(c1).run(&trace);
-        let r4 = Simulator::new(c4).run(&trace);
+        let r1 = Simulator::new(c1).simulate(&trace);
+        let r4 = Simulator::new(c4).simulate(&trace);
         assert_eq!(r1, r4);
     }
 
@@ -1417,10 +1650,10 @@ mod tests {
             matcher: MatcherKind::Random,
             ..Default::default()
         };
-        let a = Simulator::new(cfg.clone()).run(&trace);
-        let b = Simulator::new(cfg).run(&trace);
+        let a = Simulator::new(cfg.clone()).simulate(&trace);
+        let b = Simulator::new(cfg).simulate(&trace);
         assert_eq!(a, b, "random matcher must be seed-deterministic");
-        let hier = Simulator::new(SimConfig::default()).run(&trace);
+        let hier = Simulator::new(SimConfig::default()).simulate(&trace);
         assert_eq!(hier.total.peer_bytes(), a.total.peer_bytes());
         assert!(
             hier.total.peer_bytes_by_layer[0] >= a.total.peer_bytes_by_layer[0],
@@ -1434,7 +1667,7 @@ mod tests {
     #[test]
     fn capacity_measures_watch_time() {
         let trace = pair_trace(0);
-        let report = Simulator::new(SimConfig::default()).run(&trace);
+        let report = Simulator::new(SimConfig::default()).simulate(&trace);
         let swarm = &report.swarms[0];
         // Time-averaged capacity: two 600 s sessions over the horizon.
         let expected = 2.0 * 600.0 / trace.horizon_seconds() as f64;
@@ -1455,7 +1688,7 @@ mod tests {
     #[test]
     fn daily_cells_cover_active_days_only() {
         let trace = pair_trace(0); // both sessions on day 0
-        let report = Simulator::new(SimConfig::default()).run(&trace);
+        let report = Simulator::new(SimConfig::default()).simulate(&trace);
         assert_eq!(report.daily.len(), 1);
         assert_eq!(report.daily[0].day, 0);
         assert_eq!(report.daily[0].isp, Some(IspId(0)));
@@ -1477,9 +1710,9 @@ mod tests {
             preload_fraction: 0.4,
             ..Default::default()
         };
-        let preloaded = Simulator::new(cfg).run(&trace);
+        let preloaded = Simulator::new(cfg).simulate(&trace);
         preloaded.check_conservation().unwrap();
-        let baseline = Simulator::new(SimConfig::default()).run(&trace);
+        let baseline = Simulator::new(SimConfig::default()).simulate(&trace);
         // Same demand, less of it peer-shareable.
         assert_eq!(preloaded.total.demand_bytes, baseline.total.demand_bytes);
         assert!(preloaded.total.preload_bytes > 0);
@@ -1501,7 +1734,7 @@ mod tests {
             edge_cache: Some(crate::config::EdgeCache { top_items: 1 }),
             ..Default::default()
         };
-        let cached = Simulator::new(cfg).run(&trace);
+        let cached = Simulator::new(cfg).simulate(&trace);
         cached.check_conservation().unwrap();
         // The pair trace watches item 0, which is cached: every byte served
         // from the exchange cache, none from the CDN.
@@ -1513,7 +1746,7 @@ mod tests {
         let s = cached.total_savings(&p).unwrap();
         assert!(s > 0.3, "cache-only savings {s}");
         // Uncached tail item would not benefit: compare against no cache.
-        let plain = Simulator::new(SimConfig::default()).run(&trace);
+        let plain = Simulator::new(SimConfig::default()).simulate(&trace);
         assert_eq!(plain.total.cache_bytes, 0);
         assert_eq!(plain.total_savings(&p), Some(0.0));
     }
@@ -1521,12 +1754,12 @@ mod tests {
     #[test]
     fn partial_participation_cuts_offload() {
         let trace = tiny_trace();
-        let full = Simulator::new(SimConfig::default()).run(&trace);
+        let full = Simulator::new(SimConfig::default()).simulate(&trace);
         let partial = Simulator::new(SimConfig {
             participation_rate: 0.3,
             ..Default::default()
         })
-        .run(&trace);
+        .simulate(&trace);
         partial.check_conservation().unwrap();
         assert!(
             partial.total.offload_share() < full.total.offload_share(),
@@ -1551,7 +1784,7 @@ mod tests {
             participation_rate: 0.3,
             ..Default::default()
         })
-        .run(&trace);
+        .simulate(&trace);
         assert_eq!(partial, again);
     }
 
@@ -1563,7 +1796,7 @@ mod tests {
                 participation_rate: rate,
                 ..Default::default()
             })
-            .run(&trace)
+            .simulate(&trace)
             .total
             .offload_share()
         };
@@ -1599,7 +1832,7 @@ mod tests {
         ];
         for cfg in configs {
             let sim = Simulator::new(cfg);
-            assert_eq!(sim.run_store(&store), sim.run_store_rows(&store));
+            assert_eq!(sim.simulate(&store), sim.run_store_rows(&store));
         }
     }
 
@@ -1657,7 +1890,7 @@ mod tests {
                     ..Default::default()
                 };
                 let sim = Simulator::new(cfg);
-                let soa = sim.run_store(&store);
+                let soa = sim.simulate(&store);
                 let rows = sim.run_store_rows(&store);
                 prop_assert_eq!(soa, rows);
             }
@@ -1665,7 +1898,7 @@ mod tests {
     }
 
     #[test]
-    fn segmented_run_matches_monolithic_run_store() {
+    fn segmented_source_matches_monolithic_store() {
         let trace = tiny_trace();
         let mono = SessionStore::from_trace(&trace);
         let seg = consume_local_trace::SegmentedStore::from_trace(&trace);
@@ -1694,8 +1927,8 @@ mod tests {
         for cfg in configs {
             let sim = Simulator::new(cfg.clone());
             assert_eq!(
-                sim.run_segmented(&seg),
-                sim.run_store(&mono),
+                sim.simulate(&seg),
+                sim.simulate(&mono),
                 "window_secs={}",
                 cfg.window_secs
             );
@@ -1709,9 +1942,9 @@ mod tests {
             .unwrap();
         let generator = TraceGenerator::new(config, 11);
         let sim = Simulator::new(SimConfig::default());
-        let monolithic = sim.run(&generator.generate().unwrap());
+        let monolithic = sim.simulate(&generator.generate().unwrap());
         let mut stream = generator.segments().unwrap();
-        let streamed = sim.run_trace_stream(&mut stream);
+        let streamed = sim.simulate(&mut stream);
         assert_eq!(streamed, monolithic);
     }
 
@@ -1722,9 +1955,9 @@ mod tests {
         let trace = pair_trace(0); // both sessions on day 0
         let seg = consume_local_trace::SegmentedStore::from_trace(&trace);
         let sim = Simulator::new(SimConfig::default());
-        let mut run = sim.begin_segmented(seg.horizon_secs(), seg.population_len());
+        let mut run = sim.begin(seg.horizon_secs(), seg.population_len());
         run.push_segment(seg.segment(0));
-        assert_eq!(run.finish(), sim.run(&trace));
+        assert_eq!(run.finish(), sim.simulate(&trace));
     }
 
     #[test]
@@ -1736,7 +1969,7 @@ mod tests {
                 threads,
                 ..Default::default()
             })
-            .run_segmented(&seg)
+            .simulate(&seg)
         };
         let reference = run_with(1);
         assert_eq!(reference, run_with(2));
@@ -1751,11 +1984,74 @@ mod tests {
             edge_cache: Some(crate::config::EdgeCache { top_items: 1 }),
             ..Default::default()
         };
-        let report = Simulator::new(cfg).run(&trace);
+        let report = Simulator::new(cfg).simulate(&trace);
         report.check_conservation().unwrap();
         // Preloaded bytes of cached items are served from the cache.
         assert_eq!(report.total.preload_bytes, 0);
         assert!(report.total.cache_bytes > 0);
         assert!(report.total.peer_bytes() > 0);
+    }
+
+    #[test]
+    fn sort_key_fallback_surfaces_as_report_warning() {
+        let trace = tiny_trace();
+        let sim = Simulator::new(SimConfig::default());
+        assert!(
+            sim.simulate(&trace).warnings.is_empty(),
+            "London presets fit the compact sort key"
+        );
+
+        // One session past the content bound trips the warning, which
+        // carries the measured maxima and is identical on every path.
+        let mut records = trace.sessions().to_vec();
+        let mut wide = records[0];
+        wide.content = ContentId(consume_local_trace::generator::sort_key_bounds::ITEMS);
+        records.push(wide);
+        let horizon = trace.horizon_seconds();
+        let users = trace.population().len();
+        let doctored = SessionStore::from_records(&records, horizon, users);
+        let report = sim.simulate(&doctored);
+        let (max_start_secs, max_user, max_content) = doctored.sort_key_maxima();
+        assert_eq!(
+            report.warnings,
+            vec![SimWarning::SortKeyFallback {
+                max_start_secs,
+                max_user,
+                max_content
+            }]
+        );
+        let seg = consume_local_trace::SegmentedStore::from_records(&records, horizon, users);
+        assert_eq!(
+            sim.simulate(&seg),
+            report,
+            "warnings are batch-schedule invariant"
+        );
+    }
+
+    /// The historical entry points must remain exact synonyms of
+    /// `simulate` for downstream callers mid-migration.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_delegate_to_simulate() {
+        let trace = tiny_trace();
+        let store = SessionStore::from_trace(&trace);
+        let seg = consume_local_trace::SegmentedStore::from_trace(&trace);
+        let sim = Simulator::new(SimConfig::default());
+        let expect = sim.simulate(&store);
+        assert_eq!(sim.run(&trace), expect);
+        // lint:allow(deprecated-sim-entry) pins the wrappers' delegation
+        assert_eq!(sim.run_store(&store), expect);
+        // lint:allow(deprecated-sim-entry) pins the wrappers' delegation
+        assert_eq!(sim.run_segmented(&seg), expect);
+        let generator = TraceGenerator::new(trace.config().clone(), 11);
+        let mut stream = generator.segments().unwrap();
+        // lint:allow(deprecated-sim-entry) pins the wrappers' delegation
+        assert_eq!(sim.run_trace_stream(&mut stream), expect);
+        // lint:allow(deprecated-sim-entry) pins the wrappers' delegation
+        let mut run = sim.begin_segmented(seg.horizon_secs(), seg.population_len());
+        for segment in seg.segments() {
+            run.push_segment(segment);
+        }
+        assert_eq!(run.finish(), expect);
     }
 }

@@ -12,21 +12,24 @@
 //! * [`config`] — simulation parameters (window, upload model, policy,
 //!   matcher);
 //! * [`ledger`] — byte ledgers and their energy/savings evaluation;
+//! * [`source`] — the [`SessionSource`] abstraction: watermarked,
+//!   start-ordered session batches, implemented by every feeding mode
+//!   (whole trace, shared columnar store, per-day segments, a streaming
+//!   generator, or the live online channel);
 //! * [`engine`] — the discrete time-step engine, sequential or parallel
 //!   (thread-sharded across sub-swarms, deterministic regardless of
-//!   thread count), replaying the columnar
-//!   [`SessionStore`](consume_local_trace::SessionStore) — prebuild it with
-//!   [`Simulator::run_store`] when many configurations share one trace.
-//!   For full-scale runs the engine also consumes **per-day segments**
-//!   sequentially: [`Simulator::run_segmented`] replays a
-//!   [`SegmentedStore`](consume_local_trace::SegmentedStore), and
-//!   [`Simulator::run_trace_stream`] fuses generation and simulation so
-//!   peak memory holds one day-segment — both byte-identical to the
-//!   monolithic replay (sessions straddling a segment boundary are
-//!   carried forward by the resumable per-swarm window loops of
+//!   thread count). [`Simulator::simulate`] is the single entry point: it
+//!   consumes any [`SessionSource`] and produces the same byte-identical
+//!   [`SimReport`] whether the sessions arrived as one monolithic batch,
+//!   day segments, or a live stream (sessions straddling a batch boundary
+//!   are carried forward by the resumable per-swarm window loops of
 //!   [`SegmentedRun`]);
+//! * [`online`] — the live ingest front-end: a bounded backpressured
+//!   channel of arriving sessions, watermark-driven day closes, and the
+//!   N×-real-time [`replay`](online::replay) driver;
 //! * [`report`] — per-swarm, per-day×ISP, per-user and total results,
-//!   including theory-vs-simulation comparison points (Fig. 2 dots).
+//!   including theory-vs-simulation comparison points (Fig. 2 dots) and
+//!   structured [`SimWarning`]s.
 //!
 //! # Example
 //!
@@ -38,7 +41,7 @@
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let trace = TraceGenerator::new(
 //!     TraceConfig::london_sep2013().scaled(0.0005)?, 7).generate()?;
-//! let report = Simulator::new(SimConfig::default()).run(&trace);
+//! let report = Simulator::new(SimConfig::default()).simulate(&trace);
 //! let savings = report.total_savings(&EnergyParams::valancius()).unwrap();
 //! assert!(savings > 0.0 && savings < 1.0);
 //! # Ok(())
@@ -52,10 +55,14 @@
 pub mod config;
 pub mod engine;
 pub mod ledger;
+pub mod online;
 pub mod par;
 pub mod report;
+pub mod source;
 
 pub use config::{EdgeCache, SimConfig, SimConfigError, UploadModel};
-pub use engine::{SegmentedRun, Simulator};
+pub use engine::{DayClose, SegmentedRun, Simulator};
 pub use ledger::ByteLedger;
-pub use report::{DailyIspCell, SimReport, SwarmDay, SwarmReport, UserTraffic};
+pub use online::{OnlineError, OnlineSender, OnlineSource, ReplayConfig, ReplaySpeed, ReplayStats};
+pub use report::{DailyIspCell, SimReport, SimWarning, SwarmDay, SwarmReport, UserTraffic};
+pub use source::SessionSource;

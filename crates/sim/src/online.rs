@@ -1,0 +1,595 @@
+//! Online serving mode: a live event-stream front-end for the engine.
+//!
+//! The batch paths hand [`Simulator::simulate`]
+//! a source whose sessions already exist. This module covers the other
+//! deployment shape — a long-running service where sessions *arrive*: a
+//! producer thread pushes events into a bounded [`channel`] as they happen,
+//! and the consumer side is an [`OnlineSource`] the engine drains like any
+//! other [`SessionSource`]. Three properties make that safe:
+//!
+//! * **Backpressure, never loss.** The channel is bounded
+//!   (`std::sync::mpsc::sync_channel`); a producer that outruns the
+//!   simulation blocks in [`OnlineSender::send_session`] until the consumer
+//!   catches up. Nothing is dropped or reordered.
+//! * **Watermarks cut the batches.** The producer calls
+//!   [`OnlineSender::advance_watermark`] to promise "no later event starts
+//!   before `w`". Each watermark seals the sessions buffered so far into a
+//!   canonical [`SessionStore`] batch, which is what lets the engine retire
+//!   finished swarms and close days *while the stream is still open*
+//!   ([`Simulator::simulate_days`]).
+//!   Late events (start before the current watermark) are rejected at the
+//!   sender with [`OnlineError::LateSession`] rather than silently skewing
+//!   results.
+//! * **Byte-identical results.** Because the online path feeds the same
+//!   resumable per-swarm machines through the same [`SessionSource`]
+//!   contract, a replayed trace produces a [`SimReport`]
+//!   equal to the batch run of the same sessions — at any worker count,
+//!   any channel capacity and any replay speed (pinned by
+//!   `tests/online.rs`).
+//!
+//! [`replay`] drives the whole arrangement from an existing trace: a
+//! producer thread feeds a [`SessionStore`]'s records at
+//! [`ReplaySpeed::Times`] real time (or [`ReplaySpeed::MaxThroughput`] for
+//! as-fast-as-possible ingest, the events/sec benchmark mode), watermarking
+//! once per simulated tick, while the calling thread simulates.
+//!
+//! # Example
+//!
+//! ```
+//! use consume_local_sim::{online, SimConfig, Simulator};
+//! use consume_local_trace::{SessionStore, TraceConfig, TraceGenerator};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let trace = TraceGenerator::new(TraceConfig::london_sep2013().scaled(0.0003)?, 7)
+//!     .generate()?;
+//! let store = SessionStore::from_trace(&trace);
+//! let sim = Simulator::new(SimConfig::default());
+//!
+//! // Max-throughput replay: identical report, plus stream statistics.
+//! let (report, stats) = online::replay(&sim, &store, &online::ReplayConfig::default());
+//! assert_eq!(report, sim.simulate(&store));
+//! assert_eq!(stats.events, store.len() as u64);
+//! assert_eq!(stats.days_closed, u64::from(trace.config().days));
+//! # Ok(())
+//! # }
+//! ```
+
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+
+use consume_local_trace::{SessionRecord, SessionStore};
+
+use crate::engine::{DayClose, Simulator};
+use crate::par::parallel_join;
+use crate::report::SimReport;
+use crate::source::SessionSource;
+
+/// What flows through the bounded channel: events, and the promises that
+/// seal them into batches.
+#[derive(Debug)]
+enum Envelope {
+    /// One arriving session.
+    Session(SessionRecord),
+    /// "No later event starts before this second."
+    Watermark(u64),
+}
+
+/// Errors the sending side of an online channel can hit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OnlineError {
+    /// The session starts before the current watermark, violating the
+    /// promise [`OnlineSender::advance_watermark`] already made. The event
+    /// was **not** enqueued; admitting it would silently skew results, so
+    /// the producer must decide (drop it, or crash-and-replay from a
+    /// watermark-aligned checkpoint).
+    LateSession {
+        /// The rejected session's start, in seconds.
+        start_secs: u64,
+        /// The watermark it arrived behind.
+        watermark: u64,
+    },
+    /// The consuming side hung up (the simulation finished or died); no
+    /// further events can be delivered.
+    Disconnected,
+}
+
+impl std::fmt::Display for OnlineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::LateSession {
+                start_secs,
+                watermark,
+            } => write!(
+                f,
+                "late session: starts at {start_secs}s, behind watermark {watermark}s"
+            ),
+            Self::Disconnected => write!(f, "online channel disconnected"),
+        }
+    }
+}
+
+impl std::error::Error for OnlineError {}
+
+/// Creates a bounded online ingest channel: the producer half feeds events
+/// and watermarks, the consumer half is a [`SessionSource`] for
+/// [`Simulator::simulate`](crate::Simulator::simulate) /
+/// [`simulate_days`](crate::Simulator::simulate_days).
+///
+/// `capacity` bounds the number of in-flight envelopes (events plus
+/// watermarks): a producer that outruns the simulation blocks — that is the
+/// backpressure. `capacity = 0` is a rendezvous channel (every send waits
+/// for the consumer).
+///
+/// `horizon_secs` and `population_len` describe the stream the way a
+/// [`SessionStore`] would: windows stop at the horizon, and user ids index
+/// into `population_len` users.
+///
+/// # Example
+///
+/// ```
+/// use consume_local_sim::{online, par::parallel_join, SimConfig, Simulator};
+/// use consume_local_trace::{SessionStore, TraceConfig, TraceGenerator};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let trace = TraceGenerator::new(TraceConfig::london_sep2013().scaled(0.0003)?, 7)
+///     .generate()?;
+/// let store = SessionStore::from_trace(&trace);
+/// let sim = Simulator::new(SimConfig::default());
+///
+/// let (mut tx, source) = online::channel(store.horizon_secs(), store.population_len(), 64);
+/// let (sent, report) = parallel_join(
+///     move || {
+///         for i in 0..store.len() {
+///             tx.send_session(store.record(i)).unwrap();
+///         }
+///         store.len() // sender drops here: end of stream
+///     },
+///     || sim.simulate(source),
+/// );
+/// assert_eq!(report.total_windows() > 0, sent > 0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn channel(
+    horizon_secs: u64,
+    population_len: usize,
+    capacity: usize,
+) -> (OnlineSender, OnlineSource) {
+    let (tx, rx) = sync_channel(capacity);
+    (
+        OnlineSender { tx, watermark: 0 },
+        OnlineSource {
+            rx,
+            horizon_secs,
+            population_len,
+        },
+    )
+}
+
+/// The producer half of an online ingest [`channel`].
+///
+/// Dropping the sender ends the stream: the consumer flushes any buffered
+/// events as a final batch and the simulation completes.
+#[derive(Debug)]
+pub struct OnlineSender {
+    tx: SyncSender<Envelope>,
+    watermark: u64,
+}
+
+impl OnlineSender {
+    /// Enqueues one arriving session, blocking while the channel is full
+    /// (backpressure).
+    ///
+    /// Events need not be sorted — batches are put into canonical order
+    /// when a watermark seals them — but each must start at or after the
+    /// current watermark, or it is rejected as
+    /// [`OnlineError::LateSession`].
+    pub fn send_session(&mut self, session: SessionRecord) -> Result<(), OnlineError> {
+        let start_secs = session.start.as_secs();
+        if start_secs < self.watermark {
+            return Err(OnlineError::LateSession {
+                start_secs,
+                watermark: self.watermark,
+            });
+        }
+        self.tx
+            .send(Envelope::Session(session))
+            .map_err(|_| OnlineError::Disconnected)
+    }
+
+    /// Promises that no later event starts before `watermark` seconds,
+    /// sealing everything buffered before it into a batch the engine may
+    /// finish (swarm retirement, day closes). Blocks while the channel is
+    /// full.
+    ///
+    /// Watermarks are monotone: a value at or below the current one is a
+    /// no-op, not an error, so periodic wall-clock-driven senders need not
+    /// special-case idle stretches. A watermark at or past the horizon
+    /// seals the whole run.
+    pub fn advance_watermark(&mut self, watermark: u64) -> Result<(), OnlineError> {
+        if watermark <= self.watermark {
+            return Ok(());
+        }
+        self.watermark = watermark;
+        self.tx
+            .send(Envelope::Watermark(watermark))
+            .map_err(|_| OnlineError::Disconnected)
+    }
+
+    /// The current watermark (0 until the first
+    /// [`advance_watermark`](OnlineSender::advance_watermark)).
+    pub fn watermark(&self) -> u64 {
+        self.watermark
+    }
+}
+
+/// The consumer half of an online ingest [`channel`]: a [`SessionSource`]
+/// whose batches are cut by the producer's watermarks.
+#[derive(Debug)]
+pub struct OnlineSource {
+    rx: Receiver<Envelope>,
+    horizon_secs: u64,
+    population_len: usize,
+}
+
+impl SessionSource for OnlineSource {
+    fn horizon_secs(&self) -> u64 {
+        self.horizon_secs
+    }
+
+    fn population_len(&self) -> usize {
+        self.population_len
+    }
+
+    /// Blocks on the channel; every watermark emits one batch (possibly
+    /// empty — the day-close cadence must not depend on traffic), and
+    /// disconnection flushes any remaining buffered events as a final
+    /// batch.
+    fn for_each_batch(self, sink: &mut dyn FnMut(&SessionStore, u64)) {
+        let mut pending: Vec<SessionRecord> = Vec::new();
+        let mut batch: Vec<SessionRecord> = Vec::new();
+        while let Ok(envelope) = self.rx.recv() {
+            match envelope {
+                Envelope::Session(s) => pending.push(s),
+                Envelope::Watermark(w) => {
+                    // The sender checked events against *its* watermark, so
+                    // everything starting before `w` is sealed by it; later
+                    // starts stay buffered for a later batch.
+                    batch.clear();
+                    pending.retain(|s| {
+                        let sealed = s.start.as_secs() < w;
+                        if sealed {
+                            batch.push(*s);
+                        }
+                        !sealed
+                    });
+                    let store =
+                        SessionStore::from_records(&batch, self.horizon_secs, self.population_len);
+                    sink(&store, w);
+                }
+            }
+        }
+        if !pending.is_empty() {
+            let store =
+                SessionStore::from_records(&pending, self.horizon_secs, self.population_len);
+            sink(&store, u64::MAX);
+        }
+    }
+}
+
+/// How fast [`replay`] feeds a trace relative to simulated time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ReplaySpeed {
+    /// `Times(n)`: one simulated tick every `tick_secs / n` wall seconds —
+    /// `Times(1.0)` is real time. Must be finite and positive.
+    Times(f64),
+    /// No pacing at all: the producer runs flat out and only backpressure
+    /// throttles it. This is the sustained events/sec benchmark mode.
+    MaxThroughput,
+}
+
+/// Configuration for [`replay`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReplayConfig {
+    /// Replay speed (default: [`ReplaySpeed::MaxThroughput`]).
+    pub speed: ReplaySpeed,
+    /// Simulated seconds per watermark tick (default: 3600, one hour).
+    /// Smaller ticks mean fresher day-closes and smaller batches.
+    pub tick_secs: u64,
+    /// Channel capacity in envelopes (default: 1024).
+    pub capacity: usize,
+}
+
+impl Default for ReplayConfig {
+    fn default() -> Self {
+        Self {
+            speed: ReplaySpeed::MaxThroughput,
+            tick_secs: 3_600,
+            capacity: 1_024,
+        }
+    }
+}
+
+/// What [`replay`] observed on the stream (all deterministic — wall time is
+/// deliberately absent; benches measure it outside).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReplayStats {
+    /// Sessions fed through the channel.
+    pub events: u64,
+    /// Watermarks emitted (one per simulated tick through the horizon).
+    pub watermarks: u64,
+    /// Days the engine closed while the stream was live or finishing.
+    pub days_closed: u64,
+}
+
+/// Replays a store through an online [`channel`] at `config.speed`,
+/// simulating as events arrive. Returns the report — byte-identical to
+/// `sim.simulate(&store)` — and the stream statistics.
+///
+/// The producer runs on a scoped thread; the calling thread simulates.
+/// Sleep-based pacing and day-close observation hooks are injectable via
+/// [`replay_with`] (this wrapper sleeps for [`ReplaySpeed::Times`] and
+/// ignores day closes).
+///
+/// # Panics
+///
+/// Panics if `config.tick_secs` is 0, or if a [`ReplaySpeed::Times`] factor
+/// is not finite and positive.
+pub fn replay(
+    sim: &Simulator,
+    store: &SessionStore,
+    config: &ReplayConfig,
+) -> (SimReport, ReplayStats) {
+    replay_with(
+        sim,
+        store,
+        config,
+        |secs| std::thread::sleep(std::time::Duration::from_secs_f64(secs)),
+        |_| {},
+    )
+}
+
+/// [`replay`] with an injectable pacer and day-close observer.
+///
+/// `pace(wall_secs)` runs on the producer thread once per simulated tick
+/// under [`ReplaySpeed::Times`] (never under
+/// [`ReplaySpeed::MaxThroughput`]); tests substitute a recorder for the
+/// default sleep. `on_day_close` runs on the consumer (calling) thread as
+/// each day seals, exactly as
+/// [`Simulator::simulate_days`] reports
+/// them.
+pub fn replay_with(
+    sim: &Simulator,
+    store: &SessionStore,
+    config: &ReplayConfig,
+    mut pace: impl FnMut(f64) + Send,
+    mut on_day_close: impl FnMut(DayClose),
+) -> (SimReport, ReplayStats) {
+    assert!(config.tick_secs > 0, "tick_secs must be positive");
+    let wall_secs_per_tick = match config.speed {
+        ReplaySpeed::Times(n) => {
+            assert!(
+                n.is_finite() && n > 0.0,
+                "replay speed factor must be finite and positive, got {n}"
+            );
+            Some(config.tick_secs as f64 / n)
+        }
+        ReplaySpeed::MaxThroughput => None,
+    };
+    let horizon = store.horizon_secs();
+    let tick = config.tick_secs;
+    let (mut sender, source) = channel(horizon, store.population_len(), config.capacity);
+
+    // One watermark per tick, emitted just before the first event that
+    // crosses it (paced), plus trailing ticks to cover the horizon so every
+    // day closes through the same cadence. If the consumer hangs up early
+    // the partial stats are still meaningful.
+    let producer = move || {
+        let mut stats = ReplayStats::default();
+        let mut next_tick = tick;
+        for i in 0..store.len() {
+            let record = store.record(i);
+            while record.start.as_secs() >= next_tick {
+                if let Some(wall) = wall_secs_per_tick {
+                    pace(wall);
+                }
+                if sender.advance_watermark(next_tick).is_err() {
+                    return stats;
+                }
+                stats.watermarks += 1;
+                next_tick += tick;
+            }
+            if sender.send_session(record).is_err() {
+                return stats;
+            }
+            stats.events += 1;
+        }
+        while next_tick < horizon + tick {
+            if let Some(wall) = wall_secs_per_tick {
+                pace(wall);
+            }
+            if sender.advance_watermark(next_tick).is_err() {
+                return stats;
+            }
+            stats.watermarks += 1;
+            next_tick += tick;
+        }
+        stats
+    };
+
+    let (mut stats, report) = parallel_join(producer, || {
+        let mut days_closed = 0u64;
+        let report = sim.simulate_days(source, |close| {
+            days_closed += 1;
+            on_day_close(close);
+        });
+        (report, days_closed)
+    });
+    stats.days_closed = report.1;
+    (report.0, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimConfig;
+    use consume_local_trace::{TraceConfig, TraceGenerator};
+
+    fn store() -> SessionStore {
+        let trace = TraceGenerator::new(TraceConfig::london_sep2013().scaled(0.0003).unwrap(), 7)
+            .generate()
+            .unwrap();
+        SessionStore::from_trace(&trace)
+    }
+
+    #[test]
+    fn watermarks_cut_batches_and_disconnect_flushes() {
+        let store = store();
+        let records = store.to_records();
+        let day = consume_local_trace::SegmentedStore::SEGMENT_SECS;
+        let (mut tx, source) = channel(store.horizon_secs(), store.population_len(), 8);
+        let (_, batches) = parallel_join(
+            move || {
+                for r in &records {
+                    tx.send_session(*r).unwrap();
+                }
+                // Seal the first two days, leave the rest to disconnect.
+                tx.advance_watermark(day).unwrap();
+                tx.advance_watermark(2 * day).unwrap();
+            },
+            || {
+                let mut out: Vec<(usize, u64)> = Vec::new();
+                let mut total: Vec<SessionRecord> = Vec::new();
+                source.for_each_batch(&mut |batch, watermark| {
+                    out.push((batch.len(), watermark));
+                    total.extend(batch.to_records());
+                });
+                (out, total)
+            },
+        );
+        let (shape, fed) = batches;
+        let seg = consume_local_trace::SegmentedStore::from_records(
+            &store.to_records(),
+            store.horizon_secs(),
+            store.population_len(),
+        );
+        assert_eq!(shape.len(), 3);
+        assert_eq!(shape[0], (seg.segment(0).len(), day));
+        assert_eq!(shape[1], (seg.segment(1).len(), 2 * day));
+        assert_eq!(
+            shape[2],
+            (
+                store.len() - seg.segment(0).len() - seg.segment(1).len(),
+                u64::MAX
+            )
+        );
+        // Nothing dropped, nothing reordered across batch seams.
+        assert_eq!(fed, store.to_records());
+    }
+
+    #[test]
+    fn empty_watermark_batches_are_emitted() {
+        let (mut tx, source) = channel(86_400, 4, 4);
+        let (_, shape) = parallel_join(
+            move || {
+                tx.advance_watermark(3_600).unwrap();
+                tx.advance_watermark(3_600).unwrap(); // no-op: not monotone progress
+                tx.advance_watermark(7_200).unwrap();
+            },
+            || {
+                let mut out = Vec::new();
+                source.for_each_batch(&mut |batch, watermark| out.push((batch.len(), watermark)));
+                out
+            },
+        );
+        assert_eq!(shape, vec![(0, 3_600), (0, 7_200)]);
+    }
+
+    #[test]
+    fn late_sessions_are_rejected_at_the_sender() {
+        let store = store();
+        let (mut tx, source) = channel(store.horizon_secs(), store.population_len(), 4);
+        tx.advance_watermark(1_000).unwrap();
+        let mut late = store.record(0);
+        late.start = consume_local_trace::SimTime(999);
+        assert_eq!(
+            tx.send_session(late),
+            Err(OnlineError::LateSession {
+                start_secs: 999,
+                watermark: 1_000
+            })
+        );
+        assert_eq!(tx.watermark(), 1_000);
+        drop(source);
+        assert_eq!(tx.advance_watermark(2_000), Err(OnlineError::Disconnected));
+        let mut ok = store.record(0);
+        ok.start = consume_local_trace::SimTime(5_000);
+        assert_eq!(tx.send_session(ok), Err(OnlineError::Disconnected));
+        let msg = OnlineError::LateSession {
+            start_secs: 999,
+            watermark: 1_000,
+        }
+        .to_string();
+        assert!(msg.contains("999") && msg.contains("1000"), "{msg}");
+        assert!(OnlineError::Disconnected
+            .to_string()
+            .contains("disconnected"));
+    }
+
+    #[test]
+    fn replay_matches_batch_report_and_counts_the_stream() {
+        let store = store();
+        let sim = Simulator::new(SimConfig::default());
+        let expect = sim.simulate(&store);
+        let config = ReplayConfig::default();
+        let (report, stats) = replay(&sim, &store, &config);
+        assert_eq!(report, expect);
+        assert_eq!(stats.events, store.len() as u64);
+        assert_eq!(
+            stats.watermarks,
+            store.horizon_secs().div_ceil(config.tick_secs)
+        );
+        assert_eq!(
+            stats.days_closed,
+            store
+                .horizon_secs()
+                .div_ceil(consume_local_trace::SegmentedStore::SEGMENT_SECS)
+        );
+    }
+
+    #[test]
+    fn paced_replay_sleeps_tick_over_factor() {
+        let store = store();
+        let sim = Simulator::new(SimConfig::default());
+        let mut paces: Vec<f64> = Vec::new();
+        let config = ReplayConfig {
+            speed: ReplaySpeed::Times(1e9), // enormous speed-up: no real waiting
+            tick_secs: 21_600,
+            capacity: 16,
+        };
+        let mut closes = Vec::new();
+        let (report, stats) = replay_with(
+            &sim,
+            &store,
+            &config,
+            |secs| paces.push(secs),
+            |close| closes.push(close.day),
+        );
+        assert_eq!(report, sim.simulate(&store));
+        assert_eq!(paces.len() as u64, stats.watermarks);
+        assert!(paces.iter().all(|&s| s == 21_600.0 / 1e9));
+        let days: Vec<u32> = (0..closes.len() as u32).collect();
+        assert_eq!(closes, days, "days close in order, exactly once each");
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and positive")]
+    fn replay_rejects_nonpositive_speed() {
+        let store = store();
+        let sim = Simulator::new(SimConfig::default());
+        let config = ReplayConfig {
+            speed: ReplaySpeed::Times(0.0),
+            ..ReplayConfig::default()
+        };
+        let _ = replay(&sim, &store, &config);
+    }
+}

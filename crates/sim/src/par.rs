@@ -6,9 +6,11 @@
 //! runner use; this module keeps the historical `consume_local_sim::par`
 //! path working. [`parallel_map_slices`] — the disjoint-slice variant the
 //! trace merge fans its hour buckets over — rides along for engine-side
-//! callers that shard one mutable buffer instead of an index range.
+//! callers that shard one mutable buffer instead of an index range, and
+//! [`parallel_join`] pairs the online replay producer with the simulating
+//! consumer.
 
-pub use consume_local_stats::par::{parallel_map, parallel_map_slices};
+pub use consume_local_stats::par::{parallel_join, parallel_map, parallel_map_slices};
 
 #[cfg(test)]
 mod tests {

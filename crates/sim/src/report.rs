@@ -74,6 +74,30 @@ pub struct DailyIspCell {
     pub ledger: ByteLedger,
 }
 
+/// A non-fatal condition the engine noticed while simulating.
+///
+/// Warnings never change results — they flag paths that are correct but
+/// surprising (slower, or worth a config review). They are part of the
+/// report so programmatic callers (sweeps, services) see them without
+/// scraping stderr, and they are deterministic: the same sessions produce
+/// the same warnings on every path, worker count and batch schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SimWarning {
+    /// The sessions exceeded the compact 59-bit sort-key bounds
+    /// (`consume_local_trace::sort_key_bounds`: 2²² start seconds / 2²²
+    /// users / 2¹⁵ items), so sort-based trace pipelines fall back to the
+    /// wide record sort — identical output, slower to produce. The fields
+    /// carry the measured maxima so the exceeded bound is visible.
+    SortKeyFallback {
+        /// Largest session start in seconds.
+        max_start_secs: u64,
+        /// Largest user id.
+        max_user: u32,
+        /// Largest content id.
+        max_content: u32,
+    },
+}
+
 /// The full output of one simulation run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SimReport {
@@ -89,6 +113,8 @@ pub struct SimReport {
     pub daily: Vec<DailyIspCell>,
     /// Whole-system ledger.
     pub total: ByteLedger,
+    /// Non-fatal conditions noticed during the run (empty when clean).
+    pub warnings: Vec<SimWarning>,
 }
 
 impl SimReport {
@@ -258,6 +284,7 @@ mod tests {
                 cell(1, Some(IspId(0)), 100, 20),
             ],
             total: ledger,
+            warnings: Vec::new(),
         }
     }
 

@@ -1,0 +1,188 @@
+//! The [`SessionSource`] abstraction: where sessions come from.
+//!
+//! The engine itself only ever consumes **watermarked, start-ordered
+//! session batches** — it does not care whether they were materialised up
+//! front, generated a day at a time, or received over a live channel. This
+//! module names that contract as a trait so [`Simulator::simulate`] is the
+//! single entry point behind which every feeding mode meets:
+//!
+//! * [`&SessionStore`](consume_local_trace::SessionStore) — the whole
+//!   horizon as one batch (the sweep runner's share-one-store shape);
+//! * [`&Trace`](consume_local_trace::Trace) — columnarised on the fly,
+//!   then one batch;
+//! * [`&SegmentedStore`](consume_local_trace::SegmentedStore) — one batch
+//!   per day segment, watermarked at each day's end;
+//! * [`&mut SegmentStream`](consume_local_trace::SegmentStream) — ditto,
+//!   but each day is generated, fed and dropped (bounded peak memory);
+//! * [`OnlineSource`](crate::online::OnlineSource) — batches cut by the
+//!   sender's watermarks as events arrive over the bounded channel.
+//!
+//! Whatever the source, the report is byte-identical for the same sessions
+//! (pinned by `tests/segmented.rs` and `tests/online.rs`): the watermark
+//! contract below is exactly what the resumable per-swarm machines need to
+//! make batch boundaries invisible.
+//!
+//! # The watermark contract
+//!
+//! [`SessionSource::for_each_batch`] hands the sink pairs
+//! `(batch, watermark)` such that
+//!
+//! 1. batches arrive in watermark order (watermarks are monotone);
+//! 2. every session in a batch starts in
+//!    `[previous watermark, watermark)` (first batch: from 0);
+//! 3. after a batch with watermark `w`, **no** later batch contains a
+//!    session starting before `w`.
+//!
+//! Within a batch, sessions are in canonical trace order (start, user,
+//! content) — [`SessionStore`] construction enforces that. Watermarks need
+//! not align to days or windows, and `u64::MAX` (or anything at or past
+//! the horizon) marks a final batch.
+
+use consume_local_trace::{SegmentStream, SegmentedStore, SessionStore, Trace};
+
+#[allow(unused_imports)] // doc links
+use crate::engine::Simulator;
+
+/// A producer of watermarked, day-ordered session batches — anything
+/// [`Simulator::simulate`] can consume. See the [module docs](self) for
+/// the watermark contract implementations must uphold.
+///
+/// `for_each_batch` takes `self` by value: a source is consumed by exactly
+/// one run. The borrowed implementations (`&SessionStore`, `&Trace`,
+/// `&SegmentedStore`, `&mut SegmentStream`) make the common cases free to
+/// re-create.
+pub trait SessionSource {
+    /// The replay horizon in seconds (windows stop here).
+    fn horizon_secs(&self) -> u64;
+
+    /// Number of users the sessions' user ids index into.
+    fn population_len(&self) -> usize;
+
+    /// Feeds every batch to `sink` as `(batch, watermark)`, in watermark
+    /// order, honouring the contract in the [module docs](self).
+    fn for_each_batch(self, sink: &mut dyn FnMut(&SessionStore, u64));
+}
+
+impl SessionSource for &SessionStore {
+    fn horizon_secs(&self) -> u64 {
+        SessionStore::horizon_secs(self)
+    }
+
+    fn population_len(&self) -> usize {
+        SessionStore::population_len(self)
+    }
+
+    /// The whole store as one final batch.
+    fn for_each_batch(self, sink: &mut dyn FnMut(&SessionStore, u64)) {
+        sink(self, u64::MAX);
+    }
+}
+
+impl SessionSource for &Trace {
+    fn horizon_secs(&self) -> u64 {
+        self.horizon_seconds()
+    }
+
+    fn population_len(&self) -> usize {
+        self.population().len()
+    }
+
+    /// Columnarises the trace, then feeds it as one final batch.
+    fn for_each_batch(self, sink: &mut dyn FnMut(&SessionStore, u64)) {
+        sink(&SessionStore::from_trace(self), u64::MAX);
+    }
+}
+
+impl SessionSource for &SegmentedStore {
+    fn horizon_secs(&self) -> u64 {
+        SegmentedStore::horizon_secs(self)
+    }
+
+    fn population_len(&self) -> usize {
+        SegmentedStore::population_len(self)
+    }
+
+    /// One batch per day segment, watermarked at each day's end (segment
+    /// `d` holds exactly the sessions starting in day `d`).
+    fn for_each_batch(self, sink: &mut dyn FnMut(&SessionStore, u64)) {
+        for (day, segment) in self.segments().iter().enumerate() {
+            sink(segment, (day as u64 + 1) * SegmentedStore::SEGMENT_SECS);
+        }
+    }
+}
+
+impl SessionSource for &mut SegmentStream<'_> {
+    fn horizon_secs(&self) -> u64 {
+        self.config().horizon_seconds()
+    }
+
+    fn population_len(&self) -> usize {
+        self.population().len()
+    }
+
+    /// Generates, feeds and drops one day segment at a time, so peak
+    /// memory holds a single day of the trace.
+    fn for_each_batch(self, sink: &mut dyn FnMut(&SessionStore, u64)) {
+        loop {
+            let day = u64::from(self.next_day());
+            let Some(segment) = self.next_segment() else {
+                return;
+            };
+            sink(&segment, (day + 1) * SegmentedStore::SEGMENT_SECS);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use consume_local_trace::{TraceConfig, TraceGenerator};
+
+    fn trace() -> Trace {
+        TraceGenerator::new(TraceConfig::london_sep2013().scaled(0.0003).unwrap(), 5)
+            .generate()
+            .unwrap()
+    }
+
+    /// Drains a source into `(batch length, watermark)` pairs plus the
+    /// trait-reported metadata, through the trait interface only.
+    fn drain(source: impl SessionSource) -> (u64, usize, Vec<(usize, u64)>) {
+        let horizon = source.horizon_secs();
+        let population = source.population_len();
+        let mut out = Vec::new();
+        source.for_each_batch(&mut |batch, watermark| out.push((batch.len(), watermark)));
+        (horizon, population, out)
+    }
+
+    #[test]
+    fn monolithic_sources_emit_one_final_batch() {
+        let trace = trace();
+        let store = SessionStore::from_trace(&trace);
+        let expect = (
+            trace.horizon_seconds(),
+            trace.population().len(),
+            vec![(store.len(), u64::MAX)],
+        );
+        assert_eq!(drain(&store), expect);
+        assert_eq!(drain(&trace), expect);
+    }
+
+    #[test]
+    fn segmented_sources_watermark_each_day_end() {
+        let trace = trace();
+        let seg = SegmentedStore::from_trace(&trace);
+        let (horizon, population, got) = drain(&seg);
+        assert_eq!(horizon, trace.horizon_seconds());
+        assert_eq!(population, trace.population().len());
+        assert_eq!(got.len(), seg.num_segments());
+        for (d, &(len, watermark)) in got.iter().enumerate() {
+            assert_eq!(len, seg.segment(d).len());
+            assert_eq!(watermark, (d as u64 + 1) * SegmentedStore::SEGMENT_SECS);
+        }
+        assert_eq!(got.iter().map(|&(n, _)| n).sum::<usize>(), seg.len());
+
+        let generator = TraceGenerator::new(trace.config().clone(), 5);
+        let mut stream = generator.segments().unwrap();
+        assert_eq!(drain(&mut stream), (horizon, population, got));
+    }
+}

@@ -15,9 +15,14 @@
 //! slice-parallel libraries prove with raw pointers falls out of iterated
 //! `split_at_mut`.
 //!
+//! [`parallel_join`] rounds out the trio for the two-sided case: run a
+//! producer and a consumer concurrently and hand both results back — the
+//! online ingest engine pairs a replay producer with the simulating
+//! consumer this way.
+//!
 //! The primitives live here, at the bottom of the crate graph, so every
 //! layer above (`trace`, `sim`, `core`) can share them;
-//! `consume_local_sim::par` re-exports both under its historical path.
+//! `consume_local_sim::par` re-exports all three under its historical path.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -185,6 +190,38 @@ where
         .collect()
 }
 
+/// Runs `a` on a scoped thread while `b` runs on the caller's thread, and
+/// returns both results once both sides finish.
+///
+/// This is the two-task companion to [`parallel_map`]: where the mappers fan
+/// one shape of work across many workers, `parallel_join` pairs two
+/// *different* computations — typically a producer feeding a channel and the
+/// consumer draining it. Running `b` inline means a caller that joins a
+/// producer with a blocking consumer spends no thread beyond the one it
+/// already has.
+///
+/// # Panics
+///
+/// Propagates a panic from either closure. If `b` panics while `a` is still
+/// running, the scope still joins `a` before unwinding — so `a` must not
+/// deadlock when its counterpart dies (channel producers see a disconnect
+/// error and return).
+pub fn parallel_join<A, B, FA, FB>(a: FA, b: FB) -> (A, B)
+where
+    A: Send,
+    FA: FnOnce() -> A + Send,
+    FB: FnOnce() -> B,
+{
+    std::thread::scope(|scope| {
+        let handle = scope.spawn(a);
+        let out_b = b();
+        let out_a = handle
+            .join()
+            .unwrap_or_else(|payload| std::panic::resume_unwind(payload));
+        (out_a, out_b)
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -280,5 +317,24 @@ mod tests {
     fn slices_reject_overrunning_offsets() {
         let mut data = [0u8; 4];
         let _ = parallel_map_slices(&mut data, &[0, 9], 2, |_, _| ());
+    }
+
+    #[test]
+    fn join_returns_both_sides() {
+        let (a, b) = parallel_join(|| 6 * 7, || "consumer".len());
+        assert_eq!((a, b), (42, 8));
+    }
+
+    #[test]
+    fn join_runs_producer_and_consumer_concurrently() {
+        // A rendezvous over a bounded channel deadlocks unless both closures
+        // genuinely run at the same time.
+        let (tx, rx) = std::sync::mpsc::sync_channel::<u32>(0);
+        let (sent, got) = parallel_join(
+            move || (0..64).map(|i| tx.send(i).is_ok() as u32).sum::<u32>(),
+            move || rx.iter().sum::<u32>(),
+        );
+        assert_eq!(sent, 64);
+        assert_eq!(got, (0..64).sum::<u32>());
     }
 }

@@ -366,9 +366,6 @@ pub fn merge_session_batches(
     let compact = max_start < sort_key_bounds::START_SECS
         && max_user < sort_key_bounds::USERS
         && max_content < sort_key_bounds::ITEMS;
-    if !compact {
-        note_wide_sort_fallback(max_start, max_user, max_content);
-    }
     parallel_map_slices(&mut sessions, &offsets, workers, |_, slice| {
         sort_bucket(slice, compact);
     });
@@ -405,8 +402,9 @@ fn sort_bucket(slice: &mut [SessionRecord], compact: bool) {
 /// iff every field is strictly below its bound. Every London preset fits;
 /// larger custom worlds take the (identical-output, slower) wide record
 /// sort — [`crate::TraceStats::sort_key_fallback`] reports which path a
-/// trace takes, and the merge warns once on stderr naming the exceeded
-/// bound and the measured value.
+/// trace takes, and the simulation engine surfaces the exceeded bounds as
+/// a structured `SimReport` warning (it reads the per-batch maxima off
+/// [`crate::SessionStore::sort_key_maxima`]).
 pub mod sort_key_bounds {
     /// Start-time bound: 2²² seconds ≈ 48.5-day horizons.
     pub const START_SECS: u64 = 1 << 22;
@@ -414,34 +412,6 @@ pub mod sort_key_bounds {
     pub const USERS: u32 = 1 << 22;
     /// Content-id bound: 2¹⁵ = 32 K items.
     pub const ITEMS: u32 = 1 << 15;
-}
-
-/// Notes (once per process) that a scenario exceeded the compact sort-key
-/// bounds and the merge fell back to the slower wide record sort, naming
-/// each exceeded bound and the measured maximum. The fallback is correct
-/// (pinned by `wide_sort_fallback_identical_at_every_bound`), just slower;
-/// the note stops the silent perf cliff from going unnoticed — and
-/// [`crate::TraceStats::sort_key_fallback`] exposes the same predicate
-/// programmatically for sweeps.
-fn note_wide_sort_fallback(max_start: u64, max_user: u32, max_content: u32) {
-    static NOTE: std::sync::Once = std::sync::Once::new();
-    NOTE.call_once(|| {
-        let mut exceeded = Vec::new();
-        if max_start >= sort_key_bounds::START_SECS {
-            exceeded.push(format!("start secs {max_start} ≥ 2^22 (≈48.5-day horizon)"));
-        }
-        if max_user >= sort_key_bounds::USERS {
-            exceeded.push(format!("user id {max_user} ≥ 2^22 (4.19 M users)"));
-        }
-        if max_content >= sort_key_bounds::ITEMS {
-            exceeded.push(format!("content id {max_content} ≥ 2^15 (32 K items)"));
-        }
-        eprintln!(
-            "note: trace exceeds the compact sort-key bounds — {}; \
-             merging via the wide record sort (identical output, slower)",
-            exceeded.join(", ")
-        );
-    });
 }
 
 /// The generator: a [`TraceConfig`] plus a master seed.

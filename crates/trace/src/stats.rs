@@ -28,8 +28,9 @@ pub struct TraceStats {
     /// ([`crate::generator::sort_key_bounds`]: 2²² start seconds / 2²²
     /// users / 2¹⁵ items), making sort-based pipelines (the parallel merge,
     /// segment emission) take the wide record sort — correct but slower.
-    /// Sweeps over custom scales can check this instead of scraping the
-    /// once-per-process stderr note.
+    /// Sweeps over custom scales can check this up front; the simulation
+    /// engine surfaces the same condition as a structured `SimReport`
+    /// warning.
     pub sort_key_fallback: bool,
 }
 

@@ -60,6 +60,10 @@ pub struct SessionStore {
     /// `window_offsets[w]` = index of the first session starting at or after
     /// `w × INDEX_WINDOW_SECS`; one trailing entry holds `len()`.
     window_offsets: Vec<u32>,
+    /// Largest user id across the sessions (0 when empty).
+    max_user: u32,
+    /// Largest content id across the sessions (0 when empty).
+    max_content: u32,
 }
 
 impl SessionStore {
@@ -106,6 +110,8 @@ impl SessionStore {
             horizon_secs,
             population_len,
             window_offsets: Vec::new(),
+            max_user: 0,
+            max_content: 0,
         };
         for s in sessions {
             store.start_secs.push(s.start.as_secs());
@@ -115,6 +121,8 @@ impl SessionStore {
             store.device.push(s.device);
             store.isp.push(s.isp);
             store.location.push(s.location);
+            store.max_user = store.max_user.max(s.user.0);
+            store.max_content = store.max_content.max(s.content.0);
         }
         store.window_offsets = build_window_offsets(&store.start_secs, horizon_secs);
         store
@@ -173,6 +181,23 @@ impl SessionStore {
     /// Viewer attachment points.
     pub fn location(&self) -> &[UserLocation] {
         &self.location
+    }
+
+    /// The per-field maxima that decide whether the 59-bit compact sort key
+    /// can represent these sessions: `(max start seconds, max user id,
+    /// max content id)`, all zero for an empty store.
+    ///
+    /// The engine folds these across every batch it ingests and surfaces a
+    /// structured `SimReport` warning when any field exceeds
+    /// [`sort_key_bounds`](crate::generator::sort_key_bounds) — the trace
+    /// merge has then already fallen back to the wide sort, so results are
+    /// still exact, just slower to produce.
+    pub fn sort_key_maxima(&self) -> (u64, u32, u32) {
+        (
+            self.start_secs.last().copied().unwrap_or(0),
+            self.max_user,
+            self.max_content,
+        )
     }
 
     /// Session `i`'s end time in seconds (`start + duration`).
@@ -726,6 +751,22 @@ mod tests {
         assert_eq!(seg.record(0), records[0]);
         assert_eq!(seg.first_at_or_after(0), 0);
         assert_eq!(seg.first_at_or_after(4 * 86_400), 1);
+    }
+
+    #[test]
+    fn sort_key_maxima_track_columns() {
+        let empty = SessionStore::from_records(&[], 86_400, 4);
+        assert_eq!(empty.sort_key_maxima(), (0, 0, 0));
+
+        let trace = small_trace();
+        let store = SessionStore::from_trace(&trace);
+        let sessions = trace.sessions();
+        let expect = (
+            sessions.iter().map(|s| s.start.as_secs()).max().unwrap(),
+            sessions.iter().map(|s| s.user.0).max().unwrap(),
+            sessions.iter().map(|s| s.content.0).max().unwrap(),
+        );
+        assert_eq!(store.sort_key_maxima(), expect);
     }
 
     #[test]

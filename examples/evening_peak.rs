@@ -12,7 +12,6 @@
 use consume_local::ascii::{self, Chart};
 use consume_local::figures::{fig2, Fig2Options, PopularityTier};
 use consume_local::prelude::*;
-use consume_local::trace::TraceConfig;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("== evening peak: one hit episode, one month ==\n");

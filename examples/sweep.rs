@@ -23,8 +23,7 @@
 //!   `large`/`full` presets on small machines);
 //! * `out`     — JSON output path (default `target/sweep.json`).
 
-use consume_local::sweep::{SweepConfig, SweepGrid, SweepRunner};
-use consume_local::trace::ScalePreset;
+use consume_local::prelude::*;
 
 fn arg(args: &[String], key: &str) -> Option<String> {
     args.iter()

@@ -105,8 +105,8 @@ fn flat_diurnal_profile_reduces_prime_time_swarming() {
     config.diurnal = consume_local::trace::arrival::DiurnalProfile::flat();
     let flat = TraceGenerator::new(config, 40).generate().unwrap();
     let sim = Simulator::new(SimConfig::default());
-    let peaked_offload = sim.run(&peaked).total.offload_share();
-    let flat_offload = sim.run(&flat).total.offload_share();
+    let peaked_offload = sim.simulate(&peaked).total.offload_share();
+    let flat_offload = sim.simulate(&flat).total.offload_share();
     assert!(
         peaked_offload > flat_offload,
         "prime-time concentration must increase sharing: {peaked_offload} vs {flat_offload}"

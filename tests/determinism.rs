@@ -76,8 +76,8 @@ fn engine_on_shared_store_matches_per_run_columnarisation() {
     let trace = shared_trace();
     let store = SessionStore::from_trace(&trace);
     let sim = Simulator::new(SimConfig::default());
-    let from_trace = sim.run(&trace);
-    let from_store = sim.run_store(&store);
+    let from_trace = sim.simulate(&trace);
+    let from_store = sim.simulate(&store);
     assert_eq!(from_trace, from_store);
 }
 
@@ -90,7 +90,7 @@ fn simulator_reports_bit_identical_across_thread_counts() {
             matcher,
             ..Default::default()
         })
-        .run(&trace);
+        .simulate(&trace);
         reference.check_conservation().unwrap();
         assert!(reference.total.demand_bytes > 0);
         for threads in &THREAD_COUNTS[1..] {
@@ -99,7 +99,7 @@ fn simulator_reports_bit_identical_across_thread_counts() {
                 matcher,
                 ..Default::default()
             })
-            .run(&trace);
+            .simulate(&trace);
             assert_eq!(
                 reference, report,
                 "{matcher:?} report must not depend on thread count {threads}"
@@ -218,14 +218,14 @@ fn segmented_engine_bit_identical_across_thread_counts_and_to_monolithic() {
             matcher,
             ..Default::default()
         })
-        .run_store(&store);
+        .simulate(&store);
         for &threads in &THREAD_COUNTS {
             let report = Simulator::new(SimConfig {
                 threads,
                 matcher,
                 ..Default::default()
             })
-            .run_segmented(&segmented);
+            .simulate(&segmented);
             assert_eq!(
                 reference, report,
                 "{matcher:?} segmented report must match monolithic at {threads} threads"
@@ -247,14 +247,14 @@ fn parallel_user_scatter_bit_identical_across_thread_counts() {
         threads: THREAD_COUNTS[0],
         ..Default::default()
     })
-    .run_store(&store);
+    .simulate(&store);
     assert!(reference.users.iter().any(|u| u.uploaded_bytes > 0));
     for &threads in &THREAD_COUNTS[1..] {
         let report = Simulator::new(SimConfig {
             threads,
             ..Default::default()
         })
-        .run_store(&store);
+        .simulate(&store);
         assert_eq!(
             reference.users, report.users,
             "user scatter must not depend on {threads} workers"

@@ -78,8 +78,8 @@ fn thread_count_does_not_change_results() {
         threads: 8,
         ..Default::default()
     };
-    let r1 = Simulator::new(one).run(&trace);
-    let r8 = Simulator::new(many).run(&trace);
+    let r1 = Simulator::new(one).simulate(&trace);
+    let r8 = Simulator::new(many).simulate(&trace);
     assert_eq!(r1, r8);
 }
 

@@ -132,7 +132,7 @@ proptest! {
             ..Default::default()
         };
         let sim = Simulator::new(cfg);
-        prop_assert_eq!(sim.run_segmented(&seg), sim.run_store(&mono));
+        prop_assert_eq!(sim.simulate(&seg), sim.simulate(&mono));
     }
 
     #[test]
@@ -149,7 +149,7 @@ proptest! {
             ..Default::default()
         };
         let sim = Simulator::new(cfg);
-        prop_assert_eq!(sim.run_segmented(&seg), sim.run_store(&mono));
+        prop_assert_eq!(sim.simulate(&seg), sim.simulate(&mono));
     }
 }
 
@@ -163,15 +163,15 @@ fn generated_trace_segments_and_stream_replay_identically() {
     let generator = TraceGenerator::new(config, 41);
     let trace = generator.generate().unwrap();
     let sim = Simulator::new(SimConfig::default());
-    let monolithic = sim.run(&trace);
+    let monolithic = sim.simulate(&trace);
 
     let from_trace = SegmentedStore::from_trace(&trace);
-    assert_eq!(sim.run_segmented(&from_trace), monolithic);
+    assert_eq!(sim.simulate(&from_trace), monolithic);
 
     let emitted = generator.generate_segmented().unwrap();
     assert_eq!(emitted, from_trace);
-    assert_eq!(sim.run_segmented(&emitted), monolithic);
+    assert_eq!(sim.simulate(&emitted), monolithic);
 
     let mut stream = generator.segments().unwrap();
-    assert_eq!(sim.run_trace_stream(&mut stream), monolithic);
+    assert_eq!(sim.simulate(&mut stream), monolithic);
 }

@@ -22,8 +22,8 @@ fn csv_roundtrip_preserves_simulation() {
         trace.population().clone(),
         sessions,
     );
-    let original = Simulator::new(SimConfig::default()).run(&trace);
-    let roundtripped = Simulator::new(SimConfig::default()).run(&rebuilt);
+    let original = Simulator::new(SimConfig::default()).simulate(&trace);
+    let roundtripped = Simulator::new(SimConfig::default()).simulate(&rebuilt);
     assert_eq!(original, roundtripped);
 }
 
