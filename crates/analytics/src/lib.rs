@@ -61,4 +61,4 @@ pub mod sweep;
 pub use credits::CreditModel;
 pub use mminf::{capacity_from_active_mean, SwarmCapacity};
 pub use savings::{ModelError, SavingsBreakdown, SavingsModel};
-pub use sweep::{ScenarioSample, SweepSummary};
+pub use sweep::{DegradationCurve, DegradationPoint, ScenarioSample, SweepSummary};

@@ -70,6 +70,64 @@ impl SweepSummary {
     }
 }
 
+/// One point of a degradation curve: a robustness axis value (churn
+/// departure rate or cooperation probability) with the savings and offload
+/// the sweep measured there.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DegradationPoint {
+    /// The axis value (e.g. departures per online hour).
+    pub axis: f64,
+    /// Energy savings at this point (`None` when unmeasured).
+    pub savings: Option<f64>,
+    /// Peer-offload share of demand at this point.
+    pub offload: f64,
+}
+
+/// A savings/offload-vs-churn curve: the reduction the `churn_degradation`
+/// example plots and sanity-checks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegradationCurve {
+    /// Curve points, sorted by ascending axis value.
+    pub points: Vec<DegradationPoint>,
+}
+
+impl DegradationCurve {
+    /// Builds a curve from unsorted points, ordering by axis value (ties
+    /// keep their input order).
+    pub fn new(mut points: Vec<DegradationPoint>) -> Self {
+        points.sort_by(|a, b| a.axis.partial_cmp(&b.axis).expect("finite axis values"));
+        Self { points }
+    }
+
+    /// The measured point at the smallest axis value (the healthy
+    /// baseline), if any point was measured.
+    pub fn baseline(&self) -> Option<&DegradationPoint> {
+        self.points.iter().find(|p| p.savings.is_some())
+    }
+
+    /// Whether offload degrades monotonically (never increases, within
+    /// `tolerance`) as the axis value grows. Vacuously true with fewer
+    /// than two points.
+    pub fn offload_monotone_non_increasing(&self, tolerance: f64) -> bool {
+        self.points
+            .windows(2)
+            .all(|w| w[1].offload <= w[0].offload + tolerance)
+    }
+
+    /// Whether every measured point's savings stay at or below the
+    /// baseline's (within `tolerance`): degradation can only cost energy
+    /// savings, never create them.
+    pub fn savings_bounded_by_baseline(&self, tolerance: f64) -> bool {
+        let Some(base) = self.baseline().and_then(|p| p.savings) else {
+            return true;
+        };
+        self.points
+            .iter()
+            .filter_map(|p| p.savings)
+            .all(|s| s <= base + tolerance)
+    }
+}
+
 /// The speedup ratio `baseline / current` of a timed kernel, or `None` when
 /// either measurement is non-positive or non-finite. `> 1` means the current
 /// code is faster than the recorded baseline.
@@ -125,6 +183,42 @@ mod tests {
         let s = SweepSummary::of(&twice).unwrap();
         assert_eq!(s.best_savings_index, 0);
         assert_eq!(s.worst_savings_index, 0);
+    }
+
+    #[test]
+    fn degradation_curve_sorts_and_checks_monotonicity() {
+        let point = |axis: f64, savings: f64, offload: f64| DegradationPoint {
+            axis,
+            savings: Some(savings),
+            offload,
+        };
+        let curve = DegradationCurve::new(vec![
+            point(2.0, 0.10, 0.15),
+            point(0.0, 0.30, 0.40),
+            point(0.5, 0.25, 0.33),
+        ]);
+        assert_eq!(curve.points[0].axis, 0.0);
+        assert_eq!(curve.points[2].axis, 2.0);
+        assert_eq!(curve.baseline().unwrap().axis, 0.0);
+        assert!(curve.offload_monotone_non_increasing(0.0));
+        assert!(curve.savings_bounded_by_baseline(0.0));
+
+        let bumpy = DegradationCurve::new(vec![
+            point(0.0, 0.30, 0.40),
+            point(1.0, 0.35, 0.45), // degradation "gained" savings: bogus
+        ]);
+        assert!(!bumpy.offload_monotone_non_increasing(0.01));
+        assert!(!bumpy.savings_bounded_by_baseline(0.01));
+        // A generous tolerance accepts the wobble.
+        assert!(bumpy.offload_monotone_non_increasing(0.1));
+
+        let unmeasured = DegradationCurve::new(vec![DegradationPoint {
+            axis: 0.0,
+            savings: None,
+            offload: 0.0,
+        }]);
+        assert!(unmeasured.baseline().is_none());
+        assert!(unmeasured.savings_bounded_by_baseline(0.0));
     }
 
     #[test]

@@ -103,12 +103,14 @@ pub mod prelude {
     pub use crate::error::Error;
     pub use crate::experiment::{Experiment, ExperimentBuilder, ExperimentError};
     pub use crate::sim::{
-        DayClose, SessionSource, SimConfig, SimReport, SimWarning, Simulator, UploadModel,
+        DayClose, Degradation, SessionSource, SimConfig, SimReport, SimWarning, Simulator,
+        UploadModel,
     };
     pub use crate::swarm::{MatcherKind, SwarmPolicy};
     pub use crate::sweep::{SweepConfig, SweepGrid, SweepReport, SweepRunner};
     pub use crate::topology::{IspId, IspRegistry, IspTopology, Layer};
     pub use crate::trace::{
-        ScalePreset, SegmentedStore, SessionStore, Trace, TraceConfig, TraceGenerator,
+        ChurnConfig, FlashCrowd, ScalePreset, SegmentedStore, SessionStore, Trace, TraceConfig,
+        TraceGenerator,
     };
 }

@@ -49,7 +49,9 @@ use consume_local_sim::{
 };
 use consume_local_swarm::{MatcherKind, SwarmPolicy};
 use consume_local_topology::IspRegistry;
-use consume_local_trace::{ScalePreset, SessionStore, TraceConfig, TraceGenerator};
+use consume_local_trace::{
+    ChurnConfig, ScalePreset, SessionStore, TraceConfig, TraceError, TraceGenerator,
+};
 
 use crate::export::json::JsonValue;
 
@@ -102,6 +104,12 @@ pub struct SweepGrid {
     pub window_secs: Vec<u64>,
     /// Upload ratios `q/β`.
     pub upload_ratios: Vec<f64>,
+    /// Churn departure rates (per online hour), each expanded through
+    /// [`ChurnConfig::degradation_axis`]. `[0.0]` keeps churn off.
+    pub churn_rates: Vec<f64>,
+    /// Cooperation probabilities (peers silently defect with probability
+    /// `1 - c` per window). `[1.0]` keeps defection off.
+    pub cooperation: Vec<f64>,
 }
 
 impl Default for SweepGrid {
@@ -120,6 +128,8 @@ impl SweepGrid {
             policies: vec![SwarmPolicy::paper_default()],
             window_secs: vec![10],
             upload_ratios: vec![1.0],
+            churn_rates: vec![0.0],
+            cooperation: vec![1.0],
         }
     }
 
@@ -133,6 +143,24 @@ impl SweepGrid {
             policies: vec![SwarmPolicy::paper_default(), SwarmPolicy::content_only()],
             window_secs: vec![10, 30],
             upload_ratios: vec![1.0],
+            churn_rates: vec![0.0],
+            cooperation: vec![1.0],
+        }
+    }
+
+    /// The robustness grid: one paper-point scenario swept across churn
+    /// departure rates and cooperation probabilities, for the
+    /// `churn_degradation` example's savings/offload degradation curves.
+    pub fn churn_degradation(preset: ScalePreset) -> Self {
+        Self {
+            presets: vec![preset],
+            topologies: vec![TopologyPreset::LondonTop5],
+            matchers: vec![MatcherKind::Hierarchical],
+            policies: vec![SwarmPolicy::paper_default()],
+            window_secs: vec![10],
+            upload_ratios: vec![1.0],
+            churn_rates: vec![0.0, 0.5, 1.0, 2.0, 4.0],
+            cooperation: vec![1.0, 0.8],
         }
     }
 
@@ -151,6 +179,8 @@ impl SweepGrid {
             ],
             window_secs: vec![5, 10, 30],
             upload_ratios: vec![0.5, 1.0],
+            churn_rates: vec![0.0],
+            cooperation: vec![1.0],
         }
     }
 
@@ -162,6 +192,8 @@ impl SweepGrid {
             * self.policies.len()
             * self.window_secs.len()
             * self.upload_ratios.len()
+            * self.churn_rates.len()
+            * self.cooperation.len()
     }
 
     /// Whether any axis is empty (the grid expands to no scenarios).
@@ -179,14 +211,20 @@ impl SweepGrid {
                     for &policy in &self.policies {
                         for &window_secs in &self.window_secs {
                             for &upload_ratio in &self.upload_ratios {
-                                out.push(Scenario {
-                                    preset,
-                                    topology,
-                                    matcher,
-                                    policy,
-                                    window_secs,
-                                    upload_ratio,
-                                });
+                                for &churn_rate in &self.churn_rates {
+                                    for &cooperation in &self.cooperation {
+                                        out.push(Scenario {
+                                            preset,
+                                            topology,
+                                            matcher,
+                                            policy,
+                                            window_secs,
+                                            upload_ratio,
+                                            churn_rate,
+                                            cooperation,
+                                        });
+                                    }
+                                }
                             }
                         }
                     }
@@ -212,13 +250,20 @@ pub struct Scenario {
     pub window_secs: u64,
     /// Upload ratio `q/β`.
     pub upload_ratio: f64,
+    /// Churn departure rate (per online hour); `0.0` keeps churn off.
+    pub churn_rate: f64,
+    /// Cooperation probability; `1.0` keeps defection off.
+    pub cooperation: f64,
 }
 
 impl Scenario {
     /// A stable, human-readable scenario id, e.g.
-    /// `smoke/london5/hierarchical/isp+bitrate/dt10/q1`.
+    /// `smoke/london5/hierarchical/isp+bitrate/dt10/q1`. The churn and
+    /// cooperation axes only appear when they deviate from their inert
+    /// defaults (`/churn{r}`, `/coop{c}`), so ids from pre-churn sweeps
+    /// are unchanged.
     pub fn id(&self) -> String {
-        format!(
+        let mut id = format!(
             "{}/{}/{}/{}/dt{}/q{}",
             self.preset,
             self.topology,
@@ -226,7 +271,14 @@ impl Scenario {
             policy_name(self.policy),
             self.window_secs,
             self.upload_ratio
-        )
+        );
+        if self.churn_rate > 0.0 {
+            id.push_str(&format!("/churn{}", self.churn_rate));
+        }
+        if self.cooperation < 1.0 {
+            id.push_str(&format!("/coop{}", self.cooperation));
+        }
+        id
     }
 
     /// The simulator configuration for this scenario. `sim_threads` is the
@@ -240,15 +292,25 @@ impl Scenario {
             matcher: self.matcher,
             seed,
             threads: sim_threads,
+            cooperation_rate: self.cooperation,
             ..SimConfig::default()
         }
     }
 
-    /// The trace configuration this scenario replays.
+    /// The trace configuration this scenario replays, including the churn
+    /// axis (via [`ChurnConfig::degradation_axis`]).
     pub fn trace_config(&self) -> TraceConfig {
         let mut base = TraceConfig::london_sep2013();
         base.registry = self.topology.registry();
+        base.churn = ChurnConfig::degradation_axis(self.churn_rate);
         self.preset.apply(base)
+    }
+
+    /// The key identifying the trace this scenario replays: scenarios
+    /// sharing it replay the same generated sessions. Churn fragments the
+    /// trace, so the churn rate is part of the key (bit-exact).
+    fn trace_key(&self) -> (ScalePreset, TopologyPreset, u64) {
+        (self.preset, self.topology, self.churn_rate.to_bits())
     }
 }
 
@@ -326,6 +388,14 @@ pub enum SweepError {
         /// The violated constraint.
         source: SimConfigError,
     },
+    /// A scenario's trace configuration is invalid (e.g. a negative churn
+    /// rate on the churn axis).
+    Trace {
+        /// The offending scenario's id.
+        scenario: String,
+        /// The violated constraint.
+        source: TraceError,
+    },
 }
 
 impl fmt::Display for SweepError {
@@ -336,6 +406,9 @@ impl fmt::Display for SweepError {
             SweepError::Sim { scenario, source } => {
                 write!(f, "scenario `{scenario}`: {source}")
             }
+            SweepError::Trace { scenario, source } => {
+                write!(f, "scenario `{scenario}`: {source}")
+            }
         }
     }
 }
@@ -344,6 +417,7 @@ impl std::error::Error for SweepError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             SweepError::Sim { source, .. } => Some(source),
+            SweepError::Trace { source, .. } => Some(source),
             _ => None,
         }
     }
@@ -388,7 +462,11 @@ pub struct ScenarioOutcome {
 }
 
 impl ScenarioOutcome {
-    fn to_json(&self, with_timings: bool) -> JsonValue {
+    /// `axes` flags which robustness axes the sweep actually used
+    /// (`(churn, cooperation)`): the corresponding fields are only emitted
+    /// then, so documents from churn-free sweeps are byte-identical to
+    /// pre-churn output.
+    fn to_json(&self, with_timings: bool, axes: (bool, bool)) -> JsonValue {
         let savings = |s: Option<f64>| s.map_or(JsonValue::Null, JsonValue::Num);
         let mut obj = JsonValue::object()
             .field("id", self.scenario.id())
@@ -397,7 +475,14 @@ impl ScenarioOutcome {
             .field("matcher", matcher_name(self.scenario.matcher))
             .field("policy", policy_name(self.scenario.policy))
             .field("window_secs", self.scenario.window_secs)
-            .field("upload_ratio", self.scenario.upload_ratio)
+            .field("upload_ratio", self.scenario.upload_ratio);
+        if axes.0 {
+            obj = obj.field("churn_rate", self.scenario.churn_rate);
+        }
+        if axes.1 {
+            obj = obj.field("cooperation", self.scenario.cooperation);
+        }
+        obj = obj
             .field("users", self.users)
             .field("sessions", self.sessions)
             .field("swarms", self.swarms)
@@ -571,11 +656,15 @@ impl SweepReport {
             }
             doc = doc.field("summary", s);
         }
+        let axes = (
+            self.outcomes.iter().any(|o| o.scenario.churn_rate > 0.0),
+            self.outcomes.iter().any(|o| o.scenario.cooperation < 1.0),
+        );
         doc.field(
             "results",
             self.outcomes
                 .iter()
-                .map(|o| o.to_json(with_timings))
+                .map(|o| o.to_json(with_timings, axes))
                 .collect::<Vec<_>>(),
         )
     }
@@ -616,6 +705,12 @@ impl SweepRunner {
             s.sim_config(config.seed, config.sim_threads)
                 .validate()
                 .map_err(|source| SweepError::Sim {
+                    scenario: s.id(),
+                    source,
+                })?;
+            s.trace_config()
+                .validate()
+                .map_err(|source| SweepError::Trace {
                     scenario: s.id(),
                     source,
                 })?;
@@ -660,21 +755,22 @@ impl SweepRunner {
         //    threads — single-trace grids get the inner parallelism,
         //    many-trace grids the outer. Like every scenario `wall_ms`, the
         //    recorded build times are throughput-context measurements.
-        let mut trace_keys: Vec<(ScalePreset, TopologyPreset)> = Vec::new();
+        let mut trace_keys: Vec<(ScalePreset, TopologyPreset, u64)> = Vec::new();
         for s in &self.scenarios {
-            if !trace_keys.contains(&(s.preset, s.topology)) {
-                trace_keys.push((s.preset, s.topology));
+            if !trace_keys.contains(&s.trace_key()) {
+                trace_keys.push(s.trace_key());
             }
         }
         let seed = self.config.seed;
         let trace_workers = self.config.trace_workers.unwrap_or(self.config.workers);
         let built: Vec<(TraceBuild, Arc<SessionStore>)> =
             parallel_map(trace_keys.len(), self.config.workers, |i| {
-                let (preset, topology) = trace_keys[i];
+                let key = trace_keys[i];
+                let (preset, topology, _) = key;
                 let scenario = self
                     .scenarios
                     .iter()
-                    .find(|s| (s.preset, s.topology) == (preset, topology))
+                    .find(|s| s.trace_key() == key)
                     .expect("key came from the scenario list");
                 // lint:allow(no-wall-clock) wall-time telemetry, omitted from deterministic JSON
                 let start = Instant::now();
@@ -704,7 +800,7 @@ impl SweepRunner {
         let sim_threads = self.config.sim_threads;
         let outcomes = parallel_map(self.scenarios.len(), self.config.workers, |i| {
             let scenario = self.scenarios[i];
-            let key = (scenario.preset, scenario.topology);
+            let key = scenario.trace_key();
             let store_idx = trace_keys
                 .iter()
                 .position(|&k| k == key)
@@ -745,10 +841,10 @@ impl SweepRunner {
     fn run_segment_stream(&self) -> SweepReport {
         let seed = self.config.seed;
         let trace_workers = self.config.trace_workers.unwrap_or(self.config.workers);
-        let mut trace_keys: Vec<(ScalePreset, TopologyPreset)> = Vec::new();
+        let mut trace_keys: Vec<(ScalePreset, TopologyPreset, u64)> = Vec::new();
         for s in &self.scenarios {
-            if !trace_keys.contains(&(s.preset, s.topology)) {
-                trace_keys.push((s.preset, s.topology));
+            if !trace_keys.contains(&s.trace_key()) {
+                trace_keys.push(s.trace_key());
             }
         }
 
@@ -760,11 +856,10 @@ impl SweepRunner {
             run: SegmentedRun,
             wall_ms: f64,
         }
-        for (preset, topology) in trace_keys {
+        for key in trace_keys {
+            let (preset, topology, _) = key;
             let scenario_ids: Vec<usize> = (0..self.scenarios.len())
-                .filter(|&i| {
-                    (self.scenarios[i].preset, self.scenarios[i].topology) == (preset, topology)
-                })
+                .filter(|&i| self.scenarios[i].trace_key() == key)
                 .collect();
             let trace_config = self.scenarios[scenario_ids[0]].trace_config();
             let generator = TraceGenerator::new(trace_config, seed).workers(trace_workers);
@@ -1042,6 +1137,94 @@ mod tests {
         assert_eq!(
             SweepRunner::new(config).unwrap_err(),
             SweepError::ZeroWorkers
+        );
+    }
+
+    /// A minimal grid exercising both robustness axes: one scenario shape
+    /// across churn off/on and full/partial cooperation (4 scenarios,
+    /// 2 distinct traces).
+    fn robustness_config() -> SweepConfig {
+        let mut grid = SweepGrid::paper_point();
+        grid.churn_rates = vec![0.0, 2.0];
+        grid.cooperation = vec![1.0, 0.7];
+        SweepConfig {
+            grid,
+            seed: 11,
+            workers: 2,
+            sim_threads: 1,
+            trace_workers: None,
+            segmented: false,
+        }
+    }
+
+    #[test]
+    fn churn_axis_expands_ids_and_dedups_traces_by_rate() {
+        let runner = SweepRunner::new(robustness_config()).unwrap();
+        let ids: Vec<String> = runner.scenarios().iter().map(|s| s.id()).collect();
+        assert_eq!(runner.scenarios().len(), 4);
+        // Inert axis values leave the id untouched; active ones suffix it.
+        assert!(ids[0].ends_with("/dt10/q1"), "{}", ids[0]);
+        assert!(ids[1].ends_with("/q1/coop0.7"), "{}", ids[1]);
+        assert!(ids[2].ends_with("/q1/churn2"), "{}", ids[2]);
+        assert!(ids[3].ends_with("/q1/churn2/coop0.7"), "{}", ids[3]);
+        let report = runner.run();
+        // Two distinct traces: churn-off and churn-2, each shared by both
+        // cooperation levels.
+        assert_eq!(report.trace_builds.len(), 2);
+        // Churn fragments sessions: the churned trace has more records.
+        assert!(report.trace_builds[1].sessions > report.trace_builds[0].sessions);
+        // Degradation is monotone on both axes for this point: churn and
+        // defection each lose offload.
+        let offload = |i: usize| report.outcomes[i].offload_share;
+        assert!(offload(1) < offload(0), "defection must lose offload");
+        assert!(offload(2) < offload(0), "churn must lose offload");
+        // JSON carries the axis fields exactly when the axis is in use.
+        let json = report.to_json_deterministic().render();
+        assert!(json.contains("\"churn_rate\":2"));
+        assert!(json.contains("\"cooperation\":0.7"));
+        let plain = SweepRunner::new(quick_config(2)).unwrap().run();
+        let plain_json = plain.to_json_deterministic().render();
+        assert!(!plain_json.contains("churn_rate"));
+        assert!(!plain_json.contains("\"cooperation\""));
+    }
+
+    #[test]
+    fn segmented_mode_matches_shared_store_with_churn() {
+        let shared = SweepRunner::new(robustness_config()).unwrap().run();
+        let mut config = robustness_config();
+        config.segmented = true;
+        let segmented = SweepRunner::new(config).unwrap().run();
+        assert_eq!(
+            shared.to_json_deterministic().render(),
+            segmented.to_json_deterministic().render()
+        );
+    }
+
+    #[test]
+    fn invalid_churn_axis_value_is_typed() {
+        let mut config = robustness_config();
+        config.grid.churn_rates = vec![-1.0];
+        let err = SweepRunner::new(config).unwrap_err();
+        assert!(
+            matches!(err, SweepError::Trace { .. }),
+            "unexpected error {err:?}"
+        );
+        assert!(err.to_string().contains("churn"));
+        use std::error::Error;
+        assert!(err.source().is_some());
+
+        let mut config = robustness_config();
+        config.grid.cooperation = vec![0.0];
+        let err = SweepRunner::new(config).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                SweepError::Sim {
+                    source: SimConfigError::Churn(_),
+                    ..
+                }
+            ),
+            "unexpected error {err:?}"
         );
     }
 

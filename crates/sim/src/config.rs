@@ -5,6 +5,7 @@ use std::fmt;
 use serde::{Deserialize, Serialize};
 
 use consume_local_swarm::{MatcherKind, SwarmPolicy};
+use consume_local_trace::ChurnConfigError;
 
 /// A violated [`SimConfig`] constraint, reported as a typed error so callers
 /// (the experiment builder, the sweep runner) can propagate it without
@@ -25,6 +26,9 @@ pub enum SimConfigError {
     ZeroCacheItems,
     /// `participation_rate` was outside `(0, 1]`.
     BadParticipationRate(f64),
+    /// A churn / fault-injection bound was violated (the simulator's
+    /// `cooperation_rate` shares the churn layer's typed validation).
+    Churn(ChurnConfigError),
 }
 
 impl fmt::Display for SimConfigError {
@@ -47,11 +51,25 @@ impl fmt::Display for SimConfigError {
             SimConfigError::BadParticipationRate(r) => {
                 write!(f, "participation_rate must be in (0, 1], got {r}")
             }
+            SimConfigError::Churn(e) => write!(f, "churn: {e}"),
         }
     }
 }
 
-impl std::error::Error for SimConfigError {}
+impl std::error::Error for SimConfigError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimConfigError::Churn(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ChurnConfigError> for SimConfigError {
+    fn from(e: ChurnConfigError) -> Self {
+        SimConfigError::Churn(e)
+    }
+}
 
 /// How much upload bandwidth each peer contributes.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -136,6 +154,16 @@ pub struct SimConfig {
     /// they simply never upload. Membership is a deterministic hash of the
     /// user id, so it is stable across runs and configurations.
     pub participation_rate: f64,
+    /// Probability that a matched uploader actually delivers its window's
+    /// bytes, in `(0, 1]`. `1.0` (the default) disables fault injection.
+    ///
+    /// Below 1.0, peers *silently defect*: the matching still happens, but
+    /// a defecting uploader's transfers fail for that window and the
+    /// receivers fall back to the CDN (or edge cache). Defections are a
+    /// deterministic hash of `(swarm, user, window)` — a dedicated indexed
+    /// stream independent of thread schedule — and the lost volume is
+    /// surfaced in `SimReport::degradation`.
+    pub cooperation_rate: f64,
 }
 
 impl Default for SimConfig {
@@ -150,6 +178,7 @@ impl Default for SimConfig {
             preload_fraction: 0.0,
             edge_cache: None,
             participation_rate: 1.0,
+            cooperation_rate: 1.0,
         }
     }
 }
@@ -198,6 +227,14 @@ impl SimConfig {
         {
             return Err(SimConfigError::BadParticipationRate(
                 self.participation_rate,
+            ));
+        }
+        if !self.cooperation_rate.is_finite()
+            || self.cooperation_rate <= 0.0
+            || self.cooperation_rate > 1.0
+        {
+            return Err(SimConfigError::Churn(
+                ChurnConfigError::BadCooperationProbability(self.cooperation_rate),
             ));
         }
         Ok(())
@@ -296,6 +333,21 @@ mod tests {
             ..Default::default()
         };
         assert!(c.validate().is_err());
+        for bad in [0.0, -0.5, 1.5, f64::NAN] {
+            let c = SimConfig {
+                cooperation_rate: bad,
+                ..Default::default()
+            };
+            let err = c.validate().unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    SimConfigError::Churn(ChurnConfigError::BadCooperationProbability(_))
+                ),
+                "cooperation_rate {bad} should fail with a churn error, got {err}"
+            );
+            assert!(err.to_string().starts_with("churn: "));
+        }
     }
 
     #[test]

@@ -35,7 +35,7 @@ use consume_local_trace::{ContentId, SegmentStream, SegmentedStore, SessionStore
 use crate::config::{SimConfig, SimConfigError};
 use crate::ledger::ByteLedger;
 use crate::par::{parallel_map, parallel_map_slices};
-use crate::report::{DailyIspCell, SimReport, SimWarning, SwarmReport, UserTraffic};
+use crate::report::{DailyIspCell, Degradation, SimReport, SimWarning, SwarmReport, UserTraffic};
 use crate::source::SessionSource;
 
 /// The simulator: a configured engine, reusable across traces.
@@ -249,8 +249,10 @@ impl Simulator {
         let mut swarms = Vec::with_capacity(parts.len());
         let mut daily_cells: Vec<(u32, Option<IspId>, ByteLedger)> = Vec::new();
         let mut total = ByteLedger::new();
+        let mut degradation = Degradation::default();
         for (key, sessions, out) in &parts {
             total.merge(&out.ledger);
+            degradation.merge(&out.degradation);
             for (day, ledger) in &out.daily {
                 daily_cells.push((*day, key.isp, *ledger));
             }
@@ -290,6 +292,7 @@ impl Simulator {
             users,
             daily,
             total,
+            degradation,
             warnings,
         }
     }
@@ -525,6 +528,11 @@ struct SwarmSim {
     swarm_demand: u64,
     ineligible: u64,
     outcome: MatchOutcome,
+    /// Seed of this swarm's dedicated defection stream (independent of the
+    /// matcher's stream, so fault injection never perturbs matching).
+    defect_seed: u64,
+    /// Fault-injection losses accumulated over the swarm's lifetime.
+    degradation: Degradation,
 }
 
 impl SwarmSim {
@@ -553,6 +561,8 @@ impl SwarmSim {
             swarm_demand: 0,
             ineligible: 0,
             outcome: MatchOutcome::default(),
+            defect_seed: swarm_seed(sim.config.seed ^ DEFECT_STREAM_TAG, &key),
+            degradation: Degradation::default(),
         }
     }
 
@@ -774,22 +784,70 @@ impl SwarmSim {
                 &mut self.outcome,
             );
 
+            // Fault injection: a matched uploader may silently defect this
+            // window (deterministic hash of swarm/user/window — see
+            // `defects`). Its transfers fail, its upload credit is void, and
+            // the receivers' bytes fall back to the CDN/cache. The user
+            // accumulation pass therefore runs *before* the ledger so the
+            // failed volume can be re-routed. The matcher's outcome itself
+            // is never mutated — it is reused as the next window's hint.
+            let cooperation = sim.config.cooperation_rate;
+            let mut failed_total = 0u64;
+            let mut failed_by_layer = [0u64; 3];
+            for (k, (&slot, &full_demand)) in self
+                .active
+                .user_slots
+                .iter()
+                .zip(&self.active.full_demands)
+                .enumerate()
+            {
+                let acc = &mut self.user_acc[slot as usize];
+                // Users watch their full demand (preloaded bytes included).
+                acc.0 += full_demand;
+                let uploaded = self.outcome.per_peer[k].uploaded;
+                if uploaded > 0
+                    && defects(self.defect_seed, self.users[slot as usize], t, cooperation)
+                {
+                    failed_total += uploaded;
+                    for (f, u) in failed_by_layer
+                        .iter_mut()
+                        .zip(self.outcome.per_peer[k].uploaded_by_layer)
+                    {
+                        *f += u;
+                    }
+                } else {
+                    acc.1 += uploaded;
+                }
+            }
+            if failed_total > 0 {
+                self.degradation.merge(&Degradation {
+                    failed_transfer_bytes: failed_total,
+                    failed_by_layer,
+                    defection_windows: 1,
+                });
+            }
+
             // Account the window. The CDN-side fallback carries the
-            // ineligible remainder and the matcher's residual unmet needs;
-            // with an edge cache holding this item, that fallback is served
-            // at the exchange instead of the CDN.
+            // ineligible remainder, the matcher's residual unmet needs and
+            // the bytes defectors failed to deliver; with an edge cache
+            // holding this item, that fallback is served at the exchange
+            // instead of the CDN.
             let demand_total = self.swarm_demand + self.preload_total;
-            let fallback = self.ineligible + self.outcome.server_bytes;
+            let fallback = self.ineligible + self.outcome.server_bytes + failed_total;
             let (server_total, cache_total, preload_srv, preload_cache) = if self.cached {
                 (0, fallback, 0, self.preload_total)
             } else {
                 (fallback, 0, self.preload_total, 0)
             };
 
+            let mut peer_bytes_by_layer = self.outcome.peer_bytes_by_layer;
+            for (p, f) in peer_bytes_by_layer.iter_mut().zip(failed_by_layer) {
+                *p -= f;
+            }
             let mut window_ledger = ByteLedger {
                 demand_bytes: demand_total,
                 server_bytes: server_total + preload_srv,
-                peer_bytes_by_layer: self.outcome.peer_bytes_by_layer,
+                peer_bytes_by_layer,
                 cache_bytes: cache_total + preload_cache,
                 preload_bytes: 0,
                 active_windows: 1,
@@ -801,19 +859,6 @@ impl SwarmSim {
                 window_ledger.preload_bytes = preload_srv;
             }
             debug_assert!(window_ledger.is_conserved(), "window bytes must conserve");
-
-            for (k, (&slot, &full_demand)) in self
-                .active
-                .user_slots
-                .iter()
-                .zip(&self.active.full_demands)
-                .enumerate()
-            {
-                let acc = &mut self.user_acc[slot as usize];
-                // Users watch their full demand (preloaded bytes included).
-                acc.0 += full_demand;
-                acc.1 += self.outcome.per_peer[k].uploaded;
-            }
 
             self.ledger.merge(&window_ledger);
             let day = (t / consume_local_trace::time::SECS_PER_DAY) as u32;
@@ -848,6 +893,7 @@ impl SwarmSim {
             daily: std::mem::take(&mut self.daily),
             users,
             upload_ratio: self.upload_ratio,
+            degradation: std::mem::take(&mut self.degradation),
         }
     }
 
@@ -1282,6 +1328,33 @@ fn participates(user: u32, rate: f64) -> bool {
     (x as f64 / u64::MAX as f64) < rate
 }
 
+/// Domain-separation tag mixed into the base seed for the defection
+/// stream, so defection coins never correlate with the random matcher's
+/// stream even for the same swarm key.
+const DEFECT_STREAM_TAG: u64 = 0x5afe_c0de_d15c_0bed;
+
+/// Deterministic defection coin for `(swarm, user, window)`: `true` when a
+/// matched uploader silently fails to deliver this window's bytes.
+///
+/// Like [`participates`], this is a counter-based hash rather than a
+/// stateful RNG: the coin depends only on the swarm's defection seed, the
+/// user id and the window start, so it is identical across thread counts,
+/// segment boundaries and the online replay path — no draw-order to keep
+/// in sync.
+fn defects(seed: u64, user: u32, window_start_secs: u64, cooperation: f64) -> bool {
+    if cooperation >= 1.0 {
+        return false;
+    }
+    let mut x = seed
+        ^ u64::from(user).wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        ^ window_start_secs.wrapping_mul(0xd1b5_4a32_d192_ed03);
+    // splitmix64 finaliser → uniform in [0, 1).
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^= x >> 31;
+    (x as f64 / u64::MAX as f64) >= cooperation
+}
+
 /// The ledger's effective M/M/∞ capacity: while-active mean occupancy
 /// inverted through `L̄ = c/(1 − e^(−c))`.
 fn effective_capacity(ledger: &ByteLedger) -> f64 {
@@ -1315,6 +1388,7 @@ struct SwarmOutput {
     daily: Vec<(u32, ByteLedger)>,
     users: Vec<(u32, u64, u64)>,
     upload_ratio: f64,
+    degradation: Degradation,
 }
 
 /// One active session with its per-window quantities precomputed at join
@@ -1450,18 +1524,53 @@ impl Simulator {
             }
             matcher.match_window_into(&peers, &needs, &budgets, 0, &mut outcome);
 
+            // Mirror of the SoA loop's fault injection, keyed on the same
+            // (swarm, user id, window) coin.
+            let defect_seed = swarm_seed(self.config.seed ^ DEFECT_STREAM_TAG, &key);
+            let cooperation = self.config.cooperation_rate;
+            let mut failed_total = 0u64;
+            let mut failed_by_layer = [0u64; 3];
+            for (k, a) in active.iter().enumerate() {
+                let acc = &mut user_acc[a.user_slot as usize];
+                acc.0 += a.full_demand;
+                let uploaded = outcome.per_peer[k].uploaded;
+                let user = swarm_users[a.user_slot as usize];
+                if uploaded > 0 && defects(defect_seed, user, t.as_secs(), cooperation) {
+                    failed_total += uploaded;
+                    for (f, u) in failed_by_layer
+                        .iter_mut()
+                        .zip(outcome.per_peer[k].uploaded_by_layer)
+                    {
+                        *f += u;
+                    }
+                } else {
+                    acc.1 += uploaded;
+                }
+            }
+            if failed_total > 0 {
+                out.degradation.merge(&Degradation {
+                    failed_transfer_bytes: failed_total,
+                    failed_by_layer,
+                    defection_windows: 1,
+                });
+            }
+
             let demand_total = swarm_demand + preload_total;
-            let fallback = ineligible + outcome.server_bytes;
+            let fallback = ineligible + outcome.server_bytes + failed_total;
             let (server_total, cache_total, preload_srv, preload_cache) = if cached {
                 (0, fallback, 0, preload_total)
             } else {
                 (fallback, 0, preload_total, 0)
             };
 
+            let mut peer_bytes_by_layer = outcome.peer_bytes_by_layer;
+            for (p, f) in peer_bytes_by_layer.iter_mut().zip(failed_by_layer) {
+                *p -= f;
+            }
             let mut window_ledger = ByteLedger {
                 demand_bytes: demand_total,
                 server_bytes: server_total + preload_srv,
-                peer_bytes_by_layer: outcome.peer_bytes_by_layer,
+                peer_bytes_by_layer,
                 cache_bytes: cache_total + preload_cache,
                 preload_bytes: 0,
                 active_windows: 1,
@@ -1470,12 +1579,6 @@ impl Simulator {
             if !cached {
                 window_ledger.server_bytes -= preload_srv;
                 window_ledger.preload_bytes = preload_srv;
-            }
-
-            for (k, a) in active.iter().enumerate() {
-                let acc = &mut user_acc[a.user_slot as usize];
-                acc.0 += a.full_demand;
-                acc.1 += outcome.per_peer[k].uploaded;
             }
 
             out.ledger.merge(&window_ledger);
@@ -1829,6 +1932,10 @@ mod tests {
                 window_secs: 30,
                 ..Default::default()
             },
+            SimConfig {
+                cooperation_rate: 0.5,
+                ..Default::default()
+            },
         ];
         for cfg in configs {
             let sim = Simulator::new(cfg);
@@ -1877,6 +1984,7 @@ mod tests {
                 matcher_pick in 0u8..2,
                 window_secs in 5u64..600,
                 participation_pct in 30u64..=100,
+                cooperation_pct in 40u64..=100,
             ) {
                 let store = SessionStore::from_records(&records, 2 * 86_400, 40);
                 let cfg = SimConfig {
@@ -1887,6 +1995,7 @@ mod tests {
                     },
                     window_secs,
                     participation_rate: participation_pct as f64 / 100.0,
+                    cooperation_rate: cooperation_pct as f64 / 100.0,
                     ..Default::default()
                 };
                 let sim = Simulator::new(cfg);
@@ -1923,6 +2032,10 @@ mod tests {
                 window_secs: 100_000, // > one segment: windows straddle days
                 ..Default::default()
             },
+            SimConfig {
+                cooperation_rate: 0.6,
+                ..Default::default()
+            },
         ];
         for cfg in configs {
             let sim = Simulator::new(cfg.clone());
@@ -1933,6 +2046,49 @@ mod tests {
                 cfg.window_secs
             );
         }
+    }
+
+    #[test]
+    fn defection_degrades_offload_but_conserves_bytes() {
+        let trace = tiny_trace();
+        let run = |cooperation: f64| {
+            Simulator::new(SimConfig {
+                cooperation_rate: cooperation,
+                ..Default::default()
+            })
+            .simulate(&trace)
+        };
+        let clean = run(1.0);
+        assert_eq!(
+            clean.degradation,
+            Degradation::default(),
+            "full cooperation must record zero degradation"
+        );
+        let faulty = run(0.5);
+        faulty.check_conservation().expect("defection conserves");
+        let d = faulty.degradation;
+        assert!(d.failed_transfer_bytes > 0, "defections must occur");
+        assert_eq!(
+            d.failed_by_layer.iter().sum::<u64>(),
+            d.failed_transfer_bytes
+        );
+        assert!(d.defection_windows > 0);
+        assert!(faulty.offload_loss().unwrap() > 0.0);
+        // Same sessions, same demand — only the byte routing changed.
+        assert_eq!(faulty.total.demand_bytes, clean.total.demand_bytes);
+        assert!(
+            faulty.total.peer_bytes() < clean.total.peer_bytes(),
+            "defection must reduce peer-served volume"
+        );
+        assert!(
+            faulty.total.server_bytes > clean.total.server_bytes,
+            "failed transfers fall back to the CDN"
+        );
+        // Upload credits shrink with the failed volume: defectors earn
+        // nothing for bytes they never delivered.
+        let credited: u64 = faulty.users.iter().map(|u| u.uploaded_bytes).sum();
+        let clean_credited: u64 = clean.users.iter().map(|u| u.uploaded_bytes).sum();
+        assert!(credited < clean_credited);
     }
 
     #[test]

@@ -64,5 +64,7 @@ pub use config::{EdgeCache, SimConfig, SimConfigError, UploadModel};
 pub use engine::{DayClose, SegmentedRun, Simulator};
 pub use ledger::ByteLedger;
 pub use online::{OnlineError, OnlineSender, OnlineSource, ReplayConfig, ReplaySpeed, ReplayStats};
-pub use report::{DailyIspCell, SimReport, SimWarning, SwarmDay, SwarmReport, UserTraffic};
+pub use report::{
+    DailyIspCell, Degradation, SimReport, SimWarning, SwarmDay, SwarmReport, UserTraffic,
+};
 pub use source::SessionSource;

@@ -90,6 +90,10 @@ pub enum OnlineError {
     /// The consuming side hung up (the simulation finished or died); no
     /// further events can be delivered.
     Disconnected,
+    /// The channel is at capacity ([`OnlineSender::try_send`] only): the
+    /// event was **not** enqueued. The producer should back off and retry —
+    /// or switch to the blocking [`OnlineSender::send_session`].
+    Full,
 }
 
 impl std::fmt::Display for OnlineError {
@@ -103,6 +107,7 @@ impl std::fmt::Display for OnlineError {
                 "late session: starts at {start_secs}s, behind watermark {watermark}s"
             ),
             Self::Disconnected => write!(f, "online channel disconnected"),
+            Self::Full => write!(f, "online channel full: event not enqueued"),
         }
     }
 }
@@ -194,6 +199,29 @@ impl OnlineSender {
         self.tx
             .send(Envelope::Session(session))
             .map_err(|_| OnlineError::Disconnected)
+    }
+
+    /// Enqueues one arriving session without blocking.
+    ///
+    /// Like [`send_session`](OnlineSender::send_session) but returns
+    /// [`OnlineError::Full`] instead of waiting when the channel is at
+    /// capacity — the event is **not** enqueued and the caller may retry,
+    /// drop, or spill it. Late sessions are still rejected as
+    /// [`OnlineError::LateSession`] before the channel is touched.
+    pub fn try_send(&mut self, session: SessionRecord) -> Result<(), OnlineError> {
+        let start_secs = session.start.as_secs();
+        if start_secs < self.watermark {
+            return Err(OnlineError::LateSession {
+                start_secs,
+                watermark: self.watermark,
+            });
+        }
+        self.tx
+            .try_send(Envelope::Session(session))
+            .map_err(|e| match e {
+                std::sync::mpsc::TrySendError::Full(_) => OnlineError::Full,
+                std::sync::mpsc::TrySendError::Disconnected(_) => OnlineError::Disconnected,
+            })
     }
 
     /// Promises that no later event starts before `watermark` seconds,
@@ -533,6 +561,56 @@ mod tests {
         assert!(OnlineError::Disconnected
             .to_string()
             .contains("disconnected"));
+    }
+
+    #[test]
+    fn try_send_reports_backpressure_without_blocking() {
+        let store = store();
+        let (mut tx, source) = channel(store.horizon_secs(), store.population_len(), 1);
+        // Capacity 1: the first event fits, the second is backpressure.
+        assert_eq!(tx.try_send(store.record(0)), Ok(()));
+        assert_eq!(tx.try_send(store.record(1)), Err(OnlineError::Full));
+        assert_eq!(tx.try_send(store.record(1)), Err(OnlineError::Full));
+        // Once the consumer drains, try_send succeeds again.
+        let (sent, fed) = parallel_join(
+            move || {
+                loop {
+                    match tx.try_send(store.record(1)) {
+                        Ok(()) => break,
+                        Err(OnlineError::Full) => std::thread::yield_now(),
+                        Err(e) => panic!("unexpected: {e}"),
+                    }
+                }
+                2usize
+            },
+            || {
+                let mut n = 0usize;
+                source.for_each_batch(&mut |batch, _| n += batch.len());
+                n
+            },
+        );
+        assert_eq!((sent, fed), (2, 2));
+        assert!(OnlineError::Full.to_string().contains("full"));
+    }
+
+    #[test]
+    fn try_send_rejects_late_sessions_first() {
+        let store = store();
+        let (mut tx, source) = channel(store.horizon_secs(), store.population_len(), 1);
+        tx.advance_watermark(1_000).unwrap();
+        let mut late = store.record(0);
+        late.start = consume_local_trace::SimTime(999);
+        assert_eq!(
+            tx.try_send(late),
+            Err(OnlineError::LateSession {
+                start_secs: 999,
+                watermark: 1_000
+            })
+        );
+        drop(source);
+        let mut ok = store.record(0);
+        ok.start = consume_local_trace::SimTime(5_000);
+        assert_eq!(tx.try_send(ok), Err(OnlineError::Disconnected));
     }
 
     #[test]

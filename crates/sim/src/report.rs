@@ -98,6 +98,47 @@ pub enum SimWarning {
     },
 }
 
+/// Fault-injection degradation totals: what churn and peer defection cost
+/// the run, system-wide. All-zero when `cooperation_rate == 1.0`.
+///
+/// These bytes are *not* double-counted in the ledgers: a failed transfer
+/// is accounted where the bytes actually ended up (CDN or edge cache), and
+/// this struct records the volume that was re-routed so degradation curves
+/// can be drawn without diffing two runs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Degradation {
+    /// Bytes whose matched peer transfer failed because the uploader
+    /// defected; receivers re-fetched them from the CDN or edge cache.
+    pub failed_transfer_bytes: u64,
+    /// The failed bytes split by the network layer the transfer would have
+    /// crossed (sums to `failed_transfer_bytes`).
+    pub failed_by_layer: [u64; 3],
+    /// Windows in which at least one matched uploader defected.
+    pub defection_windows: u64,
+}
+
+impl Degradation {
+    /// Merges another swarm's degradation into this total.
+    pub fn merge(&mut self, other: &Degradation) {
+        self.failed_transfer_bytes += other.failed_transfer_bytes;
+        for (a, b) in self.failed_by_layer.iter_mut().zip(other.failed_by_layer) {
+            *a += b;
+        }
+        self.defection_windows += other.defection_windows;
+    }
+
+    /// Churn-induced offload loss: the fraction of total demand that would
+    /// have been peer-served but fell back to the CDN/cache because of
+    /// defections (`None` without demand).
+    pub fn offload_loss(&self, demand_bytes: u64) -> Option<f64> {
+        if demand_bytes == 0 {
+            None
+        } else {
+            Some(self.failed_transfer_bytes as f64 / demand_bytes as f64)
+        }
+    }
+}
+
 /// The full output of one simulation run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SimReport {
@@ -113,6 +154,8 @@ pub struct SimReport {
     pub daily: Vec<DailyIspCell>,
     /// Whole-system ledger.
     pub total: ByteLedger,
+    /// Fault-injection cost of the run (all-zero with full cooperation).
+    pub degradation: Degradation,
     /// Non-fatal conditions noticed during the run (empty when clean).
     pub warnings: Vec<SimWarning>,
 }
@@ -126,6 +169,13 @@ impl SimReport {
     /// System-wide savings under `params` (`None` without demand).
     pub fn total_savings(&self, params: &EnergyParams) -> Option<f64> {
         self.total.savings(params)
+    }
+
+    /// Churn-induced offload loss as a fraction of total demand (`None`
+    /// without demand): the headline degradation metric of the
+    /// fault-injection layer.
+    pub fn offload_loss(&self) -> Option<f64> {
+        self.degradation.offload_loss(self.total.demand_bytes)
     }
 
     /// Daily savings series for one ISP (Fig. 4): `(day, savings)` for days
@@ -284,6 +334,7 @@ mod tests {
                 cell(1, Some(IspId(0)), 100, 20),
             ],
             total: ledger,
+            degradation: Degradation::default(),
             warnings: Vec::new(),
         }
     }
@@ -304,6 +355,32 @@ mod tests {
             .check_conservation()
             .unwrap_err()
             .contains("uploaded"));
+    }
+
+    #[test]
+    fn degradation_merges_and_reports_offload_loss() {
+        let mut total = Degradation::default();
+        assert_eq!(total.offload_loss(300), Some(0.0));
+        total.merge(&Degradation {
+            failed_transfer_bytes: 30,
+            failed_by_layer: [30, 0, 0],
+            defection_windows: 2,
+        });
+        total.merge(&Degradation {
+            failed_transfer_bytes: 15,
+            failed_by_layer: [5, 10, 0],
+            defection_windows: 1,
+        });
+        assert_eq!(total.failed_transfer_bytes, 45);
+        assert_eq!(total.failed_by_layer, [35, 10, 0]);
+        assert_eq!(total.defection_windows, 3);
+        assert_eq!(total.offload_loss(300), Some(0.15));
+        assert_eq!(total.offload_loss(0), None);
+
+        let mut r = report();
+        assert_eq!(r.offload_loss(), Some(0.0));
+        r.degradation = total;
+        assert_eq!(r.offload_loss(), Some(0.15));
     }
 
     #[test]

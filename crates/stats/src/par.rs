@@ -24,8 +24,56 @@
 //! layer above (`trace`, `sim`, `core`) can share them;
 //! `consume_local_sim::par` re-exports all three under its historical path.
 
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+/// What a worker hands back through its join handle: either its buffered
+/// `(index, result)` pairs, or the first panic it caught together with the
+/// slot index of the task that raised it.
+type WorkerOutcome<T> = Result<Vec<(usize, T)>, (usize, Box<dyn Any + Send>)>;
+
+/// Renders a caught panic payload for re-raising with slot context.
+fn payload_text(payload: &(dyn Any + Send)) -> &str {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s
+    } else {
+        "non-string panic payload"
+    }
+}
+
+/// Joins every worker, then re-raises the lowest-slot captured panic (if
+/// any) as a single panic naming `primitive` and the originating slot.
+/// Picking the lowest slot keeps the surfaced message independent of
+/// thread schedule and worker count.
+fn collect_outcomes<T>(outcomes: Vec<WorkerOutcome<T>>, primitive: &str) -> Vec<Vec<(usize, T)>> {
+    let mut buffers = Vec::with_capacity(outcomes.len());
+    let mut first: Option<(usize, Box<dyn Any + Send>)> = None;
+    for outcome in outcomes {
+        match outcome {
+            Ok(buffer) => buffers.push(buffer),
+            Err((slot, payload)) => {
+                let better = match &first {
+                    None => true,
+                    Some((s, _)) => slot < *s,
+                };
+                if better {
+                    first = Some((slot, payload));
+                }
+            }
+        }
+    }
+    if let Some((slot, payload)) = first {
+        panic!(
+            "{primitive}: task for slot {slot} panicked: {}",
+            payload_text(payload.as_ref())
+        );
+    }
+    buffers
+}
 
 /// Maps `0..n` through `f` across at most `workers` scoped threads.
 ///
@@ -40,11 +88,13 @@ use std::sync::Mutex;
 ///
 /// # Panics
 ///
-/// Propagates a panic from `f` once the worker's buffer is joined.
+/// If `f` panics, the panic is caught on the worker, every other worker is
+/// still joined, and a single panic is re-raised on the caller naming the
+/// lowest slot index whose task panicked plus the original message.
 pub fn parallel_map<T: Send, F: Fn(usize) -> T + Sync>(n: usize, workers: usize, f: F) -> Vec<T> {
     let next = AtomicUsize::new(0);
     let workers = workers.max(1).min(n.max(1));
-    let buffers: Vec<Vec<(usize, T)>> = std::thread::scope(|scope| {
+    let outcomes: Vec<WorkerOutcome<T>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 scope.spawn(|| {
@@ -54,9 +104,12 @@ pub fn parallel_map<T: Send, F: Fn(usize) -> T + Sync>(n: usize, workers: usize,
                         if i >= n {
                             break;
                         }
-                        local.push((i, f(i)));
+                        match catch_unwind(AssertUnwindSafe(|| f(i))) {
+                            Ok(value) => local.push((i, value)),
+                            Err(payload) => return Err((i, payload)),
+                        }
                     }
-                    local
+                    Ok(local)
                 })
             })
             .collect();
@@ -68,6 +121,7 @@ pub fn parallel_map<T: Send, F: Fn(usize) -> T + Sync>(n: usize, workers: usize,
             })
             .collect()
     });
+    let buffers = collect_outcomes(outcomes, "parallel_map");
     let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
     for (i, value) in buffers.into_iter().flatten() {
         slots[i] = Some(value);
@@ -101,8 +155,10 @@ pub fn parallel_map<T: Send, F: Fn(usize) -> T + Sync>(n: usize, workers: usize,
 ///
 /// # Panics
 ///
-/// Panics if `offsets` is not ascending or overruns `data`, and propagates
-/// a panic from `f`.
+/// Panics if `offsets` is not ascending or overruns `data`. A panic from
+/// `f` is caught on the worker and re-raised on the caller naming the
+/// lowest chunk slot whose task panicked — workers never die holding the
+/// chunk-queue lock, so the mutex cannot poison the error path.
 pub fn parallel_map_slices<T, R, F>(
     data: &mut [T],
     offsets: &[usize],
@@ -130,9 +186,20 @@ where
     );
     let workers = workers.max(1).min(n);
     if workers == 1 {
-        return (0..n)
-            .map(|i| f(i, &mut data[offsets[i]..offsets[i + 1]]))
-            .collect();
+        // Inline path: catch-and-rename so the panic message carries the
+        // slot index for every worker count, not just the threaded ones.
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            let chunk = &mut data[offsets[i]..offsets[i + 1]];
+            match catch_unwind(AssertUnwindSafe(|| f(i, chunk))) {
+                Ok(value) => out.push(value),
+                Err(payload) => panic!(
+                    "parallel_map_slices: task for slot {i} panicked: {}",
+                    payload_text(payload.as_ref())
+                ),
+            }
+        }
+        return out;
     }
 
     // Carve the buffer into exclusive chunks up front; `split_at_mut` is the
@@ -151,7 +218,7 @@ where
 
     let queue = Mutex::new(chunks);
     let next = AtomicUsize::new(0);
-    let buffers: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+    let outcomes: Vec<WorkerOutcome<R>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 scope.spawn(|| {
@@ -161,14 +228,20 @@ where
                         if i >= n {
                             break;
                         }
+                        // `f` runs outside the lock and inside catch_unwind,
+                        // so a panicking task can never poison the queue for
+                        // the workers still stealing chunks.
                         let chunk = queue
                             .lock()
-                            .expect("a panicking worker propagates before poisoning matters")[i]
+                            .unwrap_or_else(std::sync::PoisonError::into_inner)[i]
                             .take()
                             .expect("each chunk is stolen exactly once");
-                        local.push((i, f(i, chunk)));
+                        match catch_unwind(AssertUnwindSafe(|| f(i, chunk))) {
+                            Ok(value) => local.push((i, value)),
+                            Err(payload) => return Err((i, payload)),
+                        }
                     }
-                    local
+                    Ok(local)
                 })
             })
             .collect();
@@ -180,6 +253,7 @@ where
             })
             .collect()
     });
+    let buffers = collect_outcomes(outcomes, "parallel_map_slices");
     let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
     for (i, value) in buffers.into_iter().flatten() {
         slots[i] = Some(value);
@@ -317,6 +391,86 @@ mod tests {
     fn slices_reject_overrunning_offsets() {
         let mut data = [0u8; 4];
         let _ = parallel_map_slices(&mut data, &[0, 9], 2, |_, _| ());
+    }
+
+    /// Runs `body` expecting it to panic, and returns the panic message.
+    fn panic_message_of<F: FnOnce() + std::panic::UnwindSafe>(body: F) -> String {
+        let payload = catch_unwind(body).expect_err("closure should panic");
+        payload_text(payload.as_ref()).to_owned()
+    }
+
+    #[test]
+    fn map_panic_names_the_originating_slot() {
+        for workers in [1, 2, 8] {
+            let msg = panic_message_of(|| {
+                let _ = parallel_map(16, workers, |i| {
+                    if i == 5 {
+                        panic!("boom at {i}");
+                    }
+                    i
+                });
+            });
+            assert!(
+                msg.contains("parallel_map: task for slot 5 panicked") && msg.contains("boom at 5"),
+                "{workers} workers: unexpected message {msg:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn map_panic_surfaces_lowest_slot_when_every_task_panics() {
+        let msg = panic_message_of(|| {
+            let _ = parallel_map(32, 8, |i| -> usize { panic!("all fail ({i})") });
+        });
+        assert!(
+            msg.contains("task for slot 0 panicked"),
+            "unexpected message {msg:?}"
+        );
+    }
+
+    #[test]
+    fn slices_panic_names_the_originating_slot_not_a_poisoned_mutex() {
+        for workers in [1, 2, 8] {
+            let offsets = [0usize, 4, 8, 12, 16];
+            let msg = panic_message_of(|| {
+                let mut data = [0u8; 16];
+                let _ = parallel_map_slices(&mut data, &offsets, workers, |i, chunk| {
+                    if i == 2 {
+                        panic!("chunk {i} died");
+                    }
+                    chunk.iter_mut().for_each(|v| *v = 1);
+                });
+            });
+            assert!(
+                msg.contains("parallel_map_slices: task for slot 2 panicked")
+                    && msg.contains("chunk 2 died"),
+                "{workers} workers: unexpected message {msg:?}"
+            );
+            assert!(
+                !msg.contains("poison"),
+                "{workers} workers: panic path leaked mutex poisoning: {msg:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn surviving_slices_are_still_mutated_after_a_panic() {
+        // Workers that stole other chunks finish them before the re-raise;
+        // the data visible after catching the panic reflects every task
+        // that ran, and only the panicking chunk is left untouched.
+        let offsets = [0usize, 4, 8];
+        let mut data = [0u8; 8];
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            let _ = parallel_map_slices(&mut data, &offsets, 1, |i, chunk| {
+                if i == 1 {
+                    panic!("late chunk dies");
+                }
+                chunk.iter_mut().for_each(|v| *v = 7);
+            });
+        }));
+        assert!(result.is_err());
+        assert_eq!(data[..4], [7; 4], "chunk before the panic was completed");
+        assert_eq!(data[4..], [0; 4], "panicking chunk rolled back nothing");
     }
 
     #[test]

@@ -54,6 +54,10 @@ pub struct PeerTransfer {
     pub from_server: u64,
     /// Uploaded to other peers.
     pub uploaded: u64,
+    /// Uploads split by [`Layer::index`] (sums to `uploaded`). Fault
+    /// injection uses this to reassign a defecting uploader's bytes to the
+    /// exact network layers they would have crossed.
+    pub uploaded_by_layer: [u64; 3],
 }
 
 /// Outcome of matching one window.
@@ -493,6 +497,7 @@ impl<'a> MatchState<'a> {
         self.budget_total -= t;
         self.out.per_peer[d].from_peers += t;
         self.out.per_peer[u].uploaded += t;
+        self.out.per_peer[u].uploaded_by_layer[layer.index()] += t;
         self.out.peer_bytes_by_layer[layer.index()] += t;
     }
 

@@ -12,6 +12,7 @@ use consume_local_stats::rng::SeedDerive;
 use consume_local_topology::IspRegistry;
 
 use crate::arrival::{age_decay_weights, boosted_day_shares, DiurnalProfile};
+use crate::churn::{ChurnConfig, ChurnConfigError};
 use crate::content::{Catalogue, ContentItem};
 use crate::device::DeviceClass;
 use crate::popularity::Popularity;
@@ -52,6 +53,9 @@ pub struct TraceConfig {
     pub diurnal: DiurnalProfile,
     /// The ISPs users subscribe to.
     pub registry: IspRegistry,
+    /// Churn & fault injection (session fragmentation, flash crowds).
+    /// The default is disabled and leaves the trace byte-identical.
+    pub churn: ChurnConfig,
 }
 
 impl TraceConfig {
@@ -68,6 +72,7 @@ impl TraceConfig {
             watch_sigma: 0.5,
             diurnal: DiurnalProfile::evening_peak(),
             registry: IspRegistry::london_top5(),
+            churn: ChurnConfig::default(),
         }
     }
 
@@ -130,6 +135,7 @@ impl TraceConfig {
         if !self.watch_sigma.is_finite() || self.watch_sigma <= 0.0 {
             return bad("watch_sigma", self.watch_sigma);
         }
+        self.churn.validate()?;
         Ok(())
     }
 
@@ -211,6 +217,8 @@ pub enum TraceError {
         /// The offending value (0.0 stands in for zero integer fields).
         value: f64,
     },
+    /// The churn & fault-injection block is invalid.
+    Churn(ChurnConfigError),
 }
 
 impl fmt::Display for TraceError {
@@ -219,11 +227,25 @@ impl fmt::Display for TraceError {
             TraceError::BadConfig { field, value } => {
                 write!(f, "invalid trace config: `{field}` = {value}")
             }
+            TraceError::Churn(e) => write!(f, "invalid churn config: {e}"),
         }
     }
 }
 
-impl std::error::Error for TraceError {}
+impl std::error::Error for TraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceError::BadConfig { .. } => None,
+            TraceError::Churn(e) => Some(e),
+        }
+    }
+}
+
+impl From<ChurnConfigError> for TraceError {
+    fn from(e: ChurnConfigError) -> Self {
+        TraceError::Churn(e)
+    }
+}
 
 /// A generated trace: the sessions plus the world they were generated from.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -611,19 +633,22 @@ impl TraceGenerator {
             .iter()
             .map(|item| self.item_plan(item, &catalogue))
             .collect();
-        let rngs: Vec<rand::rngs::StdRng> = catalogue
+        let streams: Vec<ItemStream> = catalogue
             .items()
             .iter()
-            .map(|item| self.seeds.stream_indexed("arrivals", u64::from(item.id.0)))
+            .map(|item| ItemStream {
+                rng: self.seeds.stream_indexed("arrivals", u64::from(item.id.0)),
+                pending: Vec::new(),
+            })
             .collect();
-        let rng_offsets: Vec<usize> = (0..=rngs.len()).collect();
+        let rng_offsets: Vec<usize> = (0..=streams.len()).collect();
         Ok(SegmentStream {
             generator: self,
             catalogue,
             population,
             samplers,
             plans,
-            rngs,
+            streams,
             rng_offsets,
             next_day: 0,
             columnarize_ms: 0.0,
@@ -722,14 +747,40 @@ impl TraceGenerator {
         let Some(day_shares) = &plan.day_shares else {
             return;
         };
-        let lambda = plan.expected_views * day_shares[day as usize];
+        let churn = &self.config.churn;
+        let lambda = plan.expected_views * day_shares[day as usize] * churn.flash_multiplier(day);
         if lambda <= 0.0 {
             return;
         }
         let n = Poisson::new(lambda).expect("lambda > 0").sample(rng) as u64;
+        if !churn.fragments() {
+            for _ in 0..n {
+                let hour = samplers.hour_sampler.sample_fast(rng) as u32;
+                out.push(self.make_session(item, day, hour, plan.tier, samplers, population, rng));
+            }
+            return;
+        }
+        // Churn: fragment each session into availability intervals, drawing
+        // from the same per-item stream right after the session itself — the
+        // draw count is schedule-independent, so the monolithic and
+        // segmented paths stay byte-identical. Fragments that would start
+        // past the horizon are dropped *after* the draws, identically on
+        // both paths.
+        let horizon = self.config.horizon_seconds();
         for _ in 0..n {
             let hour = samplers.hour_sampler.sample_fast(rng) as u32;
-            out.push(self.make_session(item, day, hour, plan.tier, samplers, population, rng));
+            let session = self.make_session(item, day, hour, plan.tier, samplers, population, rng);
+            for (offset, len) in churn.availability_intervals(session.duration_secs, rng) {
+                let start = session.start + u64::from(offset);
+                if start.as_secs() >= horizon {
+                    break;
+                }
+                out.push(SessionRecord {
+                    start,
+                    duration_secs: len,
+                    ..session
+                });
+            }
         }
     }
 
@@ -776,6 +827,20 @@ struct ItemPlan {
     day_shares: Option<Vec<f64>>,
 }
 
+/// One item's persistent generation state in the segmented emit mode: the
+/// item's arrival RNG stream plus the churn fragments it has synthesized
+/// that start on a *later* day than the day that synthesized them.
+struct ItemStream {
+    /// The item's persistent arrival stream — the invariant that makes
+    /// per-day emission draw-identical to the monolithic day loop.
+    rng: rand::rngs::StdRng,
+    /// Fragments deferred to their start day, in generation order. The
+    /// day-exact partition of [`SegmentedStore`](crate::store::SegmentedStore)
+    /// requires every emitted record to start in the emitted day; churn
+    /// rejoin gaps can push a fragment past midnight, so it waits here.
+    pending: Vec<SessionRecord>,
+}
+
 /// The segmented emit mode of [`TraceGenerator::segments`]: a resumable
 /// generator that yields one day of the trace at a time as a columnar
 /// [`SessionStore`] segment.
@@ -792,10 +857,10 @@ pub struct SegmentStream<'g> {
     population: Population,
     samplers: Samplers,
     plans: Vec<ItemPlan>,
-    /// One persistent arrival stream per item — the invariant that makes
-    /// per-day emission draw-identical to the monolithic day loop.
-    rngs: Vec<rand::rngs::StdRng>,
-    /// Unit-width chunk offsets over `rngs` for the disjoint-slice fan-out.
+    /// Per-item persistent state (RNG stream + deferred churn fragments).
+    streams: Vec<ItemStream>,
+    /// Unit-width chunk offsets over `streams` for the disjoint-slice
+    /// fan-out.
     rng_offsets: Vec<usize>,
     next_day: u32,
     columnarize_ms: f64,
@@ -835,20 +900,41 @@ impl SegmentStream<'_> {
         let samplers = &self.samplers;
         let population = &self.population;
         let per_item: Vec<Vec<SessionRecord>> = parallel_map_slices(
-            &mut self.rngs,
+            &mut self.streams,
             &self.rng_offsets,
             generator.workers,
-            |i, rng| {
-                let mut out = Vec::new();
+            |i, slot| {
+                let state = &mut slot[0];
+                let mut fresh = Vec::new();
                 generator.synthesise_item_day(
                     &items[i],
                     &plans[i],
                     day,
                     samplers,
                     population,
-                    &mut rng[0],
-                    &mut out,
+                    &mut state.rng,
+                    &mut fresh,
                 );
+                // Emit this day's records in the monolithic path's order:
+                // fragments deferred from earlier synthesis days first (they
+                // were generated first), then today's synthesis. Fresh
+                // fragments that start past midnight wait in `pending`.
+                let mut out = Vec::new();
+                state.pending.retain(|s| {
+                    if s.start.day() == day {
+                        out.push(*s);
+                        false
+                    } else {
+                        true
+                    }
+                });
+                for s in fresh {
+                    if s.start.day() == day {
+                        out.push(s);
+                    } else {
+                        state.pending.push(s);
+                    }
+                }
                 out
             },
         );

@@ -55,6 +55,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod arrival;
+pub mod churn;
 pub mod content;
 pub mod device;
 pub mod generator;
@@ -67,6 +68,7 @@ pub mod stats;
 pub mod store;
 pub mod time;
 
+pub use churn::{ChurnConfig, ChurnConfigError, FlashCrowd};
 pub use content::{Catalogue, ContentId, ContentItem};
 pub use generator::{
     merge_session_batches, ScalePreset, SegmentStream, Trace, TraceConfig, TraceError,

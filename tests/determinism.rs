@@ -288,3 +288,170 @@ fn segmented_sweep_mode_identical_across_worker_counts_and_modes() {
         );
     }
 }
+
+/// A scaled config with every churn feature on: fragmentation, rejoins and
+/// a flash-crowd day. Used to pin worker-count and path identity *with*
+/// the fault-injection layer active.
+fn churned_config() -> TraceConfig {
+    use consume_local::trace::{ChurnConfig, FlashCrowd};
+    let mut config = TraceConfig::london_sep2013().scaled(0.0005).unwrap();
+    config.churn = ChurnConfig {
+        departure_rate_per_hour: 2.0,
+        rejoin_probability: 0.6,
+        mean_rejoin_delay_secs: 900.0,
+        flash_crowds: vec![FlashCrowd {
+            day: 10,
+            multiplier: 2.5,
+        }],
+    };
+    config
+}
+
+#[test]
+fn churned_trace_bit_identical_across_workers_and_paths() {
+    let config = churned_config();
+    let reference = TraceGenerator::new(config.clone(), 99).generate().unwrap();
+    assert!(!reference.sessions().is_empty());
+    // Fragmentation actually happened: more records than the churn-off run.
+    let baseline = shared_trace();
+    assert!(reference.sessions().len() > baseline.sessions().len());
+    for &workers in &THREAD_COUNTS {
+        let parallel = TraceGenerator::new(config.clone(), 99)
+            .workers(workers)
+            .generate()
+            .unwrap();
+        assert_eq!(
+            reference.sessions(),
+            parallel.sessions(),
+            "churned trace must not depend on {workers} workers"
+        );
+        let segmented = TraceGenerator::new(config.clone(), 99)
+            .workers(workers)
+            .generate_segmented()
+            .unwrap();
+        assert_eq!(
+            segmented.to_records().as_slice(),
+            reference.sessions(),
+            "churned segmented emit must match monolithic at {workers} workers"
+        );
+    }
+}
+
+#[test]
+fn churned_engine_bit_identical_across_threads_segments_and_online() {
+    use consume_local::sim::online::{replay, ReplayConfig};
+    use consume_local::trace::SegmentedStore;
+
+    let trace = TraceGenerator::new(churned_config(), 99)
+        .generate()
+        .unwrap();
+    let store = SessionStore::from_trace(&trace);
+    let segmented = SegmentedStore::from_trace(&trace);
+    let config = SimConfig {
+        cooperation_rate: 0.7,
+        ..Default::default()
+    };
+    let reference = Simulator::new(SimConfig {
+        threads: THREAD_COUNTS[0],
+        ..config.clone()
+    })
+    .simulate(&store);
+    reference.check_conservation().unwrap();
+    // Defection actually bit: the degradation metrics are live.
+    assert!(reference.degradation.failed_transfer_bytes > 0);
+    assert!(reference.offload_loss().unwrap() > 0.0);
+    for &threads in &THREAD_COUNTS {
+        let sim = Simulator::new(SimConfig {
+            threads,
+            ..config.clone()
+        });
+        assert_eq!(
+            reference,
+            sim.simulate(&store),
+            "churned report must not depend on {threads} threads"
+        );
+        assert_eq!(
+            reference,
+            sim.simulate(&segmented),
+            "churned segmented report must match monolithic at {threads} threads"
+        );
+    }
+    // The live online path sees the same sessions and must agree too.
+    let sim = Simulator::new(config);
+    let (online_report, stats) = replay(&sim, &store, &ReplayConfig::default());
+    assert_eq!(reference, online_report);
+    assert_eq!(stats.events, store.len() as u64);
+}
+
+/// FNV-1a 64-bit over `bytes` — a stable, toolchain-independent digest for
+/// the seed-report byte-identity pins below.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Digest of every session record of a trace, in order.
+fn digest_sessions(trace: &Trace) -> u64 {
+    use std::fmt::Write;
+    let mut s = String::new();
+    for r in trace.sessions() {
+        write!(s, "{r:?};").unwrap();
+    }
+    fnv1a(s.as_bytes())
+}
+
+/// Digest of the fields a [`SimReport`] carried before the churn layer was
+/// added. Deliberately enumerates fields instead of using the struct's
+/// `Debug` output so that *adding* report fields (degradation metrics)
+/// cannot disturb the pin — only changes to pre-existing numbers can.
+fn digest_report_seed_fields(report: &SimReport) -> u64 {
+    use std::fmt::Write;
+    let mut t = String::new();
+    write!(t, "{}|{}|", report.horizon_secs, report.window_secs).unwrap();
+    for sw in &report.swarms {
+        write!(
+            t,
+            "{};{:?};{};{:?};{:?};{:?};",
+            sw.key, sw.ledger, sw.sessions, sw.capacity, sw.time_avg_capacity, sw.upload_ratio
+        )
+        .unwrap();
+        for d in &sw.daily {
+            write!(t, "{},{:?},{};", d.day, d.capacity, d.demand_bytes).unwrap();
+        }
+    }
+    for u in &report.users {
+        write!(t, "{}.{};", u.watched_bytes, u.uploaded_bytes).unwrap();
+    }
+    for c in &report.daily {
+        write!(t, "{}|{:?}|{:?};", c.day, c.isp, c.ledger).unwrap();
+    }
+    write!(t, "{:?}|{:?}", report.total, report.warnings).unwrap();
+    fnv1a(t.as_bytes())
+}
+
+/// Digests captured from the tree immediately before the churn layer
+/// landed. With `ChurnConfig::default()` (churn disabled) both the trace
+/// and the default-config report must stay byte-identical to the seed.
+const SEED_TRACE_DIGEST: u64 = 0x3db6_4181_f164_412b;
+const SEED_REPORT_DIGEST: u64 = 0x1389_1be1_d42e_37d0;
+
+#[test]
+fn churn_off_trace_and_report_match_seed_pin() {
+    let trace = shared_trace();
+    assert_eq!(
+        digest_sessions(&trace),
+        SEED_TRACE_DIGEST,
+        "churn-off trace drifted from the pre-churn seed"
+    );
+    let store = SessionStore::from_trace(&trace);
+    let report = Simulator::new(SimConfig::default()).simulate(&store);
+    assert_eq!(
+        digest_report_seed_fields(&report),
+        SEED_REPORT_DIGEST,
+        "churn-off report drifted from the pre-churn seed"
+    );
+}
