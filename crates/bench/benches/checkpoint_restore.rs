@@ -1,0 +1,245 @@
+//! Checkpoint/restore perf record (`BENCH_7.json`).
+//!
+//! PR 9 lands crash-safe checkpointing: a long-running engine snapshots
+//! its complete resumable state at a configurable cadence and, after a
+//! crash, resumes from the newest snapshot byte-identically
+//! (`consume_local_sim::checkpoint`). This bench records what that safety
+//! costs on the `medium` preset (18 000 users / ≈ 117 K sessions — the
+//! same scenario BENCH_2 and BENCH_6 gate, so the records stay
+//! comparable):
+//!
+//! 1. **Checkpointed run** — `simulate_days_checkpointed` over the daily
+//!    segment stream with a snapshot after every day close, against the
+//!    plain `simulate` baseline at 1, 2 and 8 threads. Each thread count's
+//!    `wall_ms` is gated by CI's `bench_guard`; the derived `overhead_pct`
+//!    figure rides along ungated.
+//! 2. **Snapshot size + write/restore cost** — one mid-run state (half the
+//!    month pushed) serialized to disk and read back; `snapshot/write` and
+//!    `snapshot/restore` carry gated `wall_ms` entries, `snapshot_bytes`
+//!    rides along ungated.
+//!
+//! Every checkpointed report is asserted byte-identical to the baseline,
+//! and the restored run is finished on the remaining days and asserted
+//! identical too, before the record is written — a perf record of a wrong
+//! answer would be worse than none.
+//!
+//! The record lands in `BENCH_7.json` at the workspace root (schema
+//! `consume-local/bench-v1`); CI's `bench-quick` job regenerates it with
+//! `CL_SWEEP_QUICK=1` and gates the `wall_ms` entries.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use consume_local::export::json::JsonValue;
+use consume_local::prelude::*;
+use consume_local::sim::checkpoint;
+use consume_local_bench::workspace_root;
+
+/// Seed of the reference scenario (same as `sweep_engine` / BENCH_2).
+const SEED: u64 = 2018;
+
+/// Worker counts the checkpointed path must hold its throughput at.
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+fn timed_reps() -> usize {
+    // Multi-rep even in quick mode: these numbers are gated, and a single
+    // rep is one scheduler hiccup away from a false alarm.
+    if std::env::var("CL_SWEEP_QUICK").is_ok() {
+        2
+    } else {
+        3
+    }
+}
+
+/// Best-of-N wall time (ms) plus the last repetition's output, after one
+/// warm-up call.
+fn timed<T>(reps: usize, mut f: impl FnMut() -> T) -> (f64, T) {
+    assert!(reps >= 1);
+    let _ = f();
+    let mut best = f64::INFINITY;
+    let mut last = None;
+    for _ in 0..reps {
+        let start = Instant::now();
+        let out = f();
+        let ms = start.elapsed().as_secs_f64() * 1e3;
+        std::hint::black_box(&out);
+        best = best.min(ms);
+        last = Some(out);
+    }
+    (best, last.expect("reps >= 1"))
+}
+
+fn scratch_path() -> std::path::PathBuf {
+    std::env::temp_dir().join(format!(
+        "consume-local-bench-checkpoint-{}.ckpt",
+        std::process::id()
+    ))
+}
+
+fn clean(path: &std::path::Path) {
+    for suffix in ["", ".tmp", ".prev"] {
+        let mut os = path.as_os_str().to_os_string();
+        os.push(suffix);
+        let _ = std::fs::remove_file(std::path::PathBuf::from(os));
+    }
+}
+
+fn checkpoint_overhead(reps: usize) -> JsonValue {
+    let config = ScalePreset::Medium.apply(TraceConfig::london_sep2013());
+    let users = config.users;
+    let trace = TraceGenerator::new(config, SEED)
+        .generate()
+        .expect("valid preset");
+    let seg = SegmentedStore::from_trace(&trace);
+    let sessions = seg.len();
+    let path = scratch_path();
+    clean(&path);
+    println!("\n=== Checkpointed run vs batch ({users} users, {sessions} sessions) ===");
+
+    let mut runs = Vec::new();
+    let mut expect_t8 = None;
+    for threads in THREAD_COUNTS {
+        let sim = Simulator::new(SimConfig {
+            threads,
+            ..Default::default()
+        });
+        let (baseline_ms, expect) = timed(reps, || sim.simulate(&seg));
+        let (wall_ms, (report, written)) = timed(reps, || {
+            let mut ck = Checkpointer::new(CheckpointPolicy::every_day_closes(1, &path));
+            let report = sim
+                .simulate_days_checkpointed(&seg, &mut ck, |_| {})
+                .expect("snapshot writes to tmp succeed");
+            (report, ck.checkpoints_written())
+        });
+        assert_eq!(
+            report, expect,
+            "checkpointed run must be byte-identical to the batch report at {threads} threads"
+        );
+        let overhead_pct = 100.0 * (wall_ms - baseline_ms) / baseline_ms;
+        println!(
+            "threads={threads}: batch {baseline_ms:.1} ms, checkpointed {wall_ms:.1} ms \
+             ({overhead_pct:+.1}%, {written} snapshots)"
+        );
+        runs.push(
+            JsonValue::object()
+                .field("threads", threads)
+                .field("wall_ms", wall_ms)
+                .field("batch_wall_ms", baseline_ms)
+                .field("overhead_pct", overhead_pct)
+                .field("checkpoints", written),
+        );
+        if threads == 8 {
+            expect_t8 = Some(expect);
+        }
+    }
+
+    // Snapshot size and raw write/restore cost on one mid-run state: half
+    // the month pushed, live swarms and carried sessions in flight.
+    let sim = Simulator::new(SimConfig {
+        threads: 8,
+        ..Default::default()
+    });
+    let mut run = sim.begin(seg.horizon_secs(), seg.population_len());
+    let cut = seg.num_segments() / 2;
+    for segment in &seg.segments()[..cut] {
+        run.push_segment(segment);
+    }
+    let mut buf = Vec::new();
+    run.checkpoint(&mut buf).expect("in-memory snapshot");
+    let snapshot_bytes = buf.len();
+    let (write_ms, ()) = timed(reps.max(3), || {
+        checkpoint::write_snapshot_file(&run, &path).expect("snapshot write")
+    });
+    let (restore_ms, mut resumed) = timed(reps.max(3), || {
+        checkpoint::read_snapshot_file(&path).expect("snapshot restore")
+    });
+    println!(
+        "snapshot: {:.2} MB, write {write_ms:.1} ms, restore {restore_ms:.1} ms",
+        snapshot_bytes as f64 / 1e6
+    );
+    for segment in &seg.segments()[cut..] {
+        resumed.push_segment(segment);
+    }
+    assert_eq!(
+        resumed.finish(),
+        expect_t8.expect("threads sweep covered 8"),
+        "restored run must finish byte-identically to the uninterrupted run"
+    );
+    clean(&path);
+
+    JsonValue::object()
+        .field(
+            "scenario",
+            "medium/london5/hierarchical/isp+bitrate/dt10/q1",
+        )
+        .field("seed", SEED)
+        .field("users", u64::from(users))
+        .field("sessions", sessions)
+        .field("cadence", "every_day_closes(1)")
+        .field("runs", runs)
+        .field(
+            "snapshot",
+            JsonValue::object()
+                .field("bytes", snapshot_bytes)
+                .field("days_pushed", cut)
+                .field("write", JsonValue::object().field("wall_ms", write_ms))
+                .field("restore", JsonValue::object().field("wall_ms", restore_ms)),
+        )
+}
+
+fn write_bench_record() {
+    let quick = std::env::var("CL_SWEEP_QUICK").is_ok();
+    let doc = JsonValue::object()
+        .field("schema", "consume-local/bench-v1")
+        .field("pr", 9u64)
+        .field("quick", quick)
+        .field("baseline_commit", "0f669d0")
+        .field("checkpoint_restore", checkpoint_overhead(timed_reps()));
+    let path = workspace_root().join("BENCH_7.json");
+    // Hard-fail on a write error: CI's regression gate reads this file next,
+    // and silently keeping the committed copy would make the gate compare
+    // the baseline against itself.
+    match consume_local::export::write_text(&path, &(doc.render() + "\n")) {
+        Ok(()) => println!("  [json] {}", path.display()),
+        Err(e) => panic!("failed to write {}: {e}", path.display()),
+    }
+}
+
+fn benches(c: &mut Criterion) {
+    write_bench_record();
+    // Criterion kernels at smoke scale so the timed closures stay short.
+    let trace = TraceGenerator::new(
+        ScalePreset::Smoke.apply(TraceConfig::london_sep2013()),
+        SEED,
+    )
+    .generate()
+    .expect("valid preset");
+    let seg = SegmentedStore::from_trace(&trace);
+    let sim = Simulator::new(SimConfig {
+        threads: 1,
+        ..Default::default()
+    });
+    let mut run = sim.begin(seg.horizon_secs(), seg.population_len());
+    for segment in &seg.segments()[..seg.num_segments() / 2] {
+        run.push_segment(segment);
+    }
+    let mut snapshot = Vec::new();
+    run.checkpoint(&mut snapshot).expect("in-memory snapshot");
+    let mut group = c.benchmark_group("checkpoint_restore");
+    group.sample_size(10);
+    group.bench_function("snapshot_smoke", |b| {
+        b.iter(|| {
+            let mut out = Vec::with_capacity(snapshot.len());
+            run.checkpoint(&mut out).expect("in-memory snapshot");
+            out
+        })
+    });
+    group.bench_function("restore_smoke", |b| {
+        b.iter(|| Simulator::resume(&mut snapshot.as_slice()).expect("valid snapshot"))
+    });
+    group.finish();
+}
+
+criterion_group!(group, benches);
+criterion_main!(group);

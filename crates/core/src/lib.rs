@@ -103,7 +103,8 @@ pub mod prelude {
     pub use crate::error::Error;
     pub use crate::experiment::{Experiment, ExperimentBuilder, ExperimentError};
     pub use crate::sim::{
-        DayClose, Degradation, SessionSource, SimConfig, SimReport, SimWarning, Simulator,
+        CheckpointCadence, CheckpointError, CheckpointPolicy, Checkpointer, DayClose, Degradation,
+        RetryPolicy, SessionSource, SimConfig, SimReport, SimWarning, Simulator, SourceError,
         UploadModel,
     };
     pub use crate::swarm::{MatcherKind, SwarmPolicy};

@@ -12,6 +12,7 @@
 //! | `crate-header` | every crate root forbids `unsafe` and keeps the docs policy |
 //! | `bench-record-schema` | committed `BENCH_*.json` records stay parseable and well-formed |
 //! | `deprecated-sim-entry` | internal code feeds the engine through `Simulator::simulate`, not the deprecated `run_*` wrappers |
+//! | `snapshot-format` | every snapshot byte flows through the `checkpoint` envelope codec — no raw byte I/O in the sim crate |
 //!
 //! A finding can be suppressed with an inline pragma on the same line or on
 //! a comment line directly above the offending line:
@@ -48,6 +49,11 @@ pub enum Rule {
     /// workspace (downstream users get the rustc deprecation warning; this
     /// keeps our own code off the legacy entry points).
     DeprecatedSimEntry,
+    /// Raw byte-level codec calls (`write_all`, `read_exact`,
+    /// `to_le_bytes`, `from_le_bytes`) in the sim crate outside
+    /// `checkpoint.rs` — snapshot bytes must flow through the versioned,
+    /// digest-covered `SnapshotWriter` / `SnapshotReader` envelope.
+    SnapshotFormat,
     /// Malformed or unused `lint:allow` pragma.
     AllowPragma,
 }
@@ -63,6 +69,7 @@ impl Rule {
             Rule::CrateHeader => "crate-header",
             Rule::BenchRecordSchema => "bench-record-schema",
             Rule::DeprecatedSimEntry => "deprecated-sim-entry",
+            Rule::SnapshotFormat => "snapshot-format",
             Rule::AllowPragma => "allow-pragma",
         }
     }
@@ -78,6 +85,7 @@ impl Rule {
             "crate-header" => Some(Rule::CrateHeader),
             "bench-record-schema" => Some(Rule::BenchRecordSchema),
             "deprecated-sim-entry" => Some(Rule::DeprecatedSimEntry),
+            "snapshot-format" => Some(Rule::SnapshotFormat),
             _ => None,
         }
     }
@@ -127,6 +135,10 @@ pub struct FileClass {
     /// `std::thread::{spawn,scope}` is legitimate here — only
     /// `crates/stats/src/par.rs`, the home of the slot-ordered primitives.
     pub thread_spawn_allowed: bool,
+    /// The `snapshot-format` rule applies: sim-crate sources (except the
+    /// `checkpoint` module, which *is* the envelope codec) may not do raw
+    /// byte-level I/O.
+    pub snapshot_guarded: bool,
 }
 
 /// Identifiers that construct ambient-entropy RNGs. None of these exist in
@@ -167,6 +179,11 @@ const DEPRECATED_SIM_ENTRIES: &[&str] = &[
     "run_trace_stream",
     "begin_segmented",
 ];
+
+/// Raw byte-codec calls that would let snapshot state bypass the
+/// `checkpoint` envelope (its version header and FNV digest cover only
+/// bytes that flow through `SnapshotWriter` / `SnapshotReader`).
+const RAW_CODEC_CALLS: &[&str] = &["write_all", "read_exact", "to_le_bytes", "from_le_bytes"];
 
 /// Lints one source file. `file` is the workspace-relative path used in
 /// diagnostics; `class` is the walker's classification.
@@ -316,6 +333,26 @@ fn scan_tokens(lexed: &Lexed<'_>, class: &FileClass, emit: &mut dyn FnMut(u32, R
                     "`.{}()` is a deprecated engine entry point — feed a `SessionSource` \
                      to `Simulator::simulate` (or `Simulator::begin` for incremental \
                      runs) instead",
+                    tok.text
+                ),
+            );
+        }
+        // snapshot-format: raw byte-codec calls in snapshot-guarded files.
+        // Both shapes matter: `.write_all(` / `.to_le_bytes(` method calls
+        // and `u64::from_le_bytes(` associated-function calls; bare
+        // mentions in docs or identifiers that merely share a suffix don't
+        // match (the `(` is required).
+        if class.snapshot_guarded
+            && RAW_CODEC_CALLS.contains(&tok.text)
+            && matches_seq(ts, i + 1, &["("])
+        {
+            emit(
+                tok.line,
+                Rule::SnapshotFormat,
+                format!(
+                    "`{}` is raw byte-level codec I/O — snapshot state must flow through \
+                     the `checkpoint` envelope (`SnapshotWriter` / `SnapshotReader`) so \
+                     the format version and FNV digest cover every byte",
                     tok.text
                 ),
             );

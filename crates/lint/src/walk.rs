@@ -58,6 +58,11 @@ pub fn classify(rel: &str) -> FileClass {
         // The one sanctioned home of thread spawning: the slot-ordered
         // fan-out primitives themselves.
         thread_spawn_allowed: rel == "crates/stats/src/par.rs",
+        // Snapshot bytes must flow through the checkpoint envelope codec;
+        // `checkpoint.rs` is that codec, everything else in the sim crate
+        // is guarded.
+        snapshot_guarded: rel.starts_with("crates/sim/src/")
+            && rel != "crates/sim/src/checkpoint.rs",
     }
 }
 

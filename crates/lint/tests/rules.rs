@@ -458,3 +458,71 @@ fn f() {
 "#;
     assert!(findings(src, &product()).is_empty());
 }
+
+// ---------------------------------------------------------------- snapshot-format
+
+fn snapshot_guarded() -> FileClass {
+    FileClass {
+        snapshot_guarded: true,
+        ..FileClass::default()
+    }
+}
+
+#[test]
+fn raw_codec_calls_violate_in_guarded_files() {
+    let src = r#"
+fn f(out: &mut impl std::io::Write, input: &mut impl std::io::Read) {
+    out.write_all(&[1, 2, 3]).unwrap();
+    let mut buf = [0u8; 8];
+    input.read_exact(&mut buf).unwrap();
+    let bytes = 7u64.to_le_bytes();
+    let v = u64::from_le_bytes(bytes);
+    let _ = v;
+}
+"#;
+    let diags = findings(src, &snapshot_guarded());
+    assert_eq!(
+        rules_of(&diags),
+        [Rule::SnapshotFormat; 4],
+        "every raw codec call is flagged: {diags:?}"
+    );
+    assert_eq!(diags[0].line, 3);
+    assert!(diags[0].message.contains("SnapshotWriter"));
+}
+
+#[test]
+fn raw_codec_calls_are_clean_outside_guarded_files() {
+    // The same source in an unguarded file (any crate but sim, or the
+    // checkpoint module itself) is fine — the envelope codec has to call
+    // these somewhere.
+    let src = r#"
+fn f(out: &mut impl std::io::Write) {
+    out.write_all(&7u64.to_le_bytes()).unwrap();
+}
+"#;
+    assert!(findings(src, &product()).is_empty());
+}
+
+#[test]
+fn snapshot_format_docs_and_non_calls_are_clean() {
+    let src = r#"
+/// Docs may say `write_all` and `u64::from_le_bytes` freely.
+fn f() {
+    let _ = "input.read_exact(&mut buf) in a string";
+    let write_all = 3; // an identifier, not a call
+    let _ = write_all;
+}
+"#;
+    assert!(findings(src, &snapshot_guarded()).is_empty());
+}
+
+#[test]
+fn snapshot_format_allow_pragma_suppresses() {
+    let src = r#"
+fn f(out: &mut impl std::io::Write) {
+    // lint:allow(snapshot-format) test-only tamper helper, not snapshot state
+    out.write_all(&[0]).unwrap();
+}
+"#;
+    assert!(findings(src, &snapshot_guarded()).is_empty());
+}

@@ -60,4 +60,14 @@ fn classification_matches_layout() {
 
     let criterion = classify("shims/criterion/src/lib.rs");
     assert!(criterion.wall_clock_allowed);
+
+    // The snapshot-format guard covers the sim crate, except the envelope
+    // codec itself.
+    let engine = classify("crates/sim/src/engine.rs");
+    assert!(engine.snapshot_guarded);
+    let faults = classify("crates/sim/src/online/faults.rs");
+    assert!(faults.snapshot_guarded);
+    let codec = classify("crates/sim/src/checkpoint.rs");
+    assert!(!codec.snapshot_guarded);
+    assert!(!root.snapshot_guarded && !bench.snapshot_guarded);
 }

@@ -25,14 +25,18 @@
 
 use std::collections::hash_map::Entry;
 use std::collections::{HashMap, VecDeque};
+use std::io::{Read, Write};
 
 use consume_local_swarm::matching::MatchOutcome;
-use consume_local_swarm::{Matcher, Peer, SwarmKey};
-use consume_local_topology::{IspId, UserLocation};
+use consume_local_swarm::{Matcher, MatcherKind, Peer, SwarmKey, SwarmPolicy};
+use consume_local_topology::{ExchangeId, IspId, PopId, UserLocation};
 use consume_local_trace::generator::sort_key_bounds;
-use consume_local_trace::{ContentId, SegmentStream, SegmentedStore, SessionStore, SimTime, Trace};
+use consume_local_trace::{
+    device::BitrateClass, ContentId, SegmentStream, SegmentedStore, SessionStore, SimTime, Trace,
+};
 
-use crate::config::{SimConfig, SimConfigError};
+use crate::checkpoint::{CheckpointError, Checkpointer, SnapshotReader, SnapshotWriter};
+use crate::config::{EdgeCache, SimConfig, SimConfigError, UploadModel};
 use crate::ledger::ByteLedger;
 use crate::par::{parallel_map, parallel_map_slices};
 use crate::report::{DailyIspCell, Degradation, SimReport, SimWarning, SwarmReport, UserTraffic};
@@ -125,14 +129,58 @@ impl Simulator {
     pub fn simulate_days(
         &self,
         source: impl SessionSource,
-        mut on_day_close: impl FnMut(DayClose),
+        on_day_close: impl FnMut(DayClose),
     ) -> SimReport {
+        self.begin(source.horizon_secs(), source.population_len())
+            .simulate_remaining_days(source, on_day_close)
+    }
+
+    /// Like [`Simulator::simulate_days`], writing crash-safe snapshots at
+    /// the cadence of `checkpointer` (after the watermark advance or day
+    /// close that made one due — always at a batch boundary, so the
+    /// snapshot is a complete resumable state). After a crash,
+    /// [`Simulator::resume`] (or
+    /// [`resume_latest`](crate::checkpoint::resume_latest)) rebuilds the
+    /// run from the newest snapshot and
+    /// [`SegmentedRun::simulate_remaining_days`] finishes it on the
+    /// post-checkpoint batches, byte-identically to the uninterrupted run.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first snapshot-write failure as its
+    /// [`CheckpointError`] (the simulation stops at that batch boundary;
+    /// the last successfully written snapshot is intact).
+    pub fn simulate_days_checkpointed(
+        &self,
+        source: impl SessionSource,
+        checkpointer: &mut Checkpointer,
+        mut on_day_close: impl FnMut(DayClose),
+    ) -> Result<SimReport, CheckpointError> {
         let mut run = self.begin(source.horizon_secs(), source.population_len());
+        let mut failure: Option<CheckpointError> = None;
         source.for_each_batch(&mut |batch, watermark| {
+            if failure.is_some() {
+                return;
+            }
             run.push_batch(batch, watermark);
+            let before = run.closed_days;
             run.drain_closed_days(&mut on_day_close);
+            let closed = run.closed_days - before;
+            let mut note = || -> Result<(), CheckpointError> {
+                checkpointer.note_watermark(&run)?;
+                for _ in 0..closed {
+                    checkpointer.note_day_close(&run)?;
+                }
+                Ok(())
+            };
+            if let Err(e) = note() {
+                failure = Some(e);
+            }
         });
-        run.finish_days(on_day_close)
+        if let Some(e) = failure {
+            return Err(e);
+        }
+        Ok(run.finish_days(on_day_close))
     }
 
     /// Begins an incremental run: push watermarked session batches with
@@ -531,6 +579,14 @@ struct SwarmSim {
     /// Seed of this swarm's dedicated defection stream (independent of the
     /// matcher's stream, so fault injection never perturbs matching).
     defect_seed: u64,
+    /// Seed of the receiver-side flake stream (its own domain tag: a user
+    /// defecting as an uploader and flaking as a receiver are independent
+    /// coins, both derived from the same counter-hash construction).
+    recv_defect_seed: u64,
+    /// Copy-on-flake scratch for the needs column: windows where a
+    /// defecting receiver's demand flakes get their zeroed needs here, so
+    /// the shared column (and the cached membership sums) stay untouched.
+    needs_flaked: Vec<u64>,
     /// Fault-injection losses accumulated over the swarm's lifetime.
     degradation: Degradation,
 }
@@ -562,6 +618,8 @@ impl SwarmSim {
             ineligible: 0,
             outcome: MatchOutcome::default(),
             defect_seed: swarm_seed(sim.config.seed ^ DEFECT_STREAM_TAG, &key),
+            recv_defect_seed: swarm_seed(sim.config.seed ^ RECV_DEFECT_STREAM_TAG, &key),
+            needs_flaked: Vec::new(),
             degradation: Degradation::default(),
         }
     }
@@ -775,9 +833,47 @@ impl SwarmSim {
                 self.ineligible = self.swarm_demand - tail_needs;
                 self.sums_stale = false;
             }
+
+            // Receiver-side fault injection: a defecting user's *demand* can
+            // flake for a window (same counter-hash construction as uploader
+            // defection, its own stream tag). A flaking receiver accepts no
+            // peer bytes this window — its need is withheld from matching
+            // and the deferred volume is served by the CDN/cache fallback
+            // instead, accounted exactly in `failed_demand_bytes`. The
+            // shared needs column is never mutated (copy-on-flake scratch),
+            // so the cached membership sums stay valid.
+            let cooperation = sim.config.cooperation_rate;
+            let mut failed_demand = 0u64;
+            let mut flaked = false;
+            if cooperation < 1.0 {
+                for k in 1..self.active.len() {
+                    let need = self.active.needs[k];
+                    if need > 0
+                        && defects(
+                            self.recv_defect_seed,
+                            self.users[self.active.user_slots[k] as usize],
+                            t,
+                            cooperation,
+                        )
+                    {
+                        if !flaked {
+                            self.needs_flaked.clear();
+                            self.needs_flaked.extend_from_slice(&self.active.needs);
+                            flaked = true;
+                        }
+                        self.needs_flaked[k] = 0;
+                        failed_demand += need;
+                    }
+                }
+            }
+            let needs: &[u64] = if flaked {
+                &self.needs_flaked
+            } else {
+                &self.active.needs
+            };
             self.matcher.match_window_into_hinted(
                 &self.active.peers,
-                &self.active.needs,
+                needs,
                 &self.active.budgets,
                 0,
                 peers_unchanged,
@@ -791,7 +887,6 @@ impl SwarmSim {
             // accumulation pass therefore runs *before* the ledger so the
             // failed volume can be re-routed. The matcher's outcome itself
             // is never mutated — it is reused as the next window's hint.
-            let cooperation = sim.config.cooperation_rate;
             let mut failed_total = 0u64;
             let mut failed_by_layer = [0u64; 3];
             for (k, (&slot, &full_demand)) in self
@@ -819,21 +914,24 @@ impl SwarmSim {
                     acc.1 += uploaded;
                 }
             }
-            if failed_total > 0 {
+            if failed_total > 0 || failed_demand > 0 {
                 self.degradation.merge(&Degradation {
                     failed_transfer_bytes: failed_total,
                     failed_by_layer,
                     defection_windows: 1,
+                    failed_demand_bytes: failed_demand,
                 });
             }
 
             // Account the window. The CDN-side fallback carries the
-            // ineligible remainder, the matcher's residual unmet needs and
-            // the bytes defectors failed to deliver; with an edge cache
-            // holding this item, that fallback is served at the exchange
-            // instead of the CDN.
+            // ineligible remainder, the demand flaking receivers withheld
+            // from matching, the matcher's residual unmet needs and the
+            // bytes defectors failed to deliver; with an edge cache holding
+            // this item, that fallback is served at the exchange instead of
+            // the CDN.
             let demand_total = self.swarm_demand + self.preload_total;
-            let fallback = self.ineligible + self.outcome.server_bytes + failed_total;
+            let fallback =
+                self.ineligible + failed_demand + self.outcome.server_bytes + failed_total;
             let (server_total, cache_total, preload_srv, preload_cache) = if self.cached {
                 (0, fallback, 0, self.preload_total)
             } else {
@@ -913,6 +1011,7 @@ impl SwarmSim {
         self.active = ActiveSet::default();
         self.carry = VecDeque::new();
         self.outcome = MatchOutcome::default();
+        self.needs_flaked = Vec::new();
     }
 }
 
@@ -1227,6 +1326,494 @@ impl SegmentedRun {
             sort_key_warnings((max_start_secs, max_user, max_content)),
         )
     }
+
+    /// Drives the run to completion over `source` — the tail of
+    /// [`Simulator::simulate_days`], callable on a run restored by
+    /// [`Simulator::resume`]. The source must deliver exactly the sessions
+    /// the original source would have delivered after the snapshot's
+    /// watermark (see [`SegmentedRun::watermark`]); the result is then
+    /// byte-identical to the uninterrupted run. Days closed before the
+    /// snapshot are not re-emitted.
+    pub fn simulate_remaining_days(
+        mut self,
+        source: impl SessionSource,
+        mut on_day_close: impl FnMut(DayClose),
+    ) -> SimReport {
+        source.for_each_batch(&mut |batch, watermark| {
+            self.push_batch(batch, watermark);
+            self.drain_closed_days(&mut on_day_close);
+        });
+        self.finish_days(on_day_close)
+    }
+
+    /// The current watermark: every pushed session starts strictly before
+    /// it, and a post-crash source must re-feed exactly the sessions
+    /// starting at or after it.
+    pub fn watermark(&self) -> u64 {
+        self.watermark
+    }
+
+    /// The run's horizon in seconds.
+    pub fn horizon_secs(&self) -> u64 {
+        self.horizon_secs
+    }
+
+    /// Serialises the run's complete resumable state as one versioned
+    /// snapshot (see [`crate::checkpoint`] for the envelope): configuration
+    /// and horizon, run-level counters, and every swarm machine —
+    /// active-set columns, carried sessions, matcher state word,
+    /// accumulated ledgers and per-user accounting. [`Simulator::resume`]
+    /// inverts it; the restored run continues byte-identically.
+    ///
+    /// Call at a batch boundary (between [`SegmentedRun::push_batch`]
+    /// calls) — mid-batch there is no coherent state to capture.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures as [`CheckpointError::Io`].
+    pub fn checkpoint(&self, out: &mut impl Write) -> Result<(), CheckpointError> {
+        let mut w = SnapshotWriter::new();
+        put_config(&mut w, &self.sim.config);
+        w.put_u64(self.horizon_secs);
+        w.put_u64(self.population_len as u64);
+        w.put_u64(self.watermark);
+        w.put_u64(self.closed_days);
+        w.put_u64(self.max_start_secs);
+        w.put_u32(self.max_user);
+        w.put_u32(self.max_content);
+        w.put_len(self.states.len());
+        for state in &self.states {
+            put_key(&mut w, &state.key);
+            w.put_u64(state.sessions);
+            put_swarm(&mut w, &state.swarm);
+        }
+        w.finish(out)
+    }
+}
+
+impl Simulator {
+    /// Rebuilds a [`SegmentedRun`] from a snapshot written by
+    /// [`SegmentedRun::checkpoint`]. The restored run is byte-equivalent to
+    /// the one that was checkpointed: feeding it the batches the original
+    /// would have received after the snapshot's watermark (at any batch
+    /// schedule or thread count) yields the exact report of the
+    /// uninterrupted run.
+    ///
+    /// Derived state the snapshot omits — matcher scratch, cached
+    /// membership sums, slot lookup tables, the edge-cache membership bit —
+    /// is recomputed here; none of it affects outcomes (pinned by
+    /// `tests/recovery.rs`).
+    ///
+    /// # Errors
+    ///
+    /// Any [`CheckpointError`]: envelope violations from the reader,
+    /// [`CheckpointError::Corrupt`] for structurally invalid payloads
+    /// (unknown tags, out-of-order keys, dangling slot references, an
+    /// invalid configuration).
+    pub fn resume(input: &mut impl Read) -> Result<SegmentedRun, CheckpointError> {
+        let mut r = SnapshotReader::from_reader(input)?;
+        let config = take_config(&mut r)?;
+        let sim = Simulator::try_new(config)
+            .map_err(|_| CheckpointError::Corrupt("invalid configuration"))?;
+        let horizon_secs = r.take_u64("horizon")?;
+        let population_len = r.take_u64("population length")?;
+        if population_len > 1 << 32 {
+            return Err(CheckpointError::Corrupt("population length out of bounds"));
+        }
+        let watermark = r.take_u64("watermark")?;
+        let closed_days = r.take_u64("closed days")?;
+        let max_start_secs = r.take_u64("sort-key maxima")?;
+        let max_user = r.take_u32("sort-key maxima")?;
+        let max_content = r.take_u32("sort-key maxima")?;
+        let n = r.take_len("swarm count")?;
+        let mut states = Vec::with_capacity(n);
+        let mut prev: Option<SwarmKey> = None;
+        for _ in 0..n {
+            let key = take_key(&mut r)?;
+            if prev.is_some_and(|p| p >= key) {
+                return Err(CheckpointError::Corrupt("swarm keys out of order"));
+            }
+            prev = Some(key);
+            let sessions = r.take_u64("swarm session count")?;
+            let swarm = take_swarm(&mut r, &sim, &key)?;
+            states.push(SwarmState {
+                key,
+                sessions,
+                swarm,
+            });
+        }
+        r.finish()?;
+        Ok(SegmentedRun {
+            sim,
+            horizon_secs,
+            population_len: population_len as usize,
+            states,
+            watermark,
+            closed_days,
+            max_start_secs,
+            max_user,
+            max_content,
+        })
+    }
+}
+
+// --- Snapshot payload codec -------------------------------------------------
+//
+// The field-by-field layout behind `SegmentedRun::checkpoint` /
+// `Simulator::resume`. Every `put_*` below has its exactly-inverse `take_*`;
+// the envelope (magic, version, digest) lives in `crate::checkpoint`.
+// Bumping `SNAPSHOT_VERSION` is required for any layout change here.
+
+fn put_config(w: &mut SnapshotWriter, c: &SimConfig) {
+    w.put_u64(c.window_secs);
+    match c.upload {
+        UploadModel::Ratio(r) => {
+            w.put_u8(0);
+            w.put_f64(r);
+        }
+        UploadModel::AbsoluteBps(q) => {
+            w.put_u8(1);
+            w.put_u32(q);
+        }
+    }
+    w.put_bool(c.policy.split_by_isp);
+    w.put_bool(c.policy.split_by_bitrate);
+    w.put_u8(match c.matcher {
+        MatcherKind::Hierarchical => 0,
+        MatcherKind::Random => 1,
+    });
+    w.put_u64(c.seed);
+    w.put_u64(c.threads as u64);
+    w.put_f64(c.preload_fraction);
+    match c.edge_cache {
+        Some(cache) => {
+            w.put_bool(true);
+            w.put_u32(cache.top_items);
+        }
+        None => w.put_bool(false),
+    }
+    w.put_f64(c.participation_rate);
+    w.put_f64(c.cooperation_rate);
+}
+
+fn take_config(r: &mut SnapshotReader) -> Result<SimConfig, CheckpointError> {
+    let window_secs = r.take_u64("window length")?;
+    let upload = match r.take_u8("upload model tag")? {
+        0 => UploadModel::Ratio(r.take_f64("upload ratio")?),
+        1 => UploadModel::AbsoluteBps(r.take_u32("upload bandwidth")?),
+        _ => return Err(CheckpointError::Corrupt("unknown upload model tag")),
+    };
+    let policy = SwarmPolicy {
+        split_by_isp: r.take_bool("policy")?,
+        split_by_bitrate: r.take_bool("policy")?,
+    };
+    let matcher = match r.take_u8("matcher tag")? {
+        0 => MatcherKind::Hierarchical,
+        1 => MatcherKind::Random,
+        _ => return Err(CheckpointError::Corrupt("unknown matcher tag")),
+    };
+    let seed = r.take_u64("seed")?;
+    let threads = r.take_u64("threads")?;
+    if threads == 0 || threads > 4096 {
+        return Err(CheckpointError::Corrupt("thread count out of bounds"));
+    }
+    let preload_fraction = r.take_f64("preload fraction")?;
+    let edge_cache = if r.take_bool("edge cache flag")? {
+        Some(EdgeCache {
+            top_items: r.take_u32("edge cache items")?,
+        })
+    } else {
+        None
+    };
+    let participation_rate = r.take_f64("participation rate")?;
+    let cooperation_rate = r.take_f64("cooperation rate")?;
+    Ok(SimConfig {
+        window_secs,
+        upload,
+        policy,
+        matcher,
+        seed,
+        threads: threads as usize,
+        preload_fraction,
+        edge_cache,
+        participation_rate,
+        cooperation_rate,
+    })
+}
+
+fn put_key(w: &mut SnapshotWriter, key: &SwarmKey) {
+    w.put_u32(key.content.0);
+    match key.isp {
+        Some(isp) => {
+            w.put_bool(true);
+            w.put_u8(isp.0);
+        }
+        None => w.put_bool(false),
+    }
+    match key.bitrate {
+        Some(b) => {
+            w.put_bool(true);
+            w.put_u32(b.bps());
+        }
+        None => w.put_bool(false),
+    }
+}
+
+fn take_key(r: &mut SnapshotReader) -> Result<SwarmKey, CheckpointError> {
+    let content = ContentId(r.take_u32("swarm content")?);
+    let isp = if r.take_bool("swarm isp flag")? {
+        Some(IspId(r.take_u8("swarm isp")?))
+    } else {
+        None
+    };
+    let bitrate = if r.take_bool("swarm bitrate flag")? {
+        Some(BitrateClass(r.take_u32("swarm bitrate")?))
+    } else {
+        None
+    };
+    Ok(SwarmKey {
+        content,
+        isp,
+        bitrate,
+    })
+}
+
+fn put_ledger(w: &mut SnapshotWriter, l: &ByteLedger) {
+    w.put_u64(l.demand_bytes);
+    w.put_u64(l.server_bytes);
+    for &v in &l.peer_bytes_by_layer {
+        w.put_u64(v);
+    }
+    w.put_u64(l.cache_bytes);
+    w.put_u64(l.preload_bytes);
+    w.put_u64(l.active_windows);
+    w.put_u64(l.peer_windows);
+}
+
+fn take_ledger(r: &mut SnapshotReader) -> Result<ByteLedger, CheckpointError> {
+    let mut l = ByteLedger::new();
+    l.demand_bytes = r.take_u64("ledger")?;
+    l.server_bytes = r.take_u64("ledger")?;
+    for v in &mut l.peer_bytes_by_layer {
+        *v = r.take_u64("ledger")?;
+    }
+    l.cache_bytes = r.take_u64("ledger")?;
+    l.preload_bytes = r.take_u64("ledger")?;
+    l.active_windows = r.take_u64("ledger")?;
+    l.peer_windows = r.take_u64("ledger")?;
+    Ok(l)
+}
+
+fn put_peer(w: &mut SnapshotWriter, p: &Peer) {
+    w.put_u8(p.isp.0);
+    w.put_u32(p.location.exchange().0);
+    w.put_u32(p.location.pop().0);
+}
+
+fn take_peer(r: &mut SnapshotReader) -> Result<Peer, CheckpointError> {
+    let isp = IspId(r.take_u8("peer isp")?);
+    let exchange = ExchangeId(r.take_u32("peer exchange")?);
+    let pop = PopId(r.take_u32("peer pop")?);
+    Ok(Peer {
+        isp,
+        location: UserLocation::from_raw_parts(exchange, pop),
+    })
+}
+
+fn put_swarm(w: &mut SnapshotWriter, s: &SwarmSim) {
+    w.put_u64(s.matcher.checkpoint_word());
+    w.put_u64(s.t.as_secs());
+    w.put_f64(s.upload_ratio);
+    put_ledger(w, &s.ledger);
+    w.put_u64(s.degradation.failed_transfer_bytes);
+    for &v in &s.degradation.failed_by_layer {
+        w.put_u64(v);
+    }
+    w.put_u64(s.degradation.defection_windows);
+    w.put_u64(s.degradation.failed_demand_bytes);
+    w.put_len(s.daily.len());
+    for (day, ledger) in &s.daily {
+        w.put_u32(*day);
+        put_ledger(w, ledger);
+    }
+    w.put_len(s.users.len());
+    for &u in &s.users {
+        w.put_u32(u);
+    }
+    for &(watched, uploaded) in &s.user_acc {
+        w.put_u64(watched);
+        w.put_u64(uploaded);
+    }
+    w.put_len(s.active.len());
+    for &v in &s.active.ends {
+        w.put_u64(v);
+    }
+    for &v in &s.active.user_slots {
+        w.put_u32(v);
+    }
+    for p in &s.active.peers {
+        put_peer(w, p);
+    }
+    for &v in &s.active.full_demands {
+        w.put_u64(v);
+    }
+    for &v in &s.active.demands {
+        w.put_u64(v);
+    }
+    for &v in &s.active.preloads {
+        w.put_u64(v);
+    }
+    for &v in &s.active.needs {
+        w.put_u64(v);
+    }
+    for &v in &s.active.budgets {
+        w.put_u64(v);
+    }
+    w.put_len(s.carry.len());
+    for p in &s.carry {
+        w.put_u64(p.start);
+        w.put_u64(p.end);
+        w.put_u32(p.user);
+        w.put_u32(p.bitrate_bps);
+        w.put_u8(p.isp.0);
+        w.put_u32(p.location.exchange().0);
+        w.put_u32(p.location.pop().0);
+    }
+}
+
+fn take_swarm(
+    r: &mut SnapshotReader,
+    sim: &Simulator,
+    key: &SwarmKey,
+) -> Result<SwarmSim, CheckpointError> {
+    let word = r.take_u64("matcher word")?;
+    let t = r.take_u64("window boundary")?;
+    let upload_ratio = r.take_f64("upload ratio")?;
+    let ledger = take_ledger(r)?;
+    let degradation = Degradation {
+        failed_transfer_bytes: r.take_u64("degradation")?,
+        failed_by_layer: [
+            r.take_u64("degradation")?,
+            r.take_u64("degradation")?,
+            r.take_u64("degradation")?,
+        ],
+        defection_windows: r.take_u64("degradation")?,
+        failed_demand_bytes: r.take_u64("degradation")?,
+    };
+
+    let daily_len = r.take_len("daily ledgers")?;
+    let mut daily = Vec::with_capacity(daily_len);
+    let mut prev_day: Option<u32> = None;
+    for _ in 0..daily_len {
+        let day = r.take_u32("day index")?;
+        if prev_day.is_some_and(|p| p >= day) {
+            return Err(CheckpointError::Corrupt("daily ledgers out of order"));
+        }
+        prev_day = Some(day);
+        daily.push((day, take_ledger(r)?));
+    }
+
+    let users_len = r.take_len("user list")?;
+    let mut users = Vec::with_capacity(users_len);
+    for _ in 0..users_len {
+        users.push(r.take_u32("user id")?);
+    }
+    let mut user_acc = Vec::with_capacity(users_len);
+    for _ in 0..users_len {
+        user_acc.push((r.take_u64("watched bytes")?, r.take_u64("uploaded bytes")?));
+    }
+    let mut slot_of = HashMap::with_capacity(users_len);
+    for (slot, &u) in users.iter().enumerate() {
+        if slot_of.insert(u, slot as u32).is_some() {
+            return Err(CheckpointError::Corrupt("duplicate user id"));
+        }
+    }
+
+    let active_len = r.take_len("active set")?;
+    let mut active = ActiveSet::default();
+    for _ in 0..active_len {
+        active.ends.push(r.take_u64("active ends")?);
+    }
+    for _ in 0..active_len {
+        let slot = r.take_u32("active user slots")?;
+        if slot as usize >= users.len() {
+            return Err(CheckpointError::Corrupt("user slot out of bounds"));
+        }
+        active.user_slots.push(slot);
+    }
+    for _ in 0..active_len {
+        active.peers.push(take_peer(r)?);
+    }
+    for _ in 0..active_len {
+        active.full_demands.push(r.take_u64("active demands")?);
+    }
+    for _ in 0..active_len {
+        active.demands.push(r.take_u64("active demands")?);
+    }
+    for _ in 0..active_len {
+        active.preloads.push(r.take_u64("active preloads")?);
+    }
+    for _ in 0..active_len {
+        active.needs.push(r.take_u64("active needs")?);
+    }
+    for _ in 0..active_len {
+        active.budgets.push(r.take_u64("active budgets")?);
+    }
+    active.min_end = active.ends.iter().copied().min().unwrap_or(u64::MAX);
+
+    let carry_len = r.take_len("carry buffer")?;
+    let mut carry = VecDeque::with_capacity(carry_len);
+    for _ in 0..carry_len {
+        let start = r.take_u64("carry start")?;
+        let end = r.take_u64("carry end")?;
+        let user = r.take_u32("carry user")?;
+        let bitrate_bps = r.take_u32("carry bitrate")?;
+        let isp = IspId(r.take_u8("carry isp")?);
+        let exchange = ExchangeId(r.take_u32("carry exchange")?);
+        let pop = PopId(r.take_u32("carry pop")?);
+        if carry
+            .back()
+            .is_some_and(|p: &PendingSession| p.start > start)
+        {
+            return Err(CheckpointError::Corrupt("carry buffer out of order"));
+        }
+        carry.push_back(PendingSession {
+            start,
+            end,
+            user,
+            bitrate_bps,
+            isp,
+            location: UserLocation::from_raw_parts(exchange, pop),
+        });
+    }
+
+    let mut matcher = sim.config.matcher.build(swarm_seed(sim.config.seed, key));
+    matcher.restore_word(word);
+    Ok(SwarmSim {
+        matcher,
+        active,
+        t: SimTime(t),
+        carry,
+        slot_of,
+        users,
+        user_acc,
+        ledger,
+        daily,
+        upload_ratio,
+        cached: sim
+            .config
+            .edge_cache
+            .is_some_and(|c| key.content.0 < c.top_items),
+        sums_stale: true,
+        preload_total: 0,
+        swarm_demand: 0,
+        ineligible: 0,
+        outcome: MatchOutcome::default(),
+        defect_seed: swarm_seed(sim.config.seed ^ DEFECT_STREAM_TAG, key),
+        recv_defect_seed: swarm_seed(sim.config.seed ^ RECV_DEFECT_STREAM_TAG, key),
+        needs_flaked: Vec::new(),
+        degradation,
+    })
 }
 
 /// Scatters the per-swarm `(user, watched, uploaded)` lists into the dense
@@ -1332,6 +1919,12 @@ fn participates(user: u32, rate: f64) -> bool {
 /// stream, so defection coins never correlate with the random matcher's
 /// stream even for the same swarm key.
 const DEFECT_STREAM_TAG: u64 = 0x5afe_c0de_d15c_0bed;
+
+/// Domain-separation tag for the receiver-side flake stream: whether a
+/// defecting user's *demand* flakes in a window is independent of whether
+/// its *uploads* fail (both coins share the counter-hash construction of
+/// [`defects`] but never the seed).
+const RECV_DEFECT_STREAM_TAG: u64 = 0x5afe_c0de_00f1_a4ed;
 
 /// Deterministic defection coin for `(swarm, user, window)`: `true` when a
 /// matched uploader silently fails to deliver this window's bytes.
@@ -1522,12 +2115,24 @@ impl Simulator {
                 needs.push(a.need);
                 budgets.push(a.budget);
             }
+            // Mirror of the SoA loop's receiver-side flaking: a defecting
+            // receiver's need is zeroed before matching and its deferred
+            // demand lands in the fallback.
+            let recv_defect_seed = swarm_seed(self.config.seed ^ RECV_DEFECT_STREAM_TAG, &key);
+            let cooperation = self.config.cooperation_rate;
+            let mut failed_demand = 0u64;
+            for (k, a) in active.iter().enumerate().skip(1) {
+                let user = swarm_users[a.user_slot as usize];
+                if needs[k] > 0 && defects(recv_defect_seed, user, t.as_secs(), cooperation) {
+                    failed_demand += needs[k];
+                    needs[k] = 0;
+                }
+            }
             matcher.match_window_into(&peers, &needs, &budgets, 0, &mut outcome);
 
             // Mirror of the SoA loop's fault injection, keyed on the same
             // (swarm, user id, window) coin.
             let defect_seed = swarm_seed(self.config.seed ^ DEFECT_STREAM_TAG, &key);
-            let cooperation = self.config.cooperation_rate;
             let mut failed_total = 0u64;
             let mut failed_by_layer = [0u64; 3];
             for (k, a) in active.iter().enumerate() {
@@ -1547,16 +2152,17 @@ impl Simulator {
                     acc.1 += uploaded;
                 }
             }
-            if failed_total > 0 {
+            if failed_total > 0 || failed_demand > 0 {
                 out.degradation.merge(&Degradation {
                     failed_transfer_bytes: failed_total,
                     failed_by_layer,
                     defection_windows: 1,
+                    failed_demand_bytes: failed_demand,
                 });
             }
 
             let demand_total = swarm_demand + preload_total;
-            let fallback = ineligible + outcome.server_bytes + failed_total;
+            let fallback = ineligible + failed_demand + outcome.server_bytes + failed_total;
             let (server_total, cache_total, preload_srv, preload_cache) = if cached {
                 (0, fallback, 0, preload_total)
             } else {
@@ -2073,6 +2679,10 @@ mod tests {
             d.failed_transfer_bytes
         );
         assert!(d.defection_windows > 0);
+        assert!(
+            d.failed_demand_bytes > 0,
+            "flaking receivers must abandon some window demand to the fallback"
+        );
         assert!(faulty.offload_loss().unwrap() > 0.0);
         // Same sessions, same demand — only the byte routing changed.
         assert_eq!(faulty.total.demand_bytes, clean.total.demand_bytes);
@@ -2209,5 +2819,110 @@ mod tests {
             run.push_segment(segment);
         }
         assert_eq!(run.finish(), expect);
+    }
+
+    /// A snapshot taken mid-run must restore into a run that finishes
+    /// byte-identically to both the donor and the uninterrupted reference,
+    /// across configs that exercise every codec branch: hierarchical and
+    /// random matchers, ISP/bitrate splits, edge cache + preload, and
+    /// non-trivial defection rates.
+    #[test]
+    fn checkpoint_roundtrip_resumes_byte_identically() {
+        let trace = tiny_trace();
+        let seg = consume_local_trace::SegmentedStore::from_trace(&trace);
+        let configs = [
+            SimConfig::default(),
+            SimConfig {
+                matcher: MatcherKind::Random,
+                seed: 9,
+                upload: crate::config::UploadModel::AbsoluteBps(600_000),
+                ..Default::default()
+            },
+            SimConfig {
+                preload_fraction: 0.25,
+                edge_cache: Some(crate::config::EdgeCache { top_items: 2 }),
+                participation_rate: 0.8,
+                cooperation_rate: 0.9,
+                ..Default::default()
+            },
+        ];
+        for config in configs {
+            let sim = Simulator::new(config);
+            let expect = sim.simulate(&seg);
+            let cut = seg.num_segments() / 2;
+            let mut run = sim.begin(seg.horizon_secs(), seg.population_len());
+            for segment in &seg.segments()[..cut] {
+                run.push_segment(segment);
+            }
+            let mut snapshot = Vec::new();
+            run.checkpoint(&mut snapshot).unwrap();
+            let mut resumed = Simulator::resume(&mut snapshot.as_slice()).unwrap();
+            assert_eq!(resumed.watermark(), run.watermark());
+            for segment in &seg.segments()[cut..] {
+                run.push_segment(segment);
+                resumed.push_segment(segment);
+            }
+            assert_eq!(resumed.finish(), expect, "resumed run diverged");
+            assert_eq!(
+                run.finish(),
+                expect,
+                "checkpoint() must not perturb the donor"
+            );
+        }
+    }
+
+    /// Snapshots are not day-aligned: a checkpoint cut at a mid-day
+    /// watermark (live swarms, carried sessions, partially accumulated
+    /// daily ledgers) must still resume byte-identically.
+    #[test]
+    fn checkpoint_at_mid_day_watermark_roundtrips() {
+        let trace = tiny_trace();
+        let store = SessionStore::from_trace(&trace);
+        let sim = Simulator::new(SimConfig::default());
+        let expect = sim.simulate(&store);
+        // 9 000 s ticks never land on a day boundary (86 400 % 9 000 != 0).
+        let schedule = crate::online::faults::batch_schedule(&store, 9_000);
+        let cut = 11; // mid day 1
+        let mut run = sim.begin(store.horizon_secs(), store.population_len());
+        for (batch, watermark) in &schedule[..cut] {
+            run.push_batch(batch, *watermark);
+        }
+        let mut snapshot = Vec::new();
+        run.checkpoint(&mut snapshot).unwrap();
+        drop(run); // the crash
+        let mut resumed = Simulator::resume(&mut snapshot.as_slice()).unwrap();
+        assert_eq!(resumed.watermark(), schedule[cut - 1].1);
+        for (batch, watermark) in &schedule[cut..] {
+            resumed.push_batch(batch, *watermark);
+        }
+        assert_eq!(resumed.finish(), expect);
+    }
+
+    /// The snapshot carries the full engine configuration: restoring on a
+    /// host with a different default thread count must not change results,
+    /// and the restored run keeps the donor's matcher and seed.
+    #[test]
+    fn snapshot_carries_the_configuration() {
+        let trace = tiny_trace();
+        let seg = consume_local_trace::SegmentedStore::from_trace(&trace);
+        let config = SimConfig {
+            matcher: MatcherKind::Random,
+            seed: 77,
+            threads: 2,
+            ..Default::default()
+        };
+        let sim = Simulator::new(config);
+        let expect = sim.simulate(&seg);
+        let mut run = sim.begin(seg.horizon_secs(), seg.population_len());
+        for segment in &seg.segments()[..3] {
+            run.push_segment(segment);
+        }
+        let mut snapshot = Vec::new();
+        run.checkpoint(&mut snapshot).unwrap();
+        let mut resumed = Simulator::resume(&mut snapshot.as_slice()).unwrap();
+        for segment in &seg.segments()[3..] {
+            resumed.push_segment(segment);
+        }
+        assert_eq!(resumed.finish(), expect);
     }
 }

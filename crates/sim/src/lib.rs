@@ -25,8 +25,12 @@
 //!   are carried forward by the resumable per-swarm window loops of
 //!   [`SegmentedRun`]);
 //! * [`online`] — the live ingest front-end: a bounded backpressured
-//!   channel of arriving sessions, watermark-driven day closes, and the
-//!   N×-real-time [`replay`](online::replay) driver;
+//!   channel of arriving sessions, watermark-driven day closes, the
+//!   N×-real-time [`replay`](online::replay) driver, and the
+//!   [`online::faults`] deterministic crash-recovery harness;
+//! * [`checkpoint`] — crash-safe snapshots: the versioned binary format,
+//!   checkpoint cadence policies and the atomic write/rename protocol
+//!   behind [`SegmentedRun::checkpoint`] / [`Simulator::resume`];
 //! * [`report`] — per-swarm, per-day×ISP, per-user and total results,
 //!   including theory-vs-simulation comparison points (Fig. 2 dots) and
 //!   structured [`SimWarning`]s.
@@ -52,6 +56,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod checkpoint;
 pub mod config;
 pub mod engine;
 pub mod ledger;
@@ -60,6 +65,7 @@ pub mod par;
 pub mod report;
 pub mod source;
 
+pub use checkpoint::{CheckpointCadence, CheckpointError, CheckpointPolicy, Checkpointer};
 pub use config::{EdgeCache, SimConfig, SimConfigError, UploadModel};
 pub use engine::{DayClose, SegmentedRun, Simulator};
 pub use ledger::ByteLedger;
@@ -67,4 +73,4 @@ pub use online::{OnlineError, OnlineSender, OnlineSource, ReplayConfig, ReplaySp
 pub use report::{
     DailyIspCell, Degradation, SimReport, SimWarning, SwarmDay, SwarmReport, UserTraffic,
 };
-pub use source::SessionSource;
+pub use source::{RetryPolicy, SessionSource, SourceError};

@@ -58,10 +58,12 @@ use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 
 use consume_local_trace::{SessionRecord, SessionStore};
 
-use crate::engine::{DayClose, Simulator};
+use crate::engine::{DayClose, SegmentedRun, Simulator};
 use crate::par::parallel_join;
 use crate::report::SimReport;
-use crate::source::SessionSource;
+use crate::source::{RetryPolicy, RetryStats, SessionSource};
+
+pub mod faults;
 
 /// What flows through the bounded channel: events, and the promises that
 /// seal them into batches.
@@ -224,6 +226,47 @@ impl OnlineSender {
             })
     }
 
+    /// Enqueues one arriving session, retrying bounded backpressure per
+    /// `retry`: each [`OnlineError::Full`] costs one attempt, yields the
+    /// CPU and accounts the policy's exponential backoff in **virtual
+    /// ticks** (never wall clock — retry accounting stays deterministic
+    /// even though the draining itself is scheduler-paced). Returns what
+    /// the send cost; gives up with [`OnlineError::Full`] after
+    /// `max_attempts` full channel probes so a stalled consumer surfaces
+    /// as a typed error instead of a silent hang.
+    ///
+    /// Late sessions are rejected as [`OnlineError::LateSession`]
+    /// immediately — retrying cannot make a late event timely.
+    ///
+    /// # Errors
+    ///
+    /// [`OnlineError::Full`] after exhausting attempts,
+    /// [`OnlineError::LateSession`] / [`OnlineError::Disconnected`]
+    /// immediately.
+    pub fn send_with_retry(
+        &mut self,
+        session: SessionRecord,
+        retry: &RetryPolicy,
+    ) -> Result<RetryStats, OnlineError> {
+        let mut stats = RetryStats::default();
+        let mut failures = 0u32;
+        loop {
+            match self.try_send(session) {
+                Ok(()) => return Ok(stats),
+                Err(OnlineError::Full) => {
+                    failures += 1;
+                    if failures >= retry.max_attempts {
+                        return Err(OnlineError::Full);
+                    }
+                    stats.retries += 1;
+                    stats.waited_ticks += retry.backoff_ticks(failures);
+                    std::thread::yield_now();
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
     /// Promises that no later event starts before `watermark` seconds,
     /// sealing everything buffered before it into a batch the engine may
     /// finish (swarm retirement, day closes). Blocks while the channel is
@@ -315,7 +358,7 @@ pub enum ReplaySpeed {
     MaxThroughput,
 }
 
-/// Configuration for [`replay`].
+/// Configuration for [`replay`] / [`resume_replay`].
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ReplayConfig {
     /// Replay speed (default: [`ReplaySpeed::MaxThroughput`]).
@@ -325,6 +368,11 @@ pub struct ReplayConfig {
     pub tick_secs: u64,
     /// Channel capacity in envelopes (default: 1024).
     pub capacity: usize,
+    /// Resume point in simulated seconds (default: 0, a fresh run). Only
+    /// [`resume_replay`] honours it: events starting before it are already
+    /// inside the restored run's checkpoint and are not re-fed; set it to
+    /// the snapshot's [`SegmentedRun::watermark`]. [`replay`] requires 0.
+    pub resume_from: u64,
 }
 
 impl Default for ReplayConfig {
@@ -333,6 +381,7 @@ impl Default for ReplayConfig {
             speed: ReplaySpeed::MaxThroughput,
             tick_secs: 3_600,
             capacity: 1_024,
+            resume_from: 0,
         }
     }
 }
@@ -389,9 +438,102 @@ pub fn replay_with(
     sim: &Simulator,
     store: &SessionStore,
     config: &ReplayConfig,
-    mut pace: impl FnMut(f64) + Send,
+    pace: impl FnMut(f64) + Send,
     mut on_day_close: impl FnMut(DayClose),
 ) -> (SimReport, ReplayStats) {
+    assert_eq!(
+        config.resume_from, 0,
+        "replay starts fresh runs; use resume_replay for a restored run"
+    );
+    let (sender, source) = channel(
+        store.horizon_secs(),
+        store.population_len(),
+        config.capacity,
+    );
+    let producer = feed_producer(store, config, sender, pace);
+    let (mut stats, (report, days_closed)) = parallel_join(producer, || {
+        let mut days_closed = 0u64;
+        let report = sim.simulate_days(source, |close| {
+            days_closed += 1;
+            on_day_close(close);
+        });
+        (report, days_closed)
+    });
+    stats.days_closed = days_closed;
+    (report, stats)
+}
+
+/// Resumes a crashed online run: drives a [`SegmentedRun`] restored by
+/// [`Simulator::resume`](crate::Simulator::resume) over the **tail** of the
+/// event stream — only events starting at or after `config.resume_from`
+/// (set it to the restored run's [`SegmentedRun::watermark`]) are re-fed,
+/// exactly what a journalling upstream replays after a consumer crash. The
+/// final report is byte-identical to an uninterrupted [`replay`] of the
+/// whole store (pinned by `tests/recovery.rs`), and [`ReplayStats`] counts
+/// only the re-fed tail.
+///
+/// # Panics
+///
+/// Panics if `config.tick_secs` is 0, a [`ReplaySpeed::Times`] factor is
+/// not finite and positive, or `config.resume_from` does not equal the
+/// restored run's watermark.
+pub fn resume_replay(
+    run: SegmentedRun,
+    store: &SessionStore,
+    config: &ReplayConfig,
+) -> (SimReport, ReplayStats) {
+    resume_replay_with(run, store, config, |_| {})
+}
+
+/// [`resume_replay`] with a day-close observer: days the restored run
+/// already closed before the crash are **not** re-emitted — the observer
+/// sees exactly the closes the uninterrupted run would still have had
+/// ahead of it.
+pub fn resume_replay_with(
+    run: SegmentedRun,
+    store: &SessionStore,
+    config: &ReplayConfig,
+    mut on_day_close: impl FnMut(DayClose),
+) -> (SimReport, ReplayStats) {
+    assert_eq!(
+        config.resume_from,
+        run.watermark(),
+        "resume_from must equal the restored run's watermark: behind it the \
+         source would violate the watermark contract, ahead of it events \
+         would be silently lost"
+    );
+    let (sender, source) = channel(
+        store.horizon_secs(),
+        store.population_len(),
+        config.capacity,
+    );
+    let producer = feed_producer(store, config, sender, |secs| {
+        std::thread::sleep(std::time::Duration::from_secs_f64(secs))
+    });
+    let (mut stats, (report, days_closed)) = parallel_join(producer, || {
+        let mut days_closed = 0u64;
+        let report = run.simulate_remaining_days(source, |close| {
+            days_closed += 1;
+            on_day_close(close);
+        });
+        (report, days_closed)
+    });
+    stats.days_closed = days_closed;
+    (report, stats)
+}
+
+/// The shared producer loop of [`replay_with`] / [`resume_replay_with`]:
+/// one watermark per tick, emitted just before the first event that
+/// crosses it (paced), plus trailing ticks to cover the horizon so every
+/// day closes through the same cadence. Events starting before
+/// `config.resume_from` are skipped and ticks start past it. If the
+/// consumer hangs up early the partial stats are still meaningful.
+fn feed_producer<'a>(
+    store: &'a SessionStore,
+    config: &ReplayConfig,
+    mut sender: OnlineSender,
+    mut pace: impl FnMut(f64) + Send + 'a,
+) -> impl FnOnce() -> ReplayStats + Send + 'a {
     assert!(config.tick_secs > 0, "tick_secs must be positive");
     let wall_secs_per_tick = match config.speed {
         ReplaySpeed::Times(n) => {
@@ -405,17 +547,17 @@ pub fn replay_with(
     };
     let horizon = store.horizon_secs();
     let tick = config.tick_secs;
-    let (mut sender, source) = channel(horizon, store.population_len(), config.capacity);
-
-    // One watermark per tick, emitted just before the first event that
-    // crosses it (paced), plus trailing ticks to cover the horizon so every
-    // day closes through the same cadence. If the consumer hangs up early
-    // the partial stats are still meaningful.
-    let producer = move || {
+    let resume_from = config.resume_from;
+    move || {
         let mut stats = ReplayStats::default();
-        let mut next_tick = tick;
+        // The first tick strictly past the resume point (`resume_from` is
+        // itself a watermark the restored run already holds).
+        let mut next_tick = (resume_from / tick + 1) * tick;
         for i in 0..store.len() {
             let record = store.record(i);
+            if record.start.as_secs() < resume_from {
+                continue;
+            }
             while record.start.as_secs() >= next_tick {
                 if let Some(wall) = wall_secs_per_tick {
                     pace(wall);
@@ -442,18 +584,7 @@ pub fn replay_with(
             next_tick += tick;
         }
         stats
-    };
-
-    let (mut stats, report) = parallel_join(producer, || {
-        let mut days_closed = 0u64;
-        let report = sim.simulate_days(source, |close| {
-            days_closed += 1;
-            on_day_close(close);
-        });
-        (report, days_closed)
-    });
-    stats.days_closed = report.1;
-    (report.0, stats)
+    }
 }
 
 #[cfg(test)]
@@ -643,6 +774,7 @@ mod tests {
             speed: ReplaySpeed::Times(1e9), // enormous speed-up: no real waiting
             tick_secs: 21_600,
             capacity: 16,
+            ..ReplayConfig::default()
         };
         let mut closes = Vec::new();
         let (report, stats) = replay_with(
@@ -657,6 +789,70 @@ mod tests {
         assert!(paces.iter().all(|&s| s == 21_600.0 / 1e9));
         let days: Vec<u32> = (0..closes.len() as u32).collect();
         assert_eq!(closes, days, "days close in order, exactly once each");
+    }
+
+    #[test]
+    fn send_with_retry_gives_up_on_a_stalled_consumer() {
+        let store = store();
+        let (mut tx, source) = channel(store.horizon_secs(), store.population_len(), 1);
+        // Nothing drains `source`: the first event fills the channel and
+        // every later probe sees Full.
+        assert_eq!(
+            tx.send_with_retry(store.record(0), &RetryPolicy::new(4, 2)),
+            Ok(RetryStats::default())
+        );
+        assert_eq!(
+            tx.send_with_retry(store.record(1), &RetryPolicy::new(4, 2)),
+            Err(OnlineError::Full)
+        );
+        drop(source);
+        // A hung-up consumer is a hard error, not a retryable one.
+        assert_eq!(
+            tx.send_with_retry(store.record(1), &RetryPolicy::new(4, 2)),
+            Err(OnlineError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn send_with_retry_rejects_late_sessions_immediately() {
+        let store = store();
+        let (mut tx, _source) = channel(store.horizon_secs(), store.population_len(), 4);
+        tx.advance_watermark(1_000).unwrap();
+        let mut late = store.record(0);
+        late.start = consume_local_trace::SimTime(999);
+        assert_eq!(
+            tx.send_with_retry(late, &RetryPolicy::new(5, 1)),
+            Err(OnlineError::LateSession {
+                start_secs: 999,
+                watermark: 1_000
+            })
+        );
+    }
+
+    #[test]
+    fn send_with_retry_succeeds_once_the_consumer_drains() {
+        let store = store();
+        let (mut tx, source) = channel(store.horizon_secs(), store.population_len(), 1);
+        assert!(tx
+            .send_with_retry(store.record(0), &RetryPolicy::default())
+            .is_ok());
+        // An effectively unbounded policy outlasts any consumer pause; the
+        // retry accounting reports how rough the ride was.
+        let (sent, fed) = parallel_join(
+            move || {
+                let stats = tx
+                    .send_with_retry(store.record(1), &RetryPolicy::new(u32::MAX, 1))
+                    .expect("drains eventually");
+                assert!(stats.waited_ticks >= stats.retries);
+                2usize
+            },
+            || {
+                let mut n = 0usize;
+                source.for_each_batch(&mut |batch, _| n += batch.len());
+                n
+            },
+        );
+        assert_eq!((sent, fed), (2, 2));
     }
 
     #[test]

@@ -113,8 +113,14 @@ pub struct Degradation {
     /// The failed bytes split by the network layer the transfer would have
     /// crossed (sums to `failed_transfer_bytes`).
     pub failed_by_layer: [u64; 3],
-    /// Windows in which at least one matched uploader defected.
+    /// Windows in which at least one defection occurred — a matched
+    /// uploader failing its transfers, a receiver's demand flaking, or
+    /// both.
     pub defection_windows: u64,
+    /// Peer-receivable demand bytes that flaking receivers withheld from
+    /// matching (receiver-side defection); the demand itself was still
+    /// served, deferred to the CDN/cache fallback.
+    pub failed_demand_bytes: u64,
 }
 
 impl Degradation {
@@ -125,6 +131,7 @@ impl Degradation {
             *a += b;
         }
         self.defection_windows += other.defection_windows;
+        self.failed_demand_bytes += other.failed_demand_bytes;
     }
 
     /// Churn-induced offload loss: the fraction of total demand that would
@@ -365,15 +372,18 @@ mod tests {
             failed_transfer_bytes: 30,
             failed_by_layer: [30, 0, 0],
             defection_windows: 2,
+            failed_demand_bytes: 7,
         });
         total.merge(&Degradation {
             failed_transfer_bytes: 15,
             failed_by_layer: [5, 10, 0],
             defection_windows: 1,
+            failed_demand_bytes: 11,
         });
         assert_eq!(total.failed_transfer_bytes, 45);
         assert_eq!(total.failed_by_layer, [35, 10, 0]);
         assert_eq!(total.defection_windows, 3);
+        assert_eq!(total.failed_demand_bytes, 18);
         assert_eq!(total.offload_loss(300), Some(0.15));
         assert_eq!(total.offload_loss(0), None);
 

@@ -163,6 +163,28 @@ pub trait Matcher {
         let _ = count;
     }
 
+    /// Captures the matcher's **window-indexed** state as a single word, for
+    /// inclusion in an engine checkpoint.
+    ///
+    /// Scratch buffers (grouping, work vectors) are excluded: they are
+    /// rebuilt on the next window and never affect outcomes (pinned by the
+    /// truthful-hint byte-identity tests). Only state that advances with the
+    /// window stream needs to survive a restore — the rotation counter for
+    /// [`HierarchicalMatcher`], the RNG draw position for [`RandomMatcher`].
+    /// Stateless matchers keep the default `0`.
+    fn checkpoint_word(&self) -> u64 {
+        0
+    }
+
+    /// Restores the state captured by [`Matcher::checkpoint_word`] into a
+    /// freshly built matcher (same kind, same seed).
+    ///
+    /// After this call the matcher must produce byte-identical outcomes to
+    /// one that lived through every window the word accounts for.
+    fn restore_word(&mut self, word: u64) {
+        let _ = word;
+    }
+
     /// Matches one window, returning a fresh outcome (convenience wrapper
     /// over [`Matcher::match_window_into`]).
     ///
@@ -336,6 +358,47 @@ impl Matcher for HierarchicalMatcher {
         // the counter is all `count` real calls would have done.
         self.windows_matched += count;
     }
+
+    fn checkpoint_word(&self) -> u64 {
+        self.windows_matched
+    }
+
+    fn restore_word(&mut self, word: u64) {
+        self.windows_matched = word;
+        // The grouping scratch describes no window of the restored run; the
+        // next call rebuilds it (outcome-identical per the hint contract).
+        self.grouping_built = false;
+    }
+}
+
+/// An [`rand::RngCore`] wrapper that counts generator advances.
+///
+/// Every sampling path of the `rand` surface this workspace uses —
+/// `next_u32`'s default, `gen_range`, `shuffle` — funnels through
+/// `next_u64`, so the draw count alone pins the stream position: reseeding
+/// from the original seed and discarding that many draws reproduces the
+/// stream exactly. This is what makes a seeded RNG checkpointable without
+/// serialising (private) generator internals.
+#[derive(Debug)]
+struct CountingRng {
+    inner: StdRng,
+    draws: u64,
+}
+
+impl CountingRng {
+    fn seeded(seed: u64) -> Self {
+        Self {
+            inner: StdRng::seed_from_u64(seed),
+            draws: 0,
+        }
+    }
+}
+
+impl rand::RngCore for CountingRng {
+    fn next_u64(&mut self) -> u64 {
+        self.draws += 1;
+        self.inner.next_u64()
+    }
 }
 
 /// Locality-oblivious matcher: uploads are assigned in a seeded random order
@@ -344,7 +407,8 @@ impl Matcher for HierarchicalMatcher {
 /// visible in the results (ablation A1).
 #[derive(Debug)]
 pub struct RandomMatcher {
-    rng: StdRng,
+    seed: u64,
+    rng: CountingRng,
     uploaders: Vec<u32>,
     downloaders: Vec<u32>,
     work: WorkBuffers,
@@ -354,7 +418,8 @@ impl RandomMatcher {
     /// Creates a random matcher with its own deterministic stream.
     pub fn new(seed: u64) -> Self {
         Self {
-            rng: StdRng::seed_from_u64(seed),
+            seed,
+            rng: CountingRng::seeded(seed),
             uploaders: Vec::new(),
             downloaders: Vec::new(),
             work: WorkBuffers::default(),
@@ -409,6 +474,21 @@ impl Matcher for RandomMatcher {
             }
         }
         state.finish();
+    }
+
+    fn checkpoint_word(&self) -> u64 {
+        self.rng.draws
+    }
+
+    fn restore_word(&mut self, word: u64) {
+        // Replay the stream to the recorded position. Restores are rare
+        // (once per process resurrection) and the stream advances two draws
+        // per multi-peer window, so the fast-forward is cheap in practice.
+        self.rng = CountingRng::seeded(self.seed);
+        use rand::RngCore;
+        for _ in 0..word {
+            let _ = self.rng.next_u64();
+        }
     }
 }
 
@@ -855,6 +935,42 @@ mod tests {
                     stepped.match_window(&peers, &needs, &budgets, 0),
                     "{kind:?}: divergence after {k} bulk solo windows"
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn checkpoint_word_restores_mid_stream() {
+        // Run W windows, capture the word, rebuild a fresh matcher of the
+        // same kind/seed, restore — the pair must stay byte-identical for
+        // every subsequent window (including solo bulk advances).
+        let peers = quad();
+        for kind in [MatcherKind::Hierarchical, MatcherKind::Random] {
+            let mut live = kind.build(23);
+            for w in 0..13u64 {
+                let needs = vec![0, 200 + w * 5, 700, 400];
+                let budgets = vec![300, 100, w * 9 % 500, 600];
+                let _ = live.match_window(&peers, &needs, &budgets, 0);
+                if w == 6 {
+                    live.note_solo_windows(4);
+                }
+            }
+            let word = live.checkpoint_word();
+            let mut restored = kind.build(23);
+            restored.restore_word(word);
+            assert_eq!(restored.checkpoint_word(), word, "{kind:?}: word survives");
+            for w in 0..10u64 {
+                let needs = vec![0, 150, 900 - w * 11, 520];
+                let budgets = vec![250, w * 13 % 700, 330, 410];
+                assert_eq!(
+                    live.match_window(&peers, &needs, &budgets, 0),
+                    restored.match_window(&peers, &needs, &budgets, 0),
+                    "{kind:?}: window {w} after restore"
+                );
+                if w == 3 {
+                    live.note_solo_windows(2);
+                    restored.note_solo_windows(2);
+                }
             }
         }
     }
