@@ -358,6 +358,14 @@ pub struct SweepConfig {
     /// shared-store mode (pinned in `tests/determinism.rs`); only the
     /// wall-time shape changes.
     pub segmented: bool,
+    /// The engine's swarm-state spill/compaction lifecycle
+    /// ([`SimConfig::spill`](consume_local_sim::SimConfig)): on by default,
+    /// it freezes quiescent swarm machines and spills sealed days between
+    /// segments — the memory lifecycle that keeps metro-scale runs inside
+    /// the London RSS envelope. Outcomes are byte-identical either way
+    /// (pinned alongside the segmented-mode identity); the toggle exists
+    /// for oracle comparisons and memory-vs-CPU tuning at sweep scale.
+    pub spill: bool,
 }
 
 impl Default for SweepConfig {
@@ -369,6 +377,7 @@ impl Default for SweepConfig {
             sim_threads: 1,
             trace_workers: None,
             segmented: false,
+            spill: true,
         }
     }
 }
@@ -723,6 +732,14 @@ impl SweepRunner {
         &self.scenarios
     }
 
+    /// A scenario's simulator configuration under this sweep's execution
+    /// knobs ([`SweepConfig::sim_threads`], [`SweepConfig::spill`]).
+    fn scenario_sim(&self, scenario: &Scenario) -> SimConfig {
+        let mut sim = scenario.sim_config(self.config.seed, self.config.sim_threads);
+        sim.spill = self.config.spill;
+        sim
+    }
+
     /// Runs every scenario and returns the report.
     ///
     /// Distinct `(preset, topology)` traces are generated **and
@@ -797,7 +814,6 @@ impl SweepRunner {
             built.into_iter().unzip();
 
         // 2. Simulate every scenario against its shared columnar store.
-        let sim_threads = self.config.sim_threads;
         let outcomes = parallel_map(self.scenarios.len(), self.config.workers, |i| {
             let scenario = self.scenarios[i];
             let key = scenario.trace_key();
@@ -806,7 +822,7 @@ impl SweepRunner {
                 .position(|&k| k == key)
                 .expect("trace generated per key");
             let store = &stores[store_idx];
-            let sim = Simulator::try_new(scenario.sim_config(seed, sim_threads))
+            let sim = Simulator::try_new(self.scenario_sim(&scenario))
                 .expect("validated in SweepRunner::new");
             // lint:allow(no-wall-clock) scenario wall-time telemetry, omitted from deterministic JSON
             let start = Instant::now();
@@ -872,10 +888,8 @@ impl SweepRunner {
             let mut flights: Vec<Option<InFlight>> = scenario_ids
                 .iter()
                 .map(|&i| {
-                    let sim = Simulator::try_new(
-                        self.scenarios[i].sim_config(seed, self.config.sim_threads),
-                    )
-                    .expect("validated in SweepRunner::new");
+                    let sim = Simulator::try_new(self.scenario_sim(&self.scenarios[i]))
+                        .expect("validated in SweepRunner::new");
                     Some(InFlight {
                         run: sim.begin(horizon, users),
                         wall_ms: 0.0,
@@ -986,6 +1000,7 @@ mod tests {
             sim_threads: 1,
             trace_workers: None,
             segmented: false,
+            spill: true,
         }
     }
 
@@ -1009,6 +1024,30 @@ mod tests {
         );
         let (generate, columnarize, simulate) = segmented.phase_wall_ms();
         assert!(generate >= 0.0 && columnarize >= 0.0 && simulate > 0.0);
+    }
+
+    #[test]
+    fn spill_toggle_never_changes_outcomes() {
+        // The engine's swarm-state spill/compaction lifecycle is a pure
+        // memory optimisation: the sweep's deterministic document must be
+        // byte-identical with it on (default) and off, in both execution
+        // modes.
+        let spill_on = SweepRunner::new(quick_config(2)).unwrap().run();
+        let mut config = quick_config(2);
+        config.spill = false;
+        let spill_off = SweepRunner::new(config).unwrap().run();
+        assert_eq!(
+            spill_on.to_json_deterministic().render(),
+            spill_off.to_json_deterministic().render()
+        );
+        let mut config = quick_config(2);
+        config.spill = false;
+        config.segmented = true;
+        let segmented_off = SweepRunner::new(config).unwrap().run();
+        assert_eq!(
+            spill_on.to_json_deterministic().render(),
+            segmented_off.to_json_deterministic().render()
+        );
     }
 
     #[test]
@@ -1154,6 +1193,7 @@ mod tests {
             sim_threads: 1,
             trace_workers: None,
             segmented: false,
+            spill: true,
         }
     }
 

@@ -57,7 +57,11 @@ use crate::engine::{SegmentedRun, Simulator};
 pub const SNAPSHOT_MAGIC: [u8; 8] = *b"CLSNAP\r\n";
 
 /// The snapshot format version this build writes and reads.
-pub const SNAPSHOT_VERSION: u32 = 1;
+///
+/// Version 2 added the spill state: the config's `spill` flag, the run's
+/// spilled-day boundary and grouped day × ISP cells, and each swarm's
+/// frozen-day list.
+pub const SNAPSHOT_VERSION: u32 = 2;
 
 /// Sanity bound on the declared payload length (1 GiB). A corrupted header
 /// cannot make the reader allocate unbounded memory: real snapshots are

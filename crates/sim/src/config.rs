@@ -164,6 +164,17 @@ pub struct SimConfig {
     /// stream independent of thread schedule — and the lost volume is
     /// surfaced in `SimReport::degradation`.
     pub cooperation_rate: f64,
+    /// Whether incremental runs spill sealed days and compact quiescent
+    /// swarm machines between segments (on by default).
+    ///
+    /// Once the watermark passes a day's end its per-swarm ledgers are
+    /// final; spilling folds them into the run-level day × ISP cells and a
+    /// compact per-swarm frozen form, and quiescent machines drop their
+    /// matcher and lookup tables (rebuilt on reactivation exactly as a
+    /// checkpoint restore rebuilds them). Results are byte-identical either
+    /// way — the knob exists for the oracle tests and for memory-vs-CPU
+    /// tuning; only peak RSS changes.
+    pub spill: bool,
 }
 
 impl Default for SimConfig {
@@ -179,6 +190,7 @@ impl Default for SimConfig {
             edge_cache: None,
             participation_rate: 1.0,
             cooperation_rate: 1.0,
+            spill: true,
         }
     }
 }

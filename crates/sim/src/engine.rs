@@ -30,7 +30,6 @@ use std::io::{Read, Write};
 use consume_local_swarm::matching::MatchOutcome;
 use consume_local_swarm::{Matcher, MatcherKind, Peer, SwarmKey, SwarmPolicy};
 use consume_local_topology::{ExchangeId, IspId, PopId, UserLocation};
-use consume_local_trace::generator::sort_key_bounds;
 use consume_local_trace::{
     device::BitrateClass, ContentId, SegmentStream, SegmentedStore, SessionStore, SimTime, Trace,
 };
@@ -198,6 +197,8 @@ impl Simulator {
             states: Vec::new(),
             watermark: 0,
             closed_days: 0,
+            spilled_days: 0,
+            spilled_cells: Vec::new(),
             max_start_secs: 0,
             max_user: 0,
             max_content: 0,
@@ -276,6 +277,7 @@ impl Simulator {
             store.horizon_secs(),
             store.population_len(),
             parts,
+            Vec::new(),
             sort_key_warnings(store.sort_key_maxima()),
         )
     }
@@ -291,6 +293,7 @@ impl Simulator {
         horizon: u64,
         population_len: usize,
         parts: Vec<(SwarmKey, u64, SwarmOutput)>,
+        spilled_cells: Vec<(u32, Option<IspId>, ByteLedger)>,
         warnings: Vec<SimWarning>,
     ) -> SimReport {
         let total_windows = horizon / self.config.window_secs;
@@ -304,14 +307,25 @@ impl Simulator {
             for (day, ledger) in &out.daily {
                 daily_cells.push((*day, key.isp, *ledger));
             }
+            // Spilled days precede every live day, so the frozen points
+            // chain in front in day order.
             let daily_points = out
-                .daily
+                .frozen
                 .iter()
-                .map(|(day, ledger)| crate::report::SwarmDay {
-                    day: *day,
-                    capacity: effective_capacity(ledger),
-                    demand_bytes: ledger.demand_bytes,
+                .map(|f| crate::report::SwarmDay {
+                    day: f.day,
+                    capacity: f.capacity(),
+                    demand_bytes: f.demand_bytes,
                 })
+                .chain(
+                    out.daily
+                        .iter()
+                        .map(|(day, ledger)| crate::report::SwarmDay {
+                            day: *day,
+                            capacity: effective_capacity(ledger),
+                            demand_bytes: ledger.demand_bytes,
+                        }),
+                )
                 .collect();
             swarms.push(SwarmReport {
                 key: *key,
@@ -325,7 +339,13 @@ impl Simulator {
         }
         let users = scatter_users(population_len, &parts, self.config.threads);
         daily_cells.sort_by_key(|&(day, isp, _)| (day, isp));
-        let mut daily: Vec<DailyIspCell> = Vec::new();
+        // The spilled prefix is already grouped and covers strictly earlier
+        // days than any live cell; appending the live groups reproduces the
+        // unspilled sort-and-merge byte for byte.
+        let mut daily: Vec<DailyIspCell> = spilled_cells
+            .into_iter()
+            .map(|(day, isp, ledger)| DailyIspCell { day, isp, ledger })
+            .collect();
         for (day, isp, ledger) in daily_cells {
             match daily.last_mut() {
                 Some(cell) if cell.day == day && cell.isp == isp => cell.ledger.merge(&ledger),
@@ -377,16 +397,14 @@ pub struct DayClose {
 }
 
 /// The [`SimWarning`]s implied by a session set's sort-key maxima: one
-/// [`SimWarning::SortKeyFallback`] when any field exceeds the compact
-/// 59-bit bounds, nothing otherwise. Element-wise maxima folding across
-/// batches equals the monolithic maxima, so every source yields the same
-/// warning set for the same sessions.
+/// [`SimWarning::SortKeyFallback`] when the joint field widths overflow
+/// the packed 64-bit key (the same predicate the trace crate's packing and
+/// `TraceStats` use), nothing otherwise. Element-wise maxima folding
+/// across batches equals the monolithic maxima, so every source yields the
+/// same warning set for the same sessions.
 fn sort_key_warnings(maxima: (u64, u32, u32)) -> Vec<SimWarning> {
     let (max_start_secs, max_user, max_content) = maxima;
-    if max_start_secs >= sort_key_bounds::START_SECS
-        || max_user >= sort_key_bounds::USERS
-        || max_content >= sort_key_bounds::ITEMS
-    {
+    if consume_local_trace::generator::sort_key_fallback_required(maxima) {
         vec![SimWarning::SortKeyFallback {
             max_start_secs,
             max_user,
@@ -549,8 +567,39 @@ struct PendingSession {
 /// preload, the CDN-ineligible remainder) are cached between membership
 /// changes, and the retire scan is skipped entirely while every active
 /// session's end lies beyond the boundary (`min_end` tracking).
+/// The matcher slot of a [`SwarmSim`]: a live machine owns its built
+/// matcher; a dormant (compacted) machine keeps only the matcher's
+/// checkpoint word — exactly what [`crate::checkpoint`] persists — and
+/// rebuilds the matcher from it on reactivation.
+enum MatcherSlot {
+    Live(Box<dyn Matcher + Send>),
+    Dormant { word: u64 },
+}
+
+impl MatcherSlot {
+    /// The live matcher. Callers must have thawed the machine first.
+    fn live_mut(&mut self) -> &mut (dyn Matcher + Send) {
+        match self {
+            MatcherSlot::Live(m) => m.as_mut(),
+            MatcherSlot::Dormant { .. } => unreachable!("dormant machine advanced without thaw"),
+        }
+    }
+
+    /// The matcher's checkpoint word, live or dormant.
+    fn word(&self) -> u64 {
+        match self {
+            MatcherSlot::Live(m) => m.checkpoint_word(),
+            MatcherSlot::Dormant { word } => *word,
+        }
+    }
+}
+
 struct SwarmSim {
-    matcher: Box<dyn Matcher + Send>,
+    matcher: MatcherSlot,
+    /// The matcher's key-derived seed (`swarm_seed` of the run seed and the
+    /// swarm key), kept so a dormant machine can rebuild its matcher
+    /// without knowing its key.
+    matcher_seed: u64,
     active: ActiveSet,
     /// The next window boundary to process (always a multiple of Δτ).
     t: SimTime,
@@ -597,8 +646,10 @@ impl SwarmSim {
     /// the report (uniform within bitrate-split swarms; a demand-weighted
     /// mix otherwise).
     fn new(sim: &Simulator, key: SwarmKey, first_start_secs: u64, first_bitrate_bps: u32) -> Self {
+        let matcher_seed = swarm_seed(sim.config.seed, &key);
         Self {
-            matcher: sim.config.matcher.build(swarm_seed(sim.config.seed, &key)),
+            matcher: MatcherSlot::Live(sim.config.matcher.build(matcher_seed)),
+            matcher_seed,
             active: ActiveSet::default(),
             t: SimTime(align_up(first_start_secs, sim.config.window_secs)),
             carry: VecDeque::new(),
@@ -685,6 +736,7 @@ impl SwarmSim {
         limit: u64,
         horizon: u64,
     ) {
+        self.thaw(sim);
         let dt = sim.config.window_secs;
         // Hot columns as local slices: one pointer load each at admission
         // time instead of a walk through the store on every field.
@@ -779,7 +831,7 @@ impl SwarmSim {
                 // additive, so the split leaves every outcome unchanged.
                 let k = (upper - t).div_ceil(dt).min((limit - t).div_ceil(dt));
                 debug_assert!(k >= 1, "the current window is always batchable");
-                self.matcher.note_solo_windows(k);
+                self.matcher.live_mut().note_solo_windows(k);
 
                 let full_demand = self.active.full_demands[0];
                 let demand = self.active.demands[0];
@@ -871,7 +923,7 @@ impl SwarmSim {
             } else {
                 &self.active.needs
             };
-            self.matcher.match_window_into_hinted(
+            self.matcher.live_mut().match_window_into_hinted(
                 &self.active.peers,
                 needs,
                 &self.active.budgets,
@@ -988,6 +1040,7 @@ impl SwarmSim {
         users.sort_unstable_by_key(|&(u, _, _)| u);
         SwarmOutput {
             ledger: std::mem::take(&mut self.ledger),
+            frozen: Vec::new(),
             daily: std::mem::take(&mut self.daily),
             users,
             upload_ratio: self.upload_ratio,
@@ -1013,6 +1066,47 @@ impl SwarmSim {
         self.outcome = MatchOutcome::default();
         self.needs_flaked = Vec::new();
     }
+
+    /// Compacts a quiescent machine to its dormant form: scratch released,
+    /// matcher reduced to its checkpoint word, the slot lookup dropped and
+    /// the surviving accumulators trimmed to size. Everything discarded is
+    /// derived state a checkpoint restore already recomputes, so dormancy
+    /// cannot affect results — only the resident footprint. At full scale
+    /// the slot table and matcher scratch dominate a quiescent machine, so
+    /// this is the per-swarm RSS lever.
+    fn freeze(&mut self) {
+        self.shrink_scratch();
+        if let MatcherSlot::Live(m) = &self.matcher {
+            self.matcher = MatcherSlot::Dormant {
+                word: m.checkpoint_word(),
+            };
+        }
+        self.slot_of = HashMap::new();
+        self.users.shrink_to_fit();
+        self.user_acc.shrink_to_fit();
+        self.daily.shrink_to_fit();
+    }
+
+    /// Reactivates a dormant machine, rebuilding the derived state
+    /// [`SwarmSim::freeze`] dropped exactly as [`Simulator::resume`]
+    /// rebuilds it from a snapshot: matcher from seed + restored word, slot
+    /// lookup from the user list, membership sums marked stale. A live
+    /// machine is untouched.
+    fn thaw(&mut self, sim: &Simulator) {
+        let MatcherSlot::Dormant { word } = self.matcher else {
+            return;
+        };
+        let mut matcher = sim.config.matcher.build(self.matcher_seed);
+        matcher.restore_word(word);
+        self.matcher = MatcherSlot::Live(matcher);
+        self.slot_of = self
+            .users
+            .iter()
+            .enumerate()
+            .map(|(slot, &u)| (u, slot as u32))
+            .collect();
+        self.sums_stale = true;
+    }
 }
 
 /// Contiguous chunk offsets splitting `n` per-swarm states across workers
@@ -1028,6 +1122,31 @@ fn state_chunks(n: usize, workers: usize) -> Vec<usize> {
     offsets
 }
 
+/// One spilled (sealed) day of a swarm's ledger, kept in the compact form
+/// the final report needs: the [`crate::report::SwarmDay`] point is
+/// `(day, demand_bytes, capacity)` where the capacity is a function of the
+/// window counts alone, so the other ledger classes need not stay resident
+/// per swarm — their sums live on in the run-level day × ISP cells.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct FrozenDay {
+    day: u32,
+    demand_bytes: u64,
+    active_windows: u64,
+    peer_windows: u64,
+}
+
+impl FrozenDay {
+    /// The day's effective capacity, bit-identical to
+    /// [`effective_capacity`] of the full ledger it was frozen from.
+    fn capacity(&self) -> f64 {
+        if self.active_windows == 0 {
+            return 0.0;
+        }
+        let l_bar = self.peer_windows as f64 / self.active_windows as f64;
+        consume_local_analytics::capacity_from_active_mean(l_bar)
+    }
+}
+
 /// One swarm's persistent entry in a [`SegmentedRun`].
 #[derive(Debug)]
 struct SwarmState {
@@ -1035,6 +1154,9 @@ struct SwarmState {
     /// Sessions grouped into this swarm so far (the monolithic report's
     /// per-swarm session count, accumulated per segment).
     sessions: u64,
+    /// Sealed days spilled out of the machine's `daily` list, day-ordered
+    /// (see [`SegmentedRun::spill_sealed_days`]).
+    frozen: Vec<FrozenDay>,
     swarm: SwarmSim,
 }
 
@@ -1070,6 +1192,14 @@ pub struct SegmentedRun {
     watermark: u64,
     /// Days already emitted by [`SegmentedRun::drain_closed_days`].
     closed_days: u64,
+    /// Days whose per-swarm ledgers have been spilled (always ≤ the sealed
+    /// day count; 0 with spill disabled). Every machine's `daily` list
+    /// holds only days at or past this boundary.
+    spilled_days: u64,
+    /// The spilled days' accumulated day × ISP cells, `(day, isp)`-sorted
+    /// and grouped — byte-identical to the prefix of the final report's
+    /// `daily` list covering those days.
+    spilled_cells: Vec<(u32, Option<IspId>, ByteLedger)>,
     /// Element-wise sort-key maxima folded across every pushed batch (see
     /// [`SessionStore::sort_key_maxima`]).
     max_start_secs: u64,
@@ -1151,6 +1281,7 @@ impl SegmentedRun {
                 SwarmState {
                     key: *key,
                     sessions: idx.len() as u64,
+                    frozen: Vec::new(),
                     swarm,
                 }
             });
@@ -1169,6 +1300,7 @@ impl SegmentedRun {
                     fresh.push(SwarmState {
                         key: *key,
                         sessions: range.len() as u64,
+                        frozen: Vec::new(),
                         swarm: SwarmSim::new(
                             &self.sim,
                             *key,
@@ -1200,6 +1332,7 @@ impl SegmentedRun {
         let offsets = state_chunks(self.states.len(), self.sim.config.threads);
         let sim = &self.sim;
         let horizon = self.horizon_secs;
+        let spill = sim.config.spill;
         parallel_map_slices(
             &mut self.states,
             &offsets,
@@ -1213,11 +1346,67 @@ impl SegmentedRun {
                     }
                     state.swarm.advance(sim, segment, indices, limit, horizon);
                     if state.swarm.is_quiescent() {
-                        state.swarm.shrink_scratch();
+                        if spill {
+                            state.swarm.freeze();
+                        } else {
+                            state.swarm.shrink_scratch();
+                        }
                     }
                 }
             },
         );
+        if spill {
+            self.spill_sealed_days();
+        }
+    }
+
+    /// Spills every newly sealed day out of the per-swarm machines: each
+    /// sealed `(day, ledger)` entry is folded into the run-level day × ISP
+    /// cells (commutative `u64` sums, so any fold order equals the final
+    /// report's sort-and-merge bytes) and replaced by a compact
+    /// [`FrozenDay`]. A day is sealed once the watermark passes its end —
+    /// machines with pending work always advance to the watermark and
+    /// later sessions start at or after it, so sealed entries can never
+    /// grow again (the invariant [`SegmentedRun::drain_closed_days`]
+    /// already relies on).
+    fn spill_sealed_days(&mut self) {
+        let spd = consume_local_trace::time::SECS_PER_DAY;
+        let total_days = self.horizon_secs.div_ceil(spd);
+        let sealed = if self.watermark >= self.horizon_secs {
+            total_days
+        } else {
+            (self.watermark / spd).min(total_days)
+        };
+        if sealed <= self.spilled_days {
+            return;
+        }
+        // Per swarm-day cells of this round, collected in state (= key)
+        // order, then grouped exactly as `merge_outputs` groups the live
+        // ones. Days only ever grow, so grouped rounds concatenate sorted.
+        let mut cells: Vec<(u32, Option<IspId>, ByteLedger)> = Vec::new();
+        for state in &mut self.states {
+            let cut = state
+                .swarm
+                .daily
+                .partition_point(|&(d, _)| u64::from(d) < sealed);
+            for (day, ledger) in state.swarm.daily.drain(..cut) {
+                state.frozen.push(FrozenDay {
+                    day,
+                    demand_bytes: ledger.demand_bytes,
+                    active_windows: ledger.active_windows,
+                    peer_windows: ledger.peer_windows,
+                });
+                cells.push((day, state.key.isp, ledger));
+            }
+        }
+        cells.sort_by_key(|&(day, isp, _)| (day, isp));
+        for (day, isp, ledger) in cells {
+            match self.spilled_cells.last_mut() {
+                Some(c) if c.0 == day && c.1 == isp => c.2.merge(&ledger),
+                _ => self.spilled_cells.push((day, isp, ledger)),
+            }
+        }
+        self.spilled_days = sealed;
     }
 
     /// Emits a [`DayClose`] for every day the current watermark has sealed
@@ -1238,11 +1427,25 @@ impl SegmentedRun {
         while self.closed_days < sealed {
             let day = self.closed_days as u32;
             let mut ledger = ByteLedger::new();
-            // Each machine's `daily` list is day-sorted (days are appended
-            // monotonically), so the day's entry is one binary search away.
-            for state in &self.states {
-                if let Ok(i) = state.swarm.daily.binary_search_by_key(&day, |e| e.0) {
-                    ledger.merge(&state.swarm.daily[i].1);
+            if self.closed_days < self.spilled_days {
+                // The day's per-swarm entries were spilled: its grouped
+                // cells hold the same sums (per-ISP instead of per-swarm —
+                // `u64` addition makes the regrouping exact).
+                let from = self.spilled_cells.partition_point(|&(d, _, _)| d < day);
+                for (d, _, cell) in &self.spilled_cells[from..] {
+                    if *d != day {
+                        break;
+                    }
+                    ledger.merge(cell);
+                }
+            } else {
+                // Each machine's `daily` list is day-sorted (days are
+                // appended monotonically), so the day's entry is one binary
+                // search away.
+                for state in &self.states {
+                    if let Ok(i) = state.swarm.daily.binary_search_by_key(&day, |e| e.0) {
+                        ledger.merge(&state.swarm.daily[i].1);
+                    }
                 }
             }
             on_day_close(DayClose { day, ledger });
@@ -1270,6 +1473,7 @@ impl SegmentedRun {
             population_len,
             mut states,
             closed_days,
+            spilled_cells,
             max_start_secs,
             max_user,
             max_content,
@@ -1289,7 +1493,9 @@ impl SegmentedRun {
                                 .swarm
                                 .advance(&sim, &drain_store, &[], u64::MAX, horizon_secs);
                         }
-                        (state.key, state.sessions, state.swarm.take_output())
+                        let mut out = state.swarm.take_output();
+                        out.frozen = std::mem::take(&mut state.frozen);
+                        (state.key, state.sessions, out)
                     })
                     .collect()
             });
@@ -1297,12 +1503,19 @@ impl SegmentedRun {
 
         // Close the days the watermark never sealed, from the final
         // (drained) per-swarm ledgers — chunk order is state order, so the
-        // scan below sees each swarm's day-sorted list exactly once.
+        // scan below sees each swarm's day-sorted list exactly once. Days
+        // already spilled (but never drained) close from their grouped
+        // cells; live `daily` lists hold only the days past the spill
+        // boundary, so the two sources never overlap.
         let spd = consume_local_trace::time::SECS_PER_DAY;
         let total_days = horizon_secs.div_ceil(spd);
         if closed_days < total_days {
             let base = closed_days as usize;
             let mut ledgers = vec![ByteLedger::new(); (total_days - closed_days) as usize];
+            let from = spilled_cells.partition_point(|&(d, _, _)| u64::from(d) < closed_days);
+            for (day, _, cell) in &spilled_cells[from..] {
+                ledgers[*day as usize - base].merge(cell);
+            }
             for (_, _, out) in &parts {
                 let from = out
                     .daily
@@ -1323,6 +1536,7 @@ impl SegmentedRun {
             horizon_secs,
             population_len,
             parts,
+            spilled_cells,
             sort_key_warnings((max_start_secs, max_user, max_content)),
         )
     }
@@ -1378,6 +1592,19 @@ impl SegmentedRun {
         w.put_u64(self.population_len as u64);
         w.put_u64(self.watermark);
         w.put_u64(self.closed_days);
+        w.put_u64(self.spilled_days);
+        w.put_len(self.spilled_cells.len());
+        for (day, isp, ledger) in &self.spilled_cells {
+            w.put_u32(*day);
+            match isp {
+                Some(isp) => {
+                    w.put_bool(true);
+                    w.put_u8(isp.0);
+                }
+                None => w.put_bool(false),
+            }
+            put_ledger(&mut w, ledger);
+        }
         w.put_u64(self.max_start_secs);
         w.put_u32(self.max_user);
         w.put_u32(self.max_content);
@@ -1385,6 +1612,13 @@ impl SegmentedRun {
         for state in &self.states {
             put_key(&mut w, &state.key);
             w.put_u64(state.sessions);
+            w.put_len(state.frozen.len());
+            for f in &state.frozen {
+                w.put_u32(f.day);
+                w.put_u64(f.demand_bytes);
+                w.put_u64(f.active_windows);
+                w.put_u64(f.peer_windows);
+            }
             put_swarm(&mut w, &state.swarm);
         }
         w.finish(out)
@@ -1422,6 +1656,26 @@ impl Simulator {
         }
         let watermark = r.take_u64("watermark")?;
         let closed_days = r.take_u64("closed days")?;
+        let spilled_days = r.take_u64("spilled days")?;
+        let cells = r.take_len("spilled cell count")?;
+        let mut spilled_cells = Vec::with_capacity(cells);
+        let mut prev_cell: Option<(u32, Option<IspId>)> = None;
+        for _ in 0..cells {
+            let day = r.take_u32("spilled cell day")?;
+            if u64::from(day) >= spilled_days {
+                return Err(CheckpointError::Corrupt("spilled cell past boundary"));
+            }
+            let isp = if r.take_bool("spilled cell isp flag")? {
+                Some(IspId(r.take_u8("spilled cell isp")?))
+            } else {
+                None
+            };
+            if prev_cell.is_some_and(|p| p >= (day, isp)) {
+                return Err(CheckpointError::Corrupt("spilled cells out of order"));
+            }
+            prev_cell = Some((day, isp));
+            spilled_cells.push((day, isp, take_ledger(&mut r)?));
+        }
         let max_start_secs = r.take_u64("sort-key maxima")?;
         let max_user = r.take_u32("sort-key maxima")?;
         let max_content = r.take_u32("sort-key maxima")?;
@@ -1435,10 +1689,27 @@ impl Simulator {
             }
             prev = Some(key);
             let sessions = r.take_u64("swarm session count")?;
+            let frozen_len = r.take_len("frozen day count")?;
+            let mut frozen = Vec::with_capacity(frozen_len);
+            let mut prev_day: Option<u32> = None;
+            for _ in 0..frozen_len {
+                let day = r.take_u32("frozen day index")?;
+                if u64::from(day) >= spilled_days || prev_day.is_some_and(|p| p >= day) {
+                    return Err(CheckpointError::Corrupt("frozen days out of order"));
+                }
+                prev_day = Some(day);
+                frozen.push(FrozenDay {
+                    day,
+                    demand_bytes: r.take_u64("frozen day")?,
+                    active_windows: r.take_u64("frozen day")?,
+                    peer_windows: r.take_u64("frozen day")?,
+                });
+            }
             let swarm = take_swarm(&mut r, &sim, &key)?;
             states.push(SwarmState {
                 key,
                 sessions,
+                frozen,
                 swarm,
             });
         }
@@ -1450,6 +1721,8 @@ impl Simulator {
             states,
             watermark,
             closed_days,
+            spilled_days,
+            spilled_cells,
             max_start_secs,
             max_user,
             max_content,
@@ -1494,6 +1767,7 @@ fn put_config(w: &mut SnapshotWriter, c: &SimConfig) {
     }
     w.put_f64(c.participation_rate);
     w.put_f64(c.cooperation_rate);
+    w.put_bool(c.spill);
 }
 
 fn take_config(r: &mut SnapshotReader) -> Result<SimConfig, CheckpointError> {
@@ -1527,6 +1801,7 @@ fn take_config(r: &mut SnapshotReader) -> Result<SimConfig, CheckpointError> {
     };
     let participation_rate = r.take_f64("participation rate")?;
     let cooperation_rate = r.take_f64("cooperation rate")?;
+    let spill = r.take_bool("spill flag")?;
     Ok(SimConfig {
         window_secs,
         upload,
@@ -1538,6 +1813,7 @@ fn take_config(r: &mut SnapshotReader) -> Result<SimConfig, CheckpointError> {
         edge_cache,
         participation_rate,
         cooperation_rate,
+        spill,
     })
 }
 
@@ -1621,7 +1897,7 @@ fn take_peer(r: &mut SnapshotReader) -> Result<Peer, CheckpointError> {
 }
 
 fn put_swarm(w: &mut SnapshotWriter, s: &SwarmSim) {
-    w.put_u64(s.matcher.checkpoint_word());
+    w.put_u64(s.matcher.word());
     w.put_u64(s.t.as_secs());
     w.put_f64(s.upload_ratio);
     put_ledger(w, &s.ledger);
@@ -1787,10 +2063,12 @@ fn take_swarm(
         });
     }
 
-    let mut matcher = sim.config.matcher.build(swarm_seed(sim.config.seed, key));
+    let matcher_seed = swarm_seed(sim.config.seed, key);
+    let mut matcher = sim.config.matcher.build(matcher_seed);
     matcher.restore_word(word);
     Ok(SwarmSim {
-        matcher,
+        matcher: MatcherSlot::Live(matcher),
+        matcher_seed,
         active,
         t: SimTime(t),
         carry,
@@ -1978,6 +2256,9 @@ fn swarm_seed(base: u64, key: &SwarmKey) -> u64 {
 #[derive(Debug, Default)]
 struct SwarmOutput {
     ledger: ByteLedger,
+    /// Days spilled while the run was in flight, preceding every `daily`
+    /// entry (empty on the monolithic path and with spill disabled).
+    frozen: Vec<FrozenDay>,
     daily: Vec<(u32, ByteLedger)>,
     users: Vec<(u32, u64, u64)>,
     upload_ratio: f64,
@@ -2764,17 +3045,30 @@ mod tests {
         let sim = Simulator::new(SimConfig::default());
         assert!(
             sim.simulate(&trace).warnings.is_empty(),
-            "London presets fit the compact sort key"
+            "London presets fit the packed sort key"
         );
 
-        // One session past the content bound trips the warning, which
-        // carries the measured maxima and is identical on every path.
+        // A session at an old single-field bound no longer warns: the
+        // dynamic layout absorbs it.
         let mut records = trace.sessions().to_vec();
-        let mut wide = records[0];
-        wide.content = ContentId(consume_local_trace::generator::sort_key_bounds::ITEMS);
-        records.push(wide);
+        let mut at_old_bound = records[0];
+        at_old_bound.content = ContentId(1 << 15);
+        records.push(at_old_bound);
         let horizon = trace.horizon_seconds();
         let users = trace.population().len();
+        let absorbed = SessionStore::from_records(&records, horizon, users);
+        assert!(
+            sim.simulate(&absorbed).warnings.is_empty(),
+            "single old-bound exceedance must stay on the fast path"
+        );
+
+        // Jointly pathological maxima (user and content widths alone
+        // overflow 64 bits) trip the warning, which carries the measured
+        // maxima and is identical on every path.
+        let mut wide = records[0];
+        wide.user = UserId(u32::MAX);
+        wide.content = ContentId(u32::MAX);
+        records.push(wide);
         let doctored = SessionStore::from_records(&records, horizon, users);
         let report = sim.simulate(&doctored);
         let (max_start_secs, max_user, max_content) = doctored.sort_key_maxima();

@@ -28,6 +28,10 @@
 //!   channel of arriving sessions, watermark-driven day closes, the
 //!   N×-real-time [`replay`](online::replay) driver, and the
 //!   [`online::faults`] deterministic crash-recovery harness;
+//! * [`shard`] — swarm-sharded runs: disjoint shards (e.g. the metro
+//!   presets' per-city streams) simulated one at a time and folded through
+//!   the commutative [`merge_shard_reports`], byte-identical to the
+//!   unsharded run while only one shard's engine state is resident;
 //! * [`checkpoint`] — crash-safe snapshots: the versioned binary format,
 //!   checkpoint cadence policies and the atomic write/rename protocol
 //!   behind [`SegmentedRun::checkpoint`] / [`Simulator::resume`];
@@ -63,6 +67,7 @@ pub mod ledger;
 pub mod online;
 pub mod par;
 pub mod report;
+pub mod shard;
 pub mod source;
 
 pub use checkpoint::{CheckpointCadence, CheckpointError, CheckpointPolicy, Checkpointer};
@@ -73,4 +78,5 @@ pub use online::{OnlineError, OnlineSender, OnlineSource, ReplayConfig, ReplaySp
 pub use report::{
     DailyIspCell, Degradation, SimReport, SimWarning, SwarmDay, SwarmReport, UserTraffic,
 };
+pub use shard::{merge_shard_reports, ShardError};
 pub use source::{RetryPolicy, SessionSource, SourceError};

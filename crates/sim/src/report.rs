@@ -83,11 +83,13 @@ pub struct DailyIspCell {
 /// the same warnings on every path, worker count and batch schedule.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum SimWarning {
-    /// The sessions exceeded the compact 59-bit sort-key bounds
-    /// (`consume_local_trace::sort_key_bounds`: 2²² start seconds / 2²²
-    /// users / 2¹⁵ items), so sort-based trace pipelines fall back to the
-    /// wide record sort — identical output, slower to produce. The fields
-    /// carry the measured maxima so the exceeded bound is visible.
+    /// The sessions' joint sort-key widths overflowed the packed 64-bit
+    /// key (`consume_local_trace::generator::sort_key_fallback_required`;
+    /// at least 2²³ start seconds, 2²⁴ users and 2¹⁷ items always fit,
+    /// see `sort_key_bounds`), so sort-based trace pipelines fall back to
+    /// the wide record sort — identical output, slower to produce. The
+    /// fields carry the measured maxima so the pathological shape is
+    /// visible.
     SortKeyFallback {
         /// Largest session start in seconds.
         max_start_secs: u64,

@@ -14,6 +14,9 @@
 //!   per day segment, watermarked at each day's end;
 //! * [`&mut SegmentStream`](consume_local_trace::SegmentStream) — ditto,
 //!   but each day is generated, fed and dropped (bounded peak memory);
+//! * [`&mut MetroStream`](consume_local_trace::metro::MetroStream) — the
+//!   multi-city form: one merged metro day per batch (union stream), or a
+//!   single city's days for the swarm-sharded mode ([`crate::shard`]);
 //! * [`OnlineSource`](crate::online::OnlineSource) — batches cut by the
 //!   sender's watermarks as events arrive over the bounded channel.
 //!
@@ -42,6 +45,7 @@ use std::collections::HashMap;
 use std::collections::VecDeque;
 use std::fmt;
 
+use consume_local_trace::metro::MetroStream;
 use consume_local_trace::{SegmentStream, SegmentedStore, SessionStore, Trace};
 
 use crate::engine::Simulator;
@@ -126,6 +130,29 @@ impl SessionSource for &mut SegmentStream<'_> {
 
     /// Generates, feeds and drops one day segment at a time, so peak
     /// memory holds a single day of the trace.
+    fn for_each_batch(self, sink: &mut dyn FnMut(&SessionStore, u64)) {
+        loop {
+            let day = u64::from(self.next_day());
+            let Some(segment) = self.next_segment() else {
+                return;
+            };
+            sink(&segment, (day + 1) * SegmentedStore::SEGMENT_SECS);
+        }
+    }
+}
+
+impl SessionSource for &mut MetroStream<'_> {
+    fn horizon_secs(&self) -> u64 {
+        MetroStream::horizon_secs(self)
+    }
+
+    fn population_len(&self) -> usize {
+        MetroStream::population_len(self)
+    }
+
+    /// One merged multi-city batch per day, watermarked at the day's end —
+    /// the union (or per-city shard) form of the metro presets. Peak memory
+    /// holds one day of each participating city.
     fn for_each_batch(self, sink: &mut dyn FnMut(&SessionStore, u64)) {
         loop {
             let day = u64::from(self.next_day());

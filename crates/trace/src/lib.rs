@@ -31,6 +31,10 @@
 //!   **streams** those segments out one at a time (persistent per-item RNG
 //!   streams keep the emission byte-identical to monolithic generation)
 //!   so peak memory holds a single day;
+//! * the [`metro`] composition layer: several city-scale workloads with
+//!   disjoint per-city id ranges, streamed day-by-day as one union
+//!   ([`MetroTrace::stream`](metro::MetroTrace::stream)) or as per-city
+//!   shards for the swarm-sharded engine mode;
 //! * [`stats`] to regenerate Table I from any generated trace, and [`io`]
 //!   for a simple CSV round-trip format.
 //!
@@ -61,6 +65,7 @@ pub mod device;
 pub mod generator;
 pub mod io;
 pub mod live;
+pub mod metro;
 pub mod popularity;
 pub mod population;
 pub mod session;
@@ -74,6 +79,7 @@ pub use generator::{
     merge_session_batches, ScalePreset, SegmentStream, Trace, TraceConfig, TraceError,
     TraceGenerator,
 };
+pub use metro::{MetroConfig, MetroStream, MetroTrace};
 pub use popularity::Popularity;
 pub use population::{Population, UserId};
 pub use session::SessionRecord;

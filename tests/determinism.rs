@@ -118,6 +118,7 @@ fn sweep_runner_identical_across_worker_counts() {
             sim_threads: 1,
             trace_workers: Some(workers),
             segmented: false,
+            spill: true,
         })
         .unwrap()
         .run()
@@ -153,6 +154,7 @@ fn sweep_json_byte_identical_across_runs_with_fixed_seed() {
             sim_threads: 2,
             trace_workers: None,
             segmented: false,
+            spill: true,
         })
         .unwrap()
         .run()
@@ -175,6 +177,7 @@ fn sim_threads_inside_sweep_do_not_change_results() {
             sim_threads,
             trace_workers: None,
             segmented: false,
+            spill: true,
         })
         .unwrap()
         .run()
@@ -273,6 +276,7 @@ fn segmented_sweep_mode_identical_across_worker_counts_and_modes() {
             sim_threads: 1,
             trace_workers: Some(workers),
             segmented,
+            spill: true,
         })
         .unwrap()
         .run()
@@ -453,5 +457,173 @@ fn churn_off_trace_and_report_match_seed_pin() {
         digest_report_seed_fields(&report),
         SEED_REPORT_DIGEST,
         "churn-off report drifted from the pre-churn seed"
+    );
+}
+
+/// Digests captured from the tree immediately before the metro-scale
+/// changes (sort-key re-pack, swarm-state spill, sharding) landed: the
+/// Medium-preset trace (seed 2018, 8 generation workers) and its
+/// default-policy report (8 threads) must stay byte-identical through them.
+const MEDIUM_TRACE_DIGEST: u64 = 0xa606_17ee_7689_9716;
+const MEDIUM_REPORT_DIGEST: u64 = 0x0267_b6ff_ac7e_632b;
+
+#[test]
+fn medium_trace_and_report_match_pre_metro_pin() {
+    let config = ScalePreset::Medium.apply(TraceConfig::london_sep2013());
+    let trace = TraceGenerator::new(config, 2018)
+        .workers(8)
+        .generate()
+        .unwrap();
+    assert_eq!(trace.sessions().len(), 117_705);
+    assert_eq!(
+        digest_sessions(&trace),
+        MEDIUM_TRACE_DIGEST,
+        "medium trace drifted from the pre-metro pin"
+    );
+    let store = SessionStore::from_trace(&trace);
+    let report = Simulator::new(SimConfig {
+        threads: 8,
+        ..Default::default()
+    })
+    .simulate(&store);
+    assert_eq!(
+        digest_report_seed_fields(&report),
+        MEDIUM_REPORT_DIGEST,
+        "medium report drifted from the pre-metro pin"
+    );
+}
+
+#[test]
+fn metro_sharded_runs_byte_identical_to_union_at_every_thread_count() {
+    use consume_local::trace::metro::{MetroConfig, MetroTrace};
+
+    let metro = MetroTrace::new(
+        MetroConfig::five_city()
+            .with_cities(3)
+            .city_scaled(0.0005)
+            .unwrap(),
+        2018,
+    )
+    .unwrap();
+    let reference = Simulator::new(SimConfig {
+        threads: THREAD_COUNTS[0],
+        ..Default::default()
+    })
+    .simulate(&mut metro.stream().unwrap());
+    reference.check_conservation().unwrap();
+    assert!(reference.warnings.is_empty(), "metro presets must not warn");
+    for &threads in &THREAD_COUNTS {
+        let sim = Simulator::new(SimConfig {
+            threads,
+            ..Default::default()
+        });
+        assert_eq!(
+            reference,
+            sim.simulate(&mut metro.stream().unwrap()),
+            "metro union run must not depend on {threads} threads"
+        );
+        let sharded = sim
+            .simulate_sharded(metro.shard_streams().unwrap().iter_mut().map(|s| &mut *s))
+            .unwrap();
+        assert_eq!(
+            reference, sharded,
+            "sharded metro run must match the union at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn spill_toggle_byte_identical_at_every_thread_count() {
+    let trace = shared_trace();
+    let store = SessionStore::from_trace(&trace);
+    let segmented = SegmentedStore::from_trace(&trace);
+    let reference = Simulator::new(SimConfig {
+        threads: THREAD_COUNTS[0],
+        spill: false,
+        ..Default::default()
+    })
+    .simulate(&store);
+    reference.check_conservation().unwrap();
+    for &threads in &THREAD_COUNTS {
+        for spill in [false, true] {
+            let sim = Simulator::new(SimConfig {
+                threads,
+                spill,
+                ..Default::default()
+            });
+            assert_eq!(
+                reference,
+                sim.simulate(&store),
+                "spill={spill} must not change the report at {threads} threads"
+            );
+            assert_eq!(
+                reference,
+                sim.simulate(&segmented),
+                "spill={spill} segmented run must match at {threads} threads"
+            );
+        }
+    }
+}
+
+#[test]
+fn ten_million_user_shapes_stay_on_the_fast_path() {
+    use consume_local::topology::ExchangeId;
+    use consume_local::trace::device::DeviceClass;
+    use consume_local::trace::generator::{
+        merge_session_batches, merge_session_batches_wide, sort_key_fallback_required,
+    };
+    use consume_local::trace::metro::MetroConfig;
+    use consume_local::trace::session::SessionRecord;
+    use consume_local::trace::time::SimTime;
+    use consume_local::trace::{ContentId, UserId};
+
+    // The 10 M-user preset's measured maxima fit the compact 64-bit key:
+    // the wide record-sort fallback is retired for this shape.
+    let metro = MetroConfig::ten_million();
+    assert!(metro.users() > 10_000_000);
+    let (max_start, max_user, max_content) = metro.sort_key_maxima();
+    assert!(!sort_key_fallback_required((
+        max_start,
+        max_user,
+        max_content
+    )));
+
+    // Doctored sessions pinned at the preset maxima: the compact merge and
+    // the forced-wide legacy path must agree byte for byte, and the engine
+    // must emit no SortKeyFallback warning.
+    let topology = IspTopology::london_table3().unwrap();
+    let rec = |start: u64, user: u32, content: u32| SessionRecord {
+        user: UserId(user),
+        content: ContentId(content),
+        start: SimTime(start),
+        duration_secs: 60,
+        device: DeviceClass::Desktop,
+        isp: IspId(0),
+        location: topology.location_of(ExchangeId(0)),
+    };
+    let records = vec![
+        rec(max_start, max_user, max_content),
+        rec(max_start, 0, 1),
+        rec(0, max_user, 0),
+        rec(0, 1, max_content),
+        rec(12_345, 10_000_001, 7),
+        rec(12_345, 10_000_001, 3),
+    ];
+    let (a, b) = records.split_at(records.len() / 2);
+    let batches = [a.to_vec(), b.to_vec()];
+    for &workers in &THREAD_COUNTS {
+        let merged = merge_session_batches(&batches, workers);
+        assert_eq!(
+            merge_session_batches_wide(&batches, workers),
+            merged,
+            "forced-wide sort must match the compact path at {workers} workers"
+        );
+    }
+    let store = SessionStore::from_records(&records, max_start + 1, max_user as usize + 1);
+    let report = Simulator::new(SimConfig::default()).simulate(&store);
+    assert!(
+        report.warnings.is_empty(),
+        "10 M-user shape must not warn: {:?}",
+        report.warnings
     );
 }

@@ -168,7 +168,7 @@ fn corrupted_snapshots_are_rejected_with_typed_errors() {
     std::fs::write(&path, &bytes).unwrap();
     assert!(matches!(
         checkpoint::resume_latest(&path),
-        Err(CheckpointError::UnsupportedVersion { supported: 1, .. })
+        Err(CheckpointError::UnsupportedVersion { supported: 2, .. })
     ));
 
     // Bad magic.
